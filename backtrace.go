@@ -1,0 +1,192 @@
+// Package backtrace is a distributed garbage collector that reclaims
+// inter-site garbage cycles by back tracing, implementing Maheshwari &
+// Liskov, "Collecting Distributed Garbage Cycles by Back Tracing"
+// (PODC 1997).
+//
+// Each Site traces its own objects independently, treating incoming
+// inter-site references as roots, and exchanges insert/update messages to
+// maintain inter-site reference lists. That collects everything except
+// garbage cycles that span sites. For those, the collector:
+//
+//  1. estimates, for every inter-site reference, the minimum number of
+//     inter-site hops from any persistent root (the distance heuristic) —
+//     cyclic garbage's estimate grows without bound, so references past a
+//     suspicion threshold are suspects;
+//  2. back-traces from a suspected outgoing reference, leaping between
+//     outrefs and inrefs using reachability information (insets) computed
+//     during local traces; a trace that never reaches a clean reference
+//     has proven every inref it visited garbage, with locality: only the
+//     sites containing the cycle participate, at a cost of two messages
+//     per inter-site reference traversed plus one report per participant.
+//
+// Transfer and insert barriers plus the clean rule keep back traces safe
+// against concurrent mutators and local traces.
+//
+// # Quick start
+//
+//	c := backtrace.NewCluster(backtrace.ClusterOptions{
+//		NumSites:      3,
+//		AutoBackTrace: true,
+//	})
+//	defer c.Close()
+//
+//	root := c.Site(1).NewRootObject()
+//	a := c.Site(2).NewObject()
+//	b := c.Site(3).NewObject()
+//	c.MustLink(a, b) // cross-site cycle a <-> b, unreachable from root
+//	c.MustLink(b, a)
+//	_ = root
+//
+//	rounds, collected := c.CollectUntilStable(40)
+//
+// Sites can also be deployed as separate OS processes over TCP; see
+// cmd/dgcnode and the transport package.
+package backtrace
+
+import (
+	"backtrace/internal/cluster"
+	"backtrace/internal/ids"
+	"backtrace/internal/metrics"
+	"backtrace/internal/site"
+	"backtrace/internal/tracer"
+	"backtrace/internal/transport"
+	"backtrace/internal/txn"
+	"backtrace/internal/workload"
+)
+
+// Core identifier types.
+type (
+	// SiteID identifies a site.
+	SiteID = ids.SiteID
+	// ObjID identifies an object within its owning site.
+	ObjID = ids.ObjID
+	// Ref is a fully qualified object reference (site + object).
+	Ref = ids.Ref
+	// TraceID identifies a back trace.
+	TraceID = ids.TraceID
+)
+
+// MakeRef builds a Ref from its parts.
+func MakeRef(site SiteID, obj ObjID) Ref { return ids.MakeRef(site, obj) }
+
+// Site is one node of the store: a heap, its inref/outref tables, a local
+// tracer, and a back-tracing engine. See the site package for the full
+// method set: mutator operations (NewObject, AddReference, SendRef,
+// Traverse, application roots), collection (RunLocalTrace,
+// TriggerBackTraces), and introspection.
+type Site = site.Site
+
+// SiteConfig configures a single site (for standalone deployment over a
+// custom transport; clusters configure sites for you).
+type SiteConfig = site.Config
+
+// NewSite creates a standalone site registered on a transport.
+func NewSite(cfg SiteConfig) *Site { return site.New(cfg) }
+
+// TraceOutcome reports a completed back trace.
+type TraceOutcome = site.TraceOutcome
+
+// TraceReport summarizes one committed local trace.
+type TraceReport = site.TraceReport
+
+// Cluster is a set of sites joined by an in-process network — the normal
+// way to embed the collector in simulations, tests, and experiments.
+type Cluster = cluster.Cluster
+
+// ClusterOptions configures NewCluster.
+type ClusterOptions = cluster.Options
+
+// NewCluster builds a cluster with sites 1..NumSites.
+func NewCluster(opts ClusterOptions) *Cluster { return cluster.New(opts) }
+
+// Outset-computation algorithm selection (Section 5 of the paper).
+const (
+	// AlgoBottomUp is the Section 5.2 single-pass algorithm (default).
+	AlgoBottomUp = tracer.AlgoBottomUp
+	// AlgoIndependent is the Section 5.1 per-inref retracing algorithm.
+	AlgoIndependent = tracer.AlgoIndependent
+)
+
+// OutsetAlgorithm selects how insets/outsets are computed.
+type OutsetAlgorithm = tracer.OutsetAlgorithm
+
+// Counters is the thread-safe metrics sink shared by sites and transports.
+type Counters = metrics.Counters
+
+// Network is the transport abstraction connecting sites.
+type Network = transport.Network
+
+// NewMemNetwork builds an in-process network (see transport.Options for
+// latency, jitter, loss, partitions, and deterministic stepped delivery).
+func NewMemNetwork(opts transport.Options) *transport.Net { return transport.NewNet(opts) }
+
+// NetworkOptions configures an in-process network.
+type NetworkOptions = transport.Options
+
+// NewTCPNode builds a TCP transport node for running a site as its own OS
+// process.
+func NewTCPNode(self SiteID, addrs map[SiteID]string, obs transport.Observer) (*transport.TCPNode, error) {
+	return transport.NewTCPNode(self, addrs, obs)
+}
+
+// Workload specs and generators (shared by the cluster and the baseline
+// collectors so comparisons run on identical graphs).
+type (
+	// WorkloadSpec is an abstract multi-site object graph.
+	WorkloadSpec = workload.Spec
+	// ObjSpec places one object of a workload.
+	ObjSpec = workload.ObjSpec
+)
+
+// Workload generators.
+var (
+	// Ring builds an n-site garbage cycle.
+	Ring = workload.Ring
+	// RootedRing builds an n-site live cycle anchored at a root.
+	RootedRing = workload.RootedRing
+	// Chain builds an n-site chain, optionally rooted.
+	Chain = workload.Chain
+	// DenseCycle builds a many-object strongly connected cross-site
+	// component.
+	DenseCycle = workload.DenseCycle
+	// RandomGraph builds a clustered random graph.
+	RandomGraph = workload.RandomGraph
+	// HypertextWeb builds the paper's motivating hypertext-documents
+	// workload.
+	HypertextWeb = workload.HypertextWeb
+	// BuildWorkload instantiates a spec on a cluster.
+	BuildWorkload = workload.Build
+)
+
+// RandomConfig parameterizes RandomGraph.
+type RandomConfig = workload.RandomConfig
+
+// HypertextConfig parameterizes HypertextWeb.
+type HypertextConfig = workload.HypertextConfig
+
+// Transactional client-caching mutator layer (the paper's Thor-style
+// application model, Section 6.1.1): clients fetch objects into a cache,
+// buffer reads and writes, and commit through the transfer/insert barriers.
+type (
+	// TxnClient is a caching client of the store.
+	TxnClient = txn.Client
+	// Txn is one transaction over a client's cache.
+	Txn = txn.Tx
+	// TxnObject is an object allocated inside a transaction.
+	TxnObject = txn.NewObject
+)
+
+// NewTxnClient creates a transactional client over the given sites. Call
+// SetSettle with the cluster's Settle to make commits synchronous.
+func NewTxnClient(name string, sites map[SiteID]*Site) *TxnClient {
+	return txn.NewClient(name, sites)
+}
+
+// TxnSites builds the site map NewTxnClient wants from a cluster.
+func TxnSites(c *Cluster) map[SiteID]*Site {
+	m := make(map[SiteID]*Site)
+	for _, s := range c.Sites() {
+		m[s.ID()] = s
+	}
+	return m
+}

@@ -1,0 +1,166 @@
+// Command dgcbench regenerates the paper-reproduction experiment tables
+// indexed in DESIGN.md and recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	dgcbench -exp all
+//	dgcbench -exp messages      # C1: 2E+P message complexity
+//	dgcbench -exp distance      # C2: distance theorem
+//	dgcbench -exp insets        # C3: Section 5.1 vs 5.2 outset computation
+//	dgcbench -exp space         # C4: O(ni*no) back-information bound
+//	dgcbench -exp threshold     # C5: back-threshold tuning
+//	dgcbench -exp locality      # C7: locality with a crashed site
+//	dgcbench -exp baselines     # C8: comparison with related-work schemes
+//	dgcbench -exp overlap       # C9: concurrent back traces on one cycle
+//	dgcbench -exp hypertext     # intro workload end to end
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"backtrace/internal/experiments"
+	"backtrace/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, messages, distance, insets, space, threshold, timeline, locality, baselines, overlap, hypertext)")
+	scale := flag.Int("scale", 20, "size multiplier for the inset experiment")
+	format := flag.String("format", "text", "output format: text or json")
+	flag.Parse()
+
+	var err error
+	if *format != "text" && *format != "json" {
+		err = fmt.Errorf("unknown format %q", *format)
+	} else {
+		var tables []*experiments.Table
+		if tables, err = run(*exp, *scale); err == nil {
+			err = render(os.Stdout, *format, tables)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dgcbench:", err)
+		os.Exit(1)
+	}
+}
+
+// render writes the collected tables in the chosen format.
+func render(w io.Writer, format string, tables []*experiments.Table) error {
+	switch format {
+	case "text":
+		for _, t := range tables {
+			fmt.Fprintln(w, t)
+		}
+		return nil
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tables)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func run(exp string, scale int) ([]*experiments.Table, error) {
+	all := exp == "all"
+	ran := false
+	var tables []*experiments.Table
+
+	if all || exp == "messages" {
+		ran = true
+		specs := []workload.Spec{
+			workload.Ring(2), workload.Ring(4), workload.Ring(8),
+			workload.Ring(16), workload.Ring(32),
+			workload.DenseCycle(4, 4, 0, 1),
+		}
+		rows, err := experiments.MessagesPerTrace(specs)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, experiments.MessagesTable(rows))
+	}
+
+	if all || exp == "distance" {
+		ran = true
+		rows := experiments.DistanceConvergence([]int{2, 4, 8}, 8)
+		tables = append(tables, experiments.DistanceTable(rows))
+	}
+
+	if all || exp == "insets" {
+		ran = true
+		rows := experiments.InsetComparison(scale)
+		tables = append(tables, experiments.InsetTable(rows))
+	}
+
+	if all || exp == "space" {
+		ran = true
+		specs := []workload.Spec{
+			workload.Ring(3),
+			workload.DenseCycle(3, 6, 8, 1),
+		}
+		rows, err := experiments.SpaceBound(specs)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, experiments.SpaceTable(rows))
+	}
+
+	if all || exp == "threshold" {
+		ran = true
+		rows := experiments.ThresholdTuning([]int{4, 6, 8, 12, 16, 24})
+		tables = append(tables, experiments.ThresholdTable(rows))
+	}
+
+	if all || exp == "locality" {
+		ran = true
+		rows, err := experiments.LocalityUnderCrash(25)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, experiments.LocalityTable(rows))
+	}
+
+	if all || exp == "baselines" {
+		ran = true
+		for _, cfg := range [][2]int{{2, 2}, {4, 2}, {8, 2}} {
+			rows, err := experiments.CompareCollectors(cfg[0], cfg[1])
+			if err != nil {
+				return nil, err
+			}
+			tables = append(tables, experiments.CompareTable(cfg[0], cfg[1], rows))
+		}
+	}
+
+	if all || exp == "timeline" {
+		ran = true
+		rows := experiments.Timeline([]int{2, 4, 8, 16}, 3, 7)
+		tables = append(tables, experiments.TimelineTable(rows))
+	}
+
+	if all || exp == "overlap" {
+		ran = true
+		rows := experiments.Overlap([]int{2, 4, 8})
+		tables = append(tables, experiments.OverlapTable(rows))
+	}
+
+	if all || exp == "hypertext" {
+		ran = true
+		var rows []experiments.HypertextRow
+		for _, docs := range []int{6, 12, 24} {
+			row, err := experiments.Hypertext(docs, 6, 42)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+		tables = append(tables, experiments.HypertextTable(rows))
+	}
+
+	if !ran {
+		return nil, fmt.Errorf("unknown experiment %q", exp)
+	}
+	return tables, nil
+}

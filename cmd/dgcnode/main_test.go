@@ -1,0 +1,47 @@
+package main
+
+import (
+	"testing"
+
+	"backtrace/internal/ids"
+)
+
+func TestParsePeers(t *testing.T) {
+	addrs, err := parsePeers("1=host1:7001, 2=host2:7002,3=:7003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[ids.SiteID]string{1: "host1:7001", 2: "host2:7002", 3: ":7003"}
+	if len(addrs) != len(want) {
+		t.Fatalf("addrs = %v", addrs)
+	}
+	for id, addr := range want {
+		if addrs[id] != addr {
+			t.Errorf("addrs[%v] = %q, want %q", id, addrs[id], addr)
+		}
+	}
+}
+
+func TestParsePeersEmpty(t *testing.T) {
+	addrs, err := parsePeers("")
+	if err != nil || len(addrs) != 0 {
+		t.Fatalf("empty list: %v, %v", addrs, err)
+	}
+}
+
+func TestParsePeersErrors(t *testing.T) {
+	for _, bad := range []string{"nonsense", "x=host:1", "1", "=addr"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunDemoSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP demo skipped in -short mode")
+	}
+	if err := runDemo(2); err != nil {
+		t.Fatal(err)
+	}
+}

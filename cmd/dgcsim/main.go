@@ -1,0 +1,172 @@
+// Command dgcsim runs the back-tracing collector over a chosen workload on
+// a simulated multi-site cluster and prints per-round progress and final
+// statistics.
+//
+// Usage:
+//
+//	dgcsim -workload ring -sites 4
+//	dgcsim -workload hypertext -sites 6 -docs 12 -seed 7 -v
+//	dgcsim -workload random -sites 8 -objects 500 -latency 2ms -drop 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"backtrace"
+	"backtrace/internal/cluster"
+	"backtrace/internal/event"
+	"backtrace/internal/viz"
+	"backtrace/internal/workload"
+)
+
+func main() {
+	var (
+		kind    = flag.String("workload", "ring", "workload: ring, chain, dense, random, hypertext")
+		sites   = flag.Int("sites", 4, "number of sites")
+		objects = flag.Int("objects", 200, "objects (random workload)")
+		docs    = flag.Int("docs", 10, "documents (hypertext workload)")
+		seed    = flag.Int64("seed", 1, "workload and network seed")
+		rounds  = flag.Int("rounds", 60, "maximum collection rounds")
+		thresh  = flag.Int("threshold", 3, "suspicion threshold T")
+		backT   = flag.Int("back-threshold", 7, "back threshold T2")
+		latency = flag.Duration("latency", 0, "network latency (0 = deterministic stepped mode)")
+		jitter  = flag.Duration("jitter", 0, "network jitter")
+		drop    = flag.Float64("drop", 0, "message drop probability")
+		algo    = flag.String("outsets", "bottom-up", "outset algorithm: bottom-up or independent")
+		verbose = flag.Bool("v", false, "per-round progress")
+		events  = flag.Int("events", 0, "print the last N collector events")
+		dotPath = flag.String("dot", "", "write a Graphviz DOT snapshot of the final state to this file")
+	)
+	flag.Parse()
+
+	if err := run(*kind, *sites, *objects, *docs, *seed, *rounds, *thresh, *backT,
+		*latency, *jitter, *drop, *algo, *verbose, *events, *dotPath); err != nil {
+		fmt.Fprintln(os.Stderr, "dgcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, sites, objects, docs int, seed int64, rounds, thresh, backT int,
+	latency, jitter time.Duration, drop float64, algoName string, verbose bool, eventTail int,
+	dotPath string) error {
+
+	var spec workload.Spec
+	switch kind {
+	case "ring":
+		spec = workload.Ring(sites)
+	case "chain":
+		spec = workload.Chain(sites, false)
+	case "dense":
+		spec = workload.DenseCycle(sites, 4, sites, seed)
+	case "random":
+		spec = workload.RandomGraph(workload.RandomConfig{
+			Sites: sites, Objects: objects, AvgOut: 2,
+			RemoteProb: 0.15, Roots: sites, Seed: seed,
+		})
+	case "hypertext":
+		spec = workload.HypertextWeb(workload.HypertextConfig{
+			Sites: sites, Docs: docs, PagesPerDoc: 6,
+			CrossLinks: docs, LiveFrac: 0.5, Seed: seed,
+		})
+	default:
+		return fmt.Errorf("unknown workload %q", kind)
+	}
+
+	algo := backtrace.AlgoBottomUp
+	if algoName == "independent" {
+		algo = backtrace.AlgoIndependent
+	}
+
+	var log *event.Log
+	if eventTail > 0 {
+		log = event.NewLog(4096)
+	}
+	c := cluster.New(cluster.Options{
+		NumSites:           sites,
+		SuspicionThreshold: thresh,
+		BackThreshold:      backT,
+		ThresholdBump:      4,
+		OutsetAlgorithm:    algo,
+		AutoBackTrace:      true,
+		Latency:            latency,
+		Jitter:             jitter,
+		// Loss is enabled only after the workload is built: the build
+		// protocol is the experiment's setup, not its subject.
+		Seed:          seed,
+		CallTimeout:   500 * time.Millisecond,
+		ReportTimeout: 2 * time.Second,
+		Events:        log,
+	})
+	defer c.Close()
+
+	refs, err := workload.Build(c, spec)
+	if err != nil {
+		return err
+	}
+	garbage := c.GarbageCount()
+	fmt.Printf("workload %s: %d objects on %d sites, %d inter-site refs, %d garbage\n",
+		spec.Name, len(refs), sites, spec.InterSiteEdges(), garbage)
+	if drop > 0 {
+		c.Net().SetDropProb(drop)
+		fmt.Printf("message loss enabled: %.0f%% per message\n", drop*100)
+	}
+
+	start := time.Now()
+	totalCollected := 0
+	round := 0
+	for ; round < rounds && c.GarbageCount() > 0; round++ {
+		collected := 0
+		traces := 0
+		for _, rep := range c.RunRound() {
+			collected += rep.Collected
+			traces += rep.BackTracesStarted
+		}
+		c.CheckAllTimeouts()
+		totalCollected += collected
+		if verbose {
+			fmt.Printf("round %3d: collected %-4d back-traces %-3d objects-left %d\n",
+				round+1, collected, traces, c.TotalObjects())
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("\ncollected %d/%d garbage objects in %d rounds (%v)\n",
+		totalCollected, garbage, round, elapsed.Round(time.Millisecond))
+	if g := c.GarbageCount(); g > 0 {
+		fmt.Printf("WARNING: %d garbage objects remain (raise -rounds)\n", g)
+	}
+	fmt.Printf("%d live objects remain\n", c.TotalObjects())
+
+	snap := c.Counters().Snapshot()
+	fmt.Printf("\nback traces: %d started, %d garbage, %d live\n",
+		snap["backtrace.started"], snap["backtrace.outcome.garbage"], snap["backtrace.outcome.live"])
+	fmt.Printf("messages:    %d total (BackCall %d, BackReply %d, Report %d, Update %d, dropped %d)\n",
+		snap["msg.total"], snap["msg.BackCall"], snap["msg.BackReply"],
+		snap["msg.Report"], snap["msg.Update"], snap["msg.dropped"])
+	fmt.Printf("local GC:    %d traces, %d objects scanned, %d collected\n",
+		snap["localtrace.runs"], snap["localtrace.objects"], snap["localtrace.collected"])
+	fmt.Printf("outsets:     %d unions (%d memoized), peak back info %d pairs\n",
+		snap["outsets.unions"], snap["outsets.unions.memoized"], snap["backinfo.peak"])
+
+	if dotPath != "" {
+		if err := os.WriteFile(dotPath, []byte(viz.ClusterDOT(c)), 0o644); err != nil {
+			return fmt.Errorf("write dot: %w", err)
+		}
+		fmt.Printf("\nDOT snapshot written to %s (render with: dot -Tsvg %s)\n", dotPath, dotPath)
+	}
+
+	if log != nil {
+		all := log.Snapshot()
+		if len(all) > eventTail {
+			all = all[len(all)-eventTail:]
+		}
+		fmt.Printf("\nlast %d collector events (%d evicted):\n", len(all), log.Dropped())
+		for _, e := range all {
+			fmt.Println(" ", e)
+		}
+	}
+	return nil
+}

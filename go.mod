@@ -1,0 +1,3 @@
+module backtrace
+
+go 1.22

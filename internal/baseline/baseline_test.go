@@ -1,0 +1,351 @@
+package baseline
+
+import (
+	"testing"
+
+	"backtrace/internal/ids"
+	"backtrace/internal/workload"
+)
+
+func mustWorld(t *testing.T, spec workload.Spec) (*World, []ids.Ref) {
+	t.Helper()
+	w, refs, err := FromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, refs
+}
+
+func TestFromSpecAudit(t *testing.T) {
+	w, refs := mustWorld(t, workload.RootedRing(3))
+	if w.TotalObjects() != 4 {
+		t.Fatalf("objects = %d, want 4", w.TotalObjects())
+	}
+	if g := w.GarbageCount(); g != 0 {
+		t.Fatalf("rooted ring garbage = %d, want 0", g)
+	}
+	if len(refs) != 4 {
+		t.Fatalf("refs = %d", len(refs))
+	}
+
+	w2, _ := mustWorld(t, workload.Ring(3))
+	if g := w2.GarbageCount(); g != 3 {
+		t.Fatalf("ring garbage = %d, want 3", g)
+	}
+}
+
+func TestLocalOnlyCollectsAcyclicGarbage(t *testing.T) {
+	w, _ := mustWorld(t, workload.Chain(4, false))
+	st := Run(w, NewLocalOnly(w), 10)
+	if st.Collected != 4 {
+		t.Fatalf("local-only collected %d of an acyclic chain, want 4", st.Collected)
+	}
+
+	// Live cross-site references cost update messages every round.
+	w2, _ := mustWorld(t, workload.RootedRing(3))
+	lo := NewLocalOnly(w2)
+	lo.Step()
+	if w2.Messages == 0 {
+		t.Fatal("no update messages charged for live inter-site references")
+	}
+}
+
+func TestLocalOnlyNeverCollectsCycles(t *testing.T) {
+	w, _ := mustWorld(t, workload.Ring(3))
+	lo := NewLocalOnly(w)
+	for i := 0; i < 30; i++ {
+		lo.Step()
+	}
+	if g := w.GarbageCount(); g != 3 {
+		t.Fatalf("local-only changed cycle garbage: %d, want 3 (cycles are uncollectable)", g)
+	}
+}
+
+func TestLocalOnlyPreservesLiveObjects(t *testing.T) {
+	w, refs := mustWorld(t, workload.RootedRing(4))
+	lo := NewLocalOnly(w)
+	for i := 0; i < 10; i++ {
+		lo.Step()
+	}
+	for _, r := range refs {
+		if _, ok := w.Objects[r]; !ok {
+			t.Fatalf("live object %v collected by local-only", r)
+		}
+	}
+}
+
+func TestMigrationCollectsCycle(t *testing.T) {
+	for _, n := range []int{2, 3, 5} {
+		w, _ := mustWorld(t, workload.Ring(n))
+		m := NewMigration(w, 3)
+		st := Run(w, m, 40)
+		if st.Collected != n {
+			t.Fatalf("n=%d: migration collected %d, want %d", n, st.Collected, n)
+		}
+		if m.Migrations == 0 {
+			t.Fatalf("n=%d: no migrations performed", n)
+		}
+		if m.BytesMoved == 0 {
+			t.Fatalf("n=%d: no bytes moved", n)
+		}
+		if st.Bytes < m.BytesMoved {
+			t.Fatalf("n=%d: byte accounting inconsistent: %d < %d", n, st.Bytes, m.BytesMoved)
+		}
+	}
+}
+
+func TestMigrationPreservesLiveObjects(t *testing.T) {
+	// Live suspects may be migrated (wasted work) but never collected.
+	w, _ := mustWorld(t, workload.RootedRing(5))
+	m := NewMigration(w, 2)
+	for i := 0; i < 20; i++ {
+		m.Step()
+	}
+	if g := w.GarbageCount(); g != 0 {
+		t.Fatalf("audit disagrees: %d", g)
+	}
+	// All 6 objects (ring + root) must still exist, possibly migrated.
+	if w.TotalObjects() != 6 {
+		t.Fatalf("objects = %d, want 6 (live objects lost or duplicated)", w.TotalObjects())
+	}
+}
+
+func TestHughesCollectsEverything(t *testing.T) {
+	spec := workload.Ring(3)
+	w, _ := mustWorld(t, spec)
+	h := NewHughes(w)
+	st := Run(w, h, 10)
+	if st.Collected != 3 {
+		t.Fatalf("hughes collected %d, want 3", st.Collected)
+	}
+	if st.SitesInvolved != 3 {
+		t.Fatalf("hughes involved %d sites, want all 3 (global algorithm)", st.SitesInvolved)
+	}
+}
+
+func TestHughesPreservesLiveObjects(t *testing.T) {
+	w, refs := mustWorld(t, workload.RootedRing(4))
+	h := NewHughes(w)
+	for i := 0; i < 10; i++ {
+		h.Step()
+	}
+	for _, r := range refs {
+		if _, ok := w.Objects[r]; !ok {
+			t.Fatalf("live object %v collected by hughes", r)
+		}
+	}
+}
+
+func TestHughesSlowSiteStallsCollection(t *testing.T) {
+	// The global threshold is a minimum over all sites: a slow site that
+	// traces every 6th round stalls collection EVERYWHERE — even of
+	// garbage it does not contain (no locality). Compare the localized
+	// algorithms, which are unaffected.
+	spec := workload.Ring(3) // garbage on sites 1-3
+	spec.Sites = 4           // site 4 exists but holds nothing
+	w, _ := mustWorld(t, spec)
+	h := NewHughes(w)
+	h.SlowSite = 4
+	h.SlowEvery = 6
+
+	for i := 1; i <= 5; i++ {
+		h.Step()
+		if w.GarbageCount() != 3 {
+			t.Fatalf("round %d: hughes collected despite stalled threshold", i)
+		}
+	}
+	h.Step() // round 6: the slow site finally traces
+	h.Step() // threshold advances past the garbage timestamps
+	if g := w.GarbageCount(); g != 0 {
+		t.Fatalf("garbage = %d after slow site caught up, want 0", g)
+	}
+}
+
+func TestGroupTraceCollectsCycle(t *testing.T) {
+	w, _ := mustWorld(t, workload.Ring(4))
+	g := NewGroupTrace(w, 3)
+	st := Run(w, g, 20)
+	if st.Collected != 4 {
+		t.Fatalf("group-trace collected %d, want 4", st.Collected)
+	}
+	if g.GroupTraces == 0 {
+		t.Fatal("no group traces ran")
+	}
+	if g.LastGroupSize == 0 || g.LastGroupSize > 4 {
+		t.Fatalf("group size = %d", g.LastGroupSize)
+	}
+}
+
+func TestGroupTraceDragsInLiveSites(t *testing.T) {
+	// A garbage cycle on sites 1-2 pointing at a live chain that extends
+	// to sites 3 and 4: the group must include the live chain's sites —
+	// the locality drawback the paper cites.
+	spec := workload.Ring(2)
+	spec.Sites = 4
+	// Live chain: root on 3 -> chain object on 4.
+	rootIdx := len(spec.Objects)
+	spec.Objects = append(spec.Objects, workload.ObjSpec{Site: 3, Root: true})
+	chainIdx := len(spec.Objects)
+	spec.Objects = append(spec.Objects, workload.ObjSpec{Site: 4})
+	spec.Edges = append(spec.Edges, [2]int{rootIdx, chainIdx})
+	// The cycle points at the live chain object.
+	spec.Edges = append(spec.Edges, [2]int{0, chainIdx})
+
+	w, refs := mustWorld(t, spec)
+	g := NewGroupTrace(w, 3)
+	st := Run(w, g, 20)
+	if st.Collected != 2 {
+		t.Fatalf("collected %d, want the 2 cycle members", st.Collected)
+	}
+	if g.LastGroupSize < 3 {
+		t.Fatalf("group size = %d, want >= 3 (live chain dragged in)", g.LastGroupSize)
+	}
+	for _, r := range refs[2:] {
+		if _, ok := w.Objects[r]; !ok {
+			t.Fatalf("live object %v collected by group trace", r)
+		}
+	}
+}
+
+func TestGroupTraceSimultaneousInitiationFails(t *testing.T) {
+	// The paper's cited drawback: when every cycle site initiates its own
+	// group at once, the groups partition the cycle and each sees the
+	// others' references as roots — the cycle is never collected.
+	w, _ := mustWorld(t, workload.Ring(3))
+	g := NewGroupTrace(w, 3)
+	// Warm up distances so EVERY site holds suspects — the precondition
+	// for simultaneous initiation (before that, a lone early initiator
+	// forms an uncontended group and succeeds, which is also reality).
+	for i := 0; i < 6; i++ {
+		g.gc.round()
+	}
+	for i := 0; i < 20; i++ {
+		g.StepSimultaneous()
+	}
+	if got := w.GarbageCount(); got != 3 {
+		t.Fatalf("simultaneous groups collected the cycle (garbage=%d); the modeled drawback is gone", got)
+	}
+
+	// The coordinated formation collects it fine — coordination is
+	// load-bearing for group tracing (back tracing needs none, §4.7).
+	w2, _ := mustWorld(t, workload.Ring(3))
+	g2 := NewGroupTrace(w2, 3)
+	st := Run(w2, g2, 20)
+	if st.Collected != 3 {
+		t.Fatalf("coordinated group trace collected %d, want 3", st.Collected)
+	}
+}
+
+func TestGroupTraceSimultaneousIsStillSafe(t *testing.T) {
+	// Failing to collect is the drawback; collecting a LIVE object would
+	// be a bug. Partitioned groups must stay safe.
+	w, refs := mustWorld(t, workload.RootedRing(4))
+	g := NewGroupTrace(w, 1)
+	for i := 0; i < 15; i++ {
+		g.StepSimultaneous()
+	}
+	for _, r := range refs {
+		if _, ok := w.Objects[r]; !ok {
+			t.Fatalf("live object %v collected by simultaneous groups", r)
+		}
+	}
+}
+
+func TestGroupTracePreservesLiveCycle(t *testing.T) {
+	w, refs := mustWorld(t, workload.RootedRing(3))
+	g := NewGroupTrace(w, 1) // aggressive threshold: live suspects likely
+	for i := 0; i < 15; i++ {
+		g.Step()
+	}
+	for _, r := range refs {
+		if _, ok := w.Objects[r]; !ok {
+			t.Fatalf("live object %v collected", r)
+		}
+	}
+}
+
+func TestWeightedRCCollectsAcyclicGarbage(t *testing.T) {
+	w, _ := mustWorld(t, workload.Chain(4, false))
+	c := NewWeightedRC(w)
+	st := Run(w, c, 12)
+	if st.Collected != 4 {
+		t.Fatalf("wrc collected %d of an acyclic chain, want 4", st.Collected)
+	}
+	if c.Decrements == 0 {
+		t.Fatal("no weight-return messages charged")
+	}
+}
+
+func TestWeightedRCNeverCollectsCycles(t *testing.T) {
+	w, _ := mustWorld(t, workload.Ring(3))
+	c := NewWeightedRC(w)
+	for i := 0; i < 30; i++ {
+		c.Step()
+	}
+	if g := w.GarbageCount(); g != 3 {
+		t.Fatalf("wrc changed cycle garbage: %d, want 3", g)
+	}
+}
+
+func TestWeightedRCPreservesLiveAndIdlesCheaply(t *testing.T) {
+	w, refs := mustWorld(t, workload.RootedRing(4))
+	c := NewWeightedRC(w)
+	for i := 0; i < 5; i++ {
+		c.Step()
+	}
+	for _, r := range refs {
+		if _, ok := w.Objects[r]; !ok {
+			t.Fatalf("live object %v collected by wrc", r)
+		}
+	}
+	// Steady state with no deletions: zero messages (the property that
+	// makes WRC attractive despite its other limitations).
+	before := w.Messages
+	for i := 0; i < 5; i++ {
+		c.Step()
+	}
+	if w.Messages != before {
+		t.Fatalf("wrc sent %d messages while idle, want 0", w.Messages-before)
+	}
+	// Contrast: reference listing pays updates every round.
+	w2, _ := mustWorld(t, workload.RootedRing(4))
+	lo := NewLocalOnly(w2)
+	lo.Step()
+	base := w2.Messages
+	lo.Step()
+	if w2.Messages == base {
+		t.Fatal("reference listing sent no per-round updates (contrast broken)")
+	}
+}
+
+func TestWeightedRCDeletionSendsDecrements(t *testing.T) {
+	w, refs := mustWorld(t, workload.Chain(3, true))
+	c := NewWeightedRC(w)
+	c.Step() // learn the holds
+	// Unroot the chain: the orphaned copies unwind link by link, each
+	// returning its weight to the owner.
+	root := w.Objects[refs[3]]
+	root.Fields = nil
+	st := Run(w, c, 12)
+	if st.Collected != 3 {
+		t.Fatalf("collected %d after unrooting, want 3", st.Collected)
+	}
+	if c.Decrements == 0 {
+		t.Fatal("no decrements after deletion")
+	}
+}
+
+func TestRunStatsAccounting(t *testing.T) {
+	w, _ := mustWorld(t, workload.Ring(3))
+	w.ResetAccounting()
+	st := Run(w, NewMigration(w, 3), 40)
+	if st.Name != "migration" || st.Rounds == 0 || st.Collected != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Messages == 0 || st.Bytes == 0 || st.SitesInvolved == 0 {
+		t.Fatalf("cost accounting empty: %+v", st)
+	}
+	if st.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}

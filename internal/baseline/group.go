@@ -1,0 +1,230 @@
+package baseline
+
+import (
+	"sort"
+
+	"backtrace/internal/ids"
+)
+
+// GroupTrace implements group tracing [LQP92, MKI+95, RJ96] as a
+// comparator: when the distance heuristic produces suspects, the sites
+// holding objects forward-reachable from any suspect form a group, and a
+// group-wide mark phase — treating references from outside the group as
+// roots — collects every cycle contained in the group.
+//
+// The properties the comparison exposes: the group can be much larger than
+// the cycle (a garbage cycle may point to chains of live objects, dragging
+// their sites in — no locality), and the group-wide trace charges messages
+// on every inter-site reference inside the group, not just the cycle's.
+type GroupTrace struct {
+	w  *World
+	gc *localGC
+	// threshold is the distance-heuristic suspicion threshold.
+	threshold int
+	// LastGroupSize records the size of the most recent group formed.
+	LastGroupSize int
+	// GroupTraces counts group-wide traces performed.
+	GroupTraces int64
+}
+
+// NewGroupTrace builds the collector.
+func NewGroupTrace(w *World, threshold int) *GroupTrace {
+	return &GroupTrace{w: w, gc: newLocalGC(w), threshold: threshold}
+}
+
+// Name implements Collector.
+func (g *GroupTrace) Name() string { return "group-trace" }
+
+// Step implements Collector: one local-tracing round; if suspects exist,
+// form a group around them and run one group-wide mark-sweep.
+func (g *GroupTrace) Step() int {
+	collected := g.gc.round()
+
+	var suspects []ids.Ref
+	for r := range g.w.Objects {
+		if len(g.gc.dist[r]) > 0 && g.gc.inrefDistance(r) > g.threshold {
+			suspects = append(suspects, r)
+		}
+	}
+	if len(suspects) == 0 {
+		return collected
+	}
+	sort.Slice(suspects, func(i, j int) bool { return suspects[i].Less(suspects[j]) })
+	collected += g.groupCollect(suspects)
+	return collected
+}
+
+// StepSimultaneous models the drawback the paper cites for this family:
+// "multiple sites on the same cycle may initiate separate groups
+// simultaneously, which would fail to collect the cycle." Each suspect
+// site initiates its own group at the same instant; a site can belong to
+// only one group, so each initiator's group is its closure MINUS the other
+// initiators' home sites. Every group then sees the rest of the cycle as
+// external references — roots — and collects nothing.
+//
+// Contrast Section 4.7: simultaneous back traces on one cycle are merely
+// redundant, never incorrect, because they share no state.
+func (g *GroupTrace) StepSimultaneous() int {
+	collected := g.gc.round()
+
+	// Suspects grouped by initiating site.
+	bySite := make(map[ids.SiteID][]ids.Ref)
+	for r := range g.w.Objects {
+		if len(g.gc.dist[r]) > 0 && g.gc.inrefDistance(r) > g.threshold {
+			bySite[r.Site] = append(bySite[r.Site], r)
+		}
+	}
+	if len(bySite) == 0 {
+		return collected
+	}
+	initiators := make(map[ids.SiteID]struct{}, len(bySite))
+	for s := range bySite {
+		initiators[s] = struct{}{}
+	}
+	sites := make([]ids.SiteID, 0, len(bySite))
+	for s := range bySite {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	for _, s := range sites {
+		suspects := bySite[s]
+		sort.Slice(suspects, func(i, j int) bool { return suspects[i].Less(suspects[j]) })
+		exclude := make(map[ids.SiteID]struct{}, len(initiators)-1)
+		for other := range initiators {
+			if other != s {
+				exclude[other] = struct{}{}
+			}
+		}
+		collected += g.groupCollectExcluding(suspects, exclude)
+	}
+	return collected
+}
+
+// groupCollect forms the group reachable from the suspects and runs a
+// group-wide trace with external references as roots.
+func (g *GroupTrace) groupCollect(suspects []ids.Ref) int {
+	return g.groupCollectExcluding(suspects, nil)
+}
+
+// groupCollectExcluding is groupCollect with some sites barred from
+// joining the group (they belong to a concurrently formed group).
+func (g *GroupTrace) groupCollectExcluding(suspects []ids.Ref, exclude map[ids.SiteID]struct{}) int {
+	w := g.w
+
+	// Group membership: every site holding an object forward-reachable
+	// from a suspect (the group "consists of sites reached transitively
+	// from some objects suspected to be cyclic garbage").
+	groupSites := make(map[ids.SiteID]struct{})
+	reach := make(map[ids.Ref]struct{})
+	var stack []ids.Ref
+	push := func(r ids.Ref) {
+		if _, ok := w.Objects[r]; !ok {
+			return
+		}
+		if _, barred := exclude[r.Site]; barred {
+			return // that site already joined a concurrent group
+		}
+		if _, ok := reach[r]; ok {
+			return
+		}
+		reach[r] = struct{}{}
+		groupSites[r.Site] = struct{}{}
+		stack = append(stack, r)
+	}
+	for _, s := range suspects {
+		push(s)
+	}
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range w.Objects[r].Fields {
+			push(f)
+		}
+	}
+	g.LastGroupSize = len(groupSites)
+	g.GroupTraces++
+
+	// Coordination: form and disband the group (round trip per member).
+	coord := ids.NoSite
+	for s := range groupSites {
+		if coord == ids.NoSite || s < coord {
+			coord = s
+		}
+	}
+	for s := range groupSites {
+		w.message(coord, s, ctrlMsgSize)
+		w.message(s, coord, ctrlMsgSize)
+	}
+
+	inGroup := func(s ids.SiteID) bool {
+		_, ok := groupSites[s]
+		return ok
+	}
+
+	// Roots of the group trace: persistent roots on group sites, plus
+	// group objects referenced from outside the group.
+	inbound := w.inboundRemote()
+	marked := make(map[ids.Ref]struct{})
+	var mstack []ids.Ref
+	mark := func(r ids.Ref) {
+		if _, ok := w.Objects[r]; !ok {
+			return
+		}
+		if !inGroup(r.Site) {
+			return
+		}
+		if _, ok := marked[r]; ok {
+			return
+		}
+		marked[r] = struct{}{}
+		mstack = append(mstack, r)
+	}
+	for r, o := range w.Objects {
+		if !inGroup(r.Site) {
+			continue
+		}
+		if o.Root {
+			mark(r)
+			continue
+		}
+		for s := range inbound[r] {
+			if !inGroup(s) {
+				mark(r)
+				break
+			}
+		}
+	}
+	for len(mstack) > 0 {
+		r := mstack[len(mstack)-1]
+		mstack = mstack[:len(mstack)-1]
+		for _, f := range w.Objects[r].Fields {
+			if f.Site != r.Site && inGroup(f.Site) {
+				// A marking message crosses this inter-site reference
+				// and is acknowledged.
+				w.message(r.Site, f.Site, ctrlMsgSize)
+				w.message(f.Site, r.Site, ctrlMsgSize)
+			}
+			mark(f)
+		}
+	}
+
+	// Sweep unmarked group objects.
+	collected := 0
+	var toDelete []ids.Ref
+	for r := range w.Objects {
+		if !inGroup(r.Site) {
+			continue
+		}
+		if _, ok := marked[r]; !ok {
+			toDelete = append(toDelete, r)
+		}
+	}
+	for _, r := range toDelete {
+		w.delete(r)
+		delete(g.gc.dist, r)
+		collected++
+	}
+	return collected
+}
+
+var _ Collector = (*GroupTrace)(nil)

@@ -1,0 +1,175 @@
+package baseline
+
+import (
+	"backtrace/internal/ids"
+)
+
+// Hughes implements Hughes's distributed timestamp-propagation collector
+// [Hug85] as a comparator. Every local trace stamps reachable objects with
+// the trace's time; timestamps flow along inter-site references; a global
+// threshold — the minimum over all sites of their last completed trace
+// time — bounds the timestamps garbage can have, and objects stamped below
+// it are collected.
+//
+// The property the comparison exposes: the threshold is a global minimum,
+// so one slow (or crashed) site holds it down and stalls collection at
+// EVERY site — Hughes has no locality. Configure SlowSite/SlowEvery to
+// demonstrate it.
+type Hughes struct {
+	w *World
+	// ts is each object's current timestamp; objects start at 0.
+	ts map[ids.Ref]int
+	// tsIn is the timestamp received for an object over inbound
+	// inter-site references (max over senders).
+	tsIn map[ids.Ref]int
+	// lastTrace is each site's last completed trace time.
+	lastTrace map[ids.SiteID]int
+	round     int
+
+	// SlowSite, if nonzero, only traces every SlowEvery rounds.
+	SlowSite  ids.SiteID
+	SlowEvery int
+
+	// Collections counts objects reclaimed.
+	Collections int64
+}
+
+// NewHughes builds the collector.
+func NewHughes(w *World) *Hughes {
+	h := &Hughes{
+		w:         w,
+		ts:        make(map[ids.Ref]int, len(w.Objects)),
+		tsIn:      make(map[ids.Ref]int),
+		lastTrace: make(map[ids.SiteID]int, len(w.Sites)),
+	}
+	for r := range w.Objects {
+		h.ts[r] = 0
+	}
+	return h
+}
+
+// Name implements Collector.
+func (h *Hughes) Name() string { return "hughes" }
+
+// Step implements Collector: every (non-slow) site traces and propagates
+// timestamps, the global threshold is computed, and everything stamped
+// below it is collected.
+func (h *Hughes) Step() int {
+	h.round++
+	for _, site := range h.w.Sites {
+		if site == h.SlowSite && h.SlowEvery > 1 && h.round%h.SlowEvery != 0 {
+			continue // the slow site skips this round
+		}
+		h.traceSite(site)
+	}
+
+	// Global threshold: minimum last-trace time over ALL sites. Charge
+	// the coordination round-trip per site.
+	threshold := int(^uint(0) >> 1)
+	for _, site := range h.w.Sites {
+		if t := h.lastTrace[site]; t < threshold {
+			threshold = t
+		}
+		h.w.message(site, h.w.Sites[0], ctrlMsgSize)
+		h.w.message(h.w.Sites[0], site, ctrlMsgSize)
+	}
+
+	collected := 0
+	for r := range h.w.Objects {
+		if h.ts[r] < threshold {
+			h.w.delete(r)
+			delete(h.ts, r)
+			delete(h.tsIn, r)
+			collected++
+		}
+	}
+	h.Collections += int64(collected)
+	return collected
+}
+
+// traceSite propagates timestamps through one site: local roots stamp the
+// current time, inbound references stamp their received timestamps, and
+// the maxima flow to local objects and out over inter-site references.
+func (h *Hughes) traceSite(site ids.SiteID) {
+	w := h.w
+	w.touch(site)
+
+	// Multi-source max propagation: process sources in descending
+	// timestamp order with single marking — the first stamp an object
+	// receives is its maximum.
+	type src struct {
+		r ids.Ref
+		t int
+	}
+	var sources []src
+	for _, r := range w.objectsAt(site) {
+		o := w.Objects[r]
+		if o.Root {
+			sources = append(sources, src{r: r, t: h.round})
+			continue
+		}
+		if t, ok := h.tsIn[r]; ok {
+			sources = append(sources, src{r: r, t: t})
+		}
+	}
+	// Descending by timestamp.
+	for i := 0; i < len(sources); i++ {
+		for j := i + 1; j < len(sources); j++ {
+			if sources[j].t > sources[i].t ||
+				(sources[j].t == sources[i].t && sources[j].r.Less(sources[i].r)) {
+				sources[i], sources[j] = sources[j], sources[i]
+			}
+		}
+	}
+
+	stamped := make(map[ids.Ref]struct{})
+	outTS := make(map[ids.Ref]int)
+	var stack []ids.Ref
+	for _, s := range sources {
+		if _, ok := stamped[s.r]; ok {
+			continue
+		}
+		stamped[s.r] = struct{}{}
+		if s.t > h.ts[s.r] {
+			h.ts[s.r] = s.t
+		}
+		stack = append(stack[:0], s.r)
+		for len(stack) > 0 {
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, f := range w.Objects[r].Fields {
+				if _, ok := w.Objects[f]; !ok {
+					continue
+				}
+				if f.Site != site {
+					if cur, ok := outTS[f]; !ok || s.t > cur {
+						outTS[f] = s.t
+					}
+					continue
+				}
+				if _, ok := stamped[f]; !ok {
+					stamped[f] = struct{}{}
+					if s.t > h.ts[f] {
+						h.ts[f] = s.t
+					}
+					stack = append(stack, f)
+				}
+			}
+		}
+	}
+
+	// Ship timestamps to target sites (one batched message per site).
+	targets := make(map[ids.SiteID]struct{})
+	for f, t := range outTS {
+		targets[f.Site] = struct{}{}
+		if cur, ok := h.tsIn[f]; !ok || t > cur {
+			h.tsIn[f] = t
+		}
+	}
+	for t := range targets {
+		w.message(site, t, ctrlMsgSize)
+	}
+	h.lastTrace[site] = h.round
+}
+
+var _ Collector = (*Hughes)(nil)

@@ -1,0 +1,188 @@
+package baseline
+
+import (
+	"sort"
+
+	"backtrace/internal/ids"
+	"backtrace/internal/refs"
+)
+
+// ctrlMsgSize is the nominal payload of a control message (updates,
+// patches, timestamps, coordination) for byte accounting.
+const ctrlMsgSize = 16
+
+// localGC is the shared substrate of the baseline collectors: per-site
+// local tracing with inter-site reference listing and the distance
+// heuristic (Sections 2–3 of the paper), over a World. Source lists are
+// derived omnisciently; distance estimates persist across rounds and are
+// exchanged in per-site-pair update messages, which are charged.
+type localGC struct {
+	w *World
+	// dist holds the inref distance estimates: target object -> source
+	// site -> estimated distance.
+	dist map[ids.Ref]map[ids.SiteID]int
+}
+
+func newLocalGC(w *World) *localGC {
+	return &localGC{w: w, dist: make(map[ids.Ref]map[ids.SiteID]int)}
+}
+
+// inrefDistance returns the current distance estimate of an object's inref
+// (minimum over sources), or 0 if the object has no remote holders.
+func (g *localGC) inrefDistance(r ids.Ref) int {
+	srcs := g.dist[r]
+	if len(srcs) == 0 {
+		return 0
+	}
+	d := refs.DistInfinity
+	for _, v := range srcs {
+		if v < d {
+			d = v
+		}
+	}
+	return d
+}
+
+// round performs one local trace at every site, including distance
+// propagation and update messages, and returns the objects collected.
+func (g *localGC) round() int {
+	collected := 0
+	for _, site := range g.w.Sites {
+		collected += g.traceSite(site)
+	}
+	return collected
+}
+
+// traceSite performs one local trace at a site: mark from persistent roots
+// (distance 0) and inrefs (their estimated distances) in ascending
+// distance order, propagate distances to outbound references, send update
+// messages, and sweep unmarked local objects.
+func (g *localGC) traceSite(site ids.SiteID) int {
+	w := g.w
+	w.touch(site)
+	inbound := w.inboundRemote()
+
+	// Refresh source lists: adopt new sources at distance 1, drop stale.
+	for _, r := range w.objectsAt(site) {
+		srcs := inbound[r]
+		cur := g.dist[r]
+		if len(srcs) == 0 {
+			delete(g.dist, r)
+			continue
+		}
+		if cur == nil {
+			cur = make(map[ids.SiteID]int, len(srcs))
+			g.dist[r] = cur
+		}
+		for s := range srcs {
+			if _, ok := cur[s]; !ok {
+				cur[s] = 1
+			}
+		}
+		for s := range cur {
+			if _, ok := srcs[s]; !ok {
+				delete(cur, s)
+			}
+		}
+	}
+
+	// Roots in ascending distance order.
+	type root struct {
+		r ids.Ref
+		d int
+	}
+	var roots []root
+	for _, r := range w.objectsAt(site) {
+		o := w.Objects[r]
+		if o.Root {
+			roots = append(roots, root{r: r, d: 0})
+			continue
+		}
+		if len(g.dist[r]) > 0 {
+			roots = append(roots, root{r: r, d: g.inrefDistance(r)})
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		if roots[i].d != roots[j].d {
+			return roots[i].d < roots[j].d
+		}
+		return roots[i].r.Less(roots[j].r)
+	})
+
+	marked := make(map[ids.Ref]struct{})
+	outDist := make(map[ids.Ref]int) // remote target -> propagated distance
+	var stack []ids.Ref
+	for _, rt := range roots {
+		if _, ok := marked[rt.r]; ok {
+			continue
+		}
+		marked[rt.r] = struct{}{}
+		stack = append(stack[:0], rt.r)
+		for len(stack) > 0 {
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, f := range w.Objects[r].Fields {
+				if _, ok := w.Objects[f]; !ok {
+					continue
+				}
+				if f.Site != site {
+					if _, ok := outDist[f]; !ok {
+						outDist[f] = refs.AddDist(rt.d, 1)
+					}
+					continue
+				}
+				if _, ok := marked[f]; !ok {
+					marked[f] = struct{}{}
+					stack = append(stack, f)
+				}
+			}
+		}
+	}
+
+	// Update messages: one per target site holding any of our outbound
+	// references; apply distances synchronously.
+	targets := make(map[ids.SiteID]struct{})
+	for f, d := range outDist {
+		targets[f.Site] = struct{}{}
+		cur := g.dist[f]
+		if cur == nil {
+			cur = make(map[ids.SiteID]int)
+			g.dist[f] = cur
+		}
+		cur[site] = d
+	}
+	for t := range targets {
+		w.message(site, t, ctrlMsgSize)
+	}
+
+	// Sweep.
+	collectedHere := 0
+	for _, r := range w.objectsAt(site) {
+		if _, ok := marked[r]; !ok {
+			w.delete(r)
+			delete(g.dist, r)
+			collectedHere++
+		}
+	}
+	return collectedHere
+}
+
+// LocalOnly is the paper's Section 2 substrate by itself: local tracing
+// plus inter-site reference listing. It collects all acyclic garbage but
+// can never collect an inter-site cycle — the problem the paper solves.
+type LocalOnly struct {
+	gc *localGC
+}
+
+// NewLocalOnly builds the collector.
+func NewLocalOnly(w *World) *LocalOnly {
+	return &LocalOnly{gc: newLocalGC(w)}
+}
+
+// Name implements Collector.
+func (l *LocalOnly) Name() string { return "local-only" }
+
+// Step implements Collector.
+func (l *LocalOnly) Step() int { return l.gc.round() }
+
+var _ Collector = (*LocalOnly)(nil)

@@ -1,0 +1,118 @@
+package baseline
+
+import (
+	"sort"
+
+	"backtrace/internal/ids"
+)
+
+// Migration is the authors' earlier scheme [ML95], reimplemented as a
+// comparator: suspects found by the distance heuristic are migrated toward
+// a site that references them (always a strictly smaller site identifier,
+// so chases terminate); a garbage cycle therefore converges on one site,
+// where plain local tracing collects it.
+//
+// Costs charged per migration: one message carrying the object's payload,
+// plus one patch message to every other site holding references to the
+// migrated object (they must be rewritten to the object's new identity —
+// the reference-patching burden the paper cites as migration's drawback).
+type Migration struct {
+	w  *World
+	gc *localGC
+	// threshold is the suspicion threshold of the distance heuristic.
+	threshold int
+	// Migrations and BytesMoved count migration work.
+	Migrations int64
+	BytesMoved int64
+}
+
+// NewMigration builds the collector with the given suspicion threshold.
+func NewMigration(w *World, threshold int) *Migration {
+	return &Migration{w: w, gc: newLocalGC(w), threshold: threshold}
+}
+
+// Name implements Collector.
+func (m *Migration) Name() string { return "migration" }
+
+// Step implements Collector: one local-tracing round, then one wave of
+// migrations of suspected objects.
+func (m *Migration) Step() int {
+	collected := m.gc.round()
+
+	// Find suspects: objects whose inref distance exceeds the threshold.
+	var suspects []ids.Ref
+	for r := range m.w.Objects {
+		if len(m.gc.dist[r]) > 0 && m.gc.inrefDistance(r) > m.threshold {
+			suspects = append(suspects, r)
+		}
+	}
+	sort.Slice(suspects, func(i, j int) bool { return suspects[i].Less(suspects[j]) })
+
+	for _, r := range suspects {
+		if _, ok := m.w.Objects[r]; !ok {
+			continue // already migrated away this wave
+		}
+		dest := m.chooseDestination(r)
+		if dest == ids.NoSite || dest == r.Site {
+			continue
+		}
+		m.migrate(r, dest)
+	}
+	return collected
+}
+
+// chooseDestination picks the smallest source site strictly below the
+// object's own site (the "controlled" rule that guarantees convergence).
+func (m *Migration) chooseDestination(r ids.Ref) ids.SiteID {
+	best := ids.NoSite
+	for s := range m.gc.dist[r] {
+		if s < r.Site && (best == ids.NoSite || s < best) {
+			best = s
+		}
+	}
+	return best
+}
+
+// migrate moves an object to dest, patching every reference to it.
+func (m *Migration) migrate(old ids.Ref, dest ids.SiteID) {
+	w := m.w
+	obj := w.Objects[old]
+	newRef := w.alloc(dest, obj.Root)
+	moved := w.Objects[newRef]
+	moved.Fields = obj.Fields
+	moved.Size = obj.Size
+
+	// The move itself carries the object's payload.
+	w.message(old.Site, dest, obj.Size)
+	m.Migrations++
+	m.BytesMoved += int64(obj.Size)
+
+	// Patch every reference to the old identity; each holding site other
+	// than the destination needs a patch message.
+	patched := make(map[ids.SiteID]struct{})
+	for _, holder := range w.Objects {
+		changed := false
+		for i, f := range holder.Fields {
+			if f == old {
+				holder.Fields[i] = newRef
+				changed = true
+			}
+		}
+		if changed && holder.Ref.Site != dest && holder.Ref.Site != old.Site {
+			patched[holder.Ref.Site] = struct{}{}
+		}
+	}
+	for s := range patched {
+		w.message(old.Site, s, ctrlMsgSize)
+	}
+
+	// Carry over the distance estimates under the new identity so the
+	// suspect stays suspected at its new home.
+	if d, ok := m.gc.dist[old]; ok {
+		m.gc.dist[newRef] = d
+		delete(m.gc.dist, old)
+	}
+	w.delete(old)
+}
+
+var _ Collector = (*Migration)(nil)

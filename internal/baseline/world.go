@@ -1,0 +1,235 @@
+// Package baseline implements the comparator algorithms from the paper's
+// related-work section, so the experiment harness can reproduce the
+// comparative claims: message complexity, locality, and behaviour with a
+// slow or crashed site.
+//
+//   - LocalOnly — plain local tracing with inter-site reference listing
+//     (Section 2): collects acyclic garbage, never collects cycles.
+//   - Migration — the authors' earlier scheme [ML95]: suspects found by
+//     the distance heuristic are migrated until a garbage cycle converges
+//     on one site and dies to a local trace. Costs object moves and
+//     reference patching.
+//   - Hughes — global timestamp propagation [Hug85]: collects everything,
+//     but a single slow site holds down the global threshold and stalls
+//     collection everywhere (no locality).
+//   - GroupTrace — group tracing [LQP92, MKI+95, RJ96]: a mark phase over
+//     a group of sites chosen around the suspects; collects cycles inside
+//     the group, at the cost of involving every group member.
+//
+// The collectors run on World, a deliberately simple multi-site object
+// model built from the same workload.Spec the real cluster consumes, with
+// message and byte accounting. The model is omniscient where the paper's
+// underlying bookkeeping protocols (insert/update messages) are not the
+// object of comparison, but every algorithmic cost — trace messages,
+// migrations, patches, timestamp and threshold traffic — is charged
+// explicitly.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"backtrace/internal/ids"
+	"backtrace/internal/workload"
+)
+
+// Object is one object in the baseline world.
+type Object struct {
+	Ref    ids.Ref
+	Fields []ids.Ref
+	Size   int
+	Root   bool
+}
+
+// World is a multi-site object store for baseline collectors.
+type World struct {
+	Sites   []ids.SiteID
+	Objects map[ids.Ref]*Object
+	nextObj map[ids.SiteID]ids.ObjID
+
+	// Messages and Bytes accumulate algorithm cost.
+	Messages int64
+	Bytes    int64
+	// involved records every site an algorithm touched (locality metric).
+	involved map[ids.SiteID]struct{}
+}
+
+// DefaultObjectSize is the nominal payload size used for byte accounting.
+const DefaultObjectSize = 64
+
+// FromSpec instantiates a world from a workload spec and returns the world
+// plus the refs of the spec's objects (indexed like spec.Objects).
+func FromSpec(spec workload.Spec) (*World, []ids.Ref, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, nil, err
+	}
+	w := &World{
+		Objects:  make(map[ids.Ref]*Object, len(spec.Objects)),
+		nextObj:  make(map[ids.SiteID]ids.ObjID, spec.Sites),
+		involved: make(map[ids.SiteID]struct{}),
+	}
+	for i := 1; i <= spec.Sites; i++ {
+		w.Sites = append(w.Sites, ids.SiteID(i))
+	}
+	refsOut := make([]ids.Ref, len(spec.Objects))
+	for i, o := range spec.Objects {
+		refsOut[i] = w.alloc(o.Site, o.Root)
+	}
+	for _, e := range spec.Edges {
+		from := w.Objects[refsOut[e[0]]]
+		from.Fields = append(from.Fields, refsOut[e[1]])
+	}
+	return w, refsOut, nil
+}
+
+func (w *World) alloc(site ids.SiteID, root bool) ids.Ref {
+	w.nextObj[site]++
+	r := ids.MakeRef(site, w.nextObj[site])
+	w.Objects[r] = &Object{Ref: r, Size: DefaultObjectSize, Root: root}
+	return r
+}
+
+// message charges one message of the given payload size between two sites
+// and records both as involved.
+func (w *World) message(from, to ids.SiteID, size int) {
+	w.Messages++
+	w.Bytes += int64(size)
+	w.involved[from] = struct{}{}
+	w.involved[to] = struct{}{}
+}
+
+// touch records local work at a site (it counts as involved).
+func (w *World) touch(site ids.SiteID) {
+	w.involved[site] = struct{}{}
+}
+
+// SitesInvolved returns how many distinct sites the algorithm touched.
+func (w *World) SitesInvolved() int { return len(w.involved) }
+
+// ResetAccounting zeroes the cost counters (used between the build phase
+// and the measured phase of an experiment).
+func (w *World) ResetAccounting() {
+	w.Messages = 0
+	w.Bytes = 0
+	w.involved = make(map[ids.SiteID]struct{})
+}
+
+// TotalObjects returns the number of objects in the world.
+func (w *World) TotalObjects() int { return len(w.Objects) }
+
+// objectsAt returns the refs of a site's objects in ascending order.
+func (w *World) objectsAt(site ids.SiteID) []ids.Ref {
+	var out []ids.Ref
+	for r := range w.Objects {
+		if r.Site == site {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// GlobalLive computes the set of objects reachable from any root.
+func (w *World) GlobalLive() map[ids.Ref]struct{} {
+	live := make(map[ids.Ref]struct{})
+	var stack []ids.Ref
+	push := func(r ids.Ref) {
+		if _, ok := w.Objects[r]; !ok {
+			return
+		}
+		if _, seen := live[r]; seen {
+			return
+		}
+		live[r] = struct{}{}
+		stack = append(stack, r)
+	}
+	for r, o := range w.Objects {
+		if o.Root {
+			push(r)
+		}
+	}
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range w.Objects[r].Fields {
+			push(f)
+		}
+	}
+	return live
+}
+
+// GarbageCount returns the number of unreachable objects still present.
+func (w *World) GarbageCount() int {
+	return len(w.Objects) - len(w.GlobalLive())
+}
+
+// delete removes an object.
+func (w *World) delete(r ids.Ref) {
+	delete(w.Objects, r)
+}
+
+// inboundRemote returns, for each object, the set of OTHER sites holding
+// references to it — the source lists of the reference-listing substrate,
+// derived omnisciently (the insert/update protocol itself is not under
+// comparison).
+func (w *World) inboundRemote() map[ids.Ref]map[ids.SiteID]struct{} {
+	in := make(map[ids.Ref]map[ids.SiteID]struct{})
+	for r, o := range w.Objects {
+		for _, f := range o.Fields {
+			if f.Site == r.Site {
+				continue
+			}
+			if _, ok := w.Objects[f]; !ok {
+				continue
+			}
+			set := in[f]
+			if set == nil {
+				set = make(map[ids.SiteID]struct{})
+				in[f] = set
+			}
+			set[r.Site] = struct{}{}
+		}
+	}
+	return in
+}
+
+// Stats summarizes a collector run.
+type Stats struct {
+	Name          string
+	Rounds        int
+	Collected     int
+	Messages      int64
+	Bytes         int64
+	SitesInvolved int
+}
+
+// String renders one result row.
+func (s Stats) String() string {
+	return fmt.Sprintf("%-12s rounds=%-4d collected=%-5d msgs=%-7d bytes=%-8d sites=%d",
+		s.Name, s.Rounds, s.Collected, s.Messages, s.Bytes, s.SitesInvolved)
+}
+
+// Collector is one garbage-collection algorithm running over a World.
+type Collector interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// Step runs one collection round and returns the number of objects
+	// reclaimed in it.
+	Step() int
+}
+
+// Run drives a collector until the world has no garbage or maxRounds
+// elapse, and returns the stats.
+func Run(w *World, c Collector, maxRounds int) Stats {
+	st := Stats{Name: c.Name()}
+	before := w.TotalObjects()
+	for st.Rounds < maxRounds && w.GarbageCount() > 0 {
+		c.Step()
+		st.Rounds++
+	}
+	st.Collected = before - w.TotalObjects()
+	st.Messages = w.Messages
+	st.Bytes = w.Bytes
+	st.SitesInvolved = w.SitesInvolved()
+	return st
+}

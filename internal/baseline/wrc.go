@@ -1,0 +1,124 @@
+package baseline
+
+import (
+	"backtrace/internal/ids"
+)
+
+// WeightedRC is local tracing over weighted reference counting [Bev87] —
+// one of the alternative inter-site bookkeeping schemes Section 2 lists
+// before settling on reference listing. Each inter-site reference carries
+// a weight; the owner tracks only the TOTAL weight per object. Copying a
+// reference splits the sender's weight (no message to the owner!);
+// deleting one returns its weight in a decrement message; total zero means
+// no remote holders.
+//
+// The comparison exposes two properties:
+//
+//   - steady-state cost: WRC sends messages only when references are
+//     deleted, while reference listing pays update messages every round —
+//     WRC is cheaper when idle;
+//   - but the owner has NO source lists, so a back trace cannot take
+//     remote steps on this substrate, and there is no per-source distance
+//     to drive the suspicion heuristic: inter-site cycles are permanently
+//     uncollectable, and the paper's whole mechanism cannot be layered on
+//     top. That asymmetry is why the paper builds on reference listing
+//     ("we use inter-site reference listing because it handles site
+//     failures and provides better fault-tolerance" — Section 2).
+type WeightedRC struct {
+	w *World
+	// held mirrors the weights omnisciently: for each object, the number
+	// of remote reference copies observed last round. A decrease of k
+	// costs k weight-return messages (charged from the holding site).
+	held map[ids.Ref]map[ids.SiteID]int
+	// Decrements counts weight-return messages sent.
+	Decrements int64
+}
+
+// NewWeightedRC builds the collector.
+func NewWeightedRC(w *World) *WeightedRC {
+	return &WeightedRC{w: w, held: make(map[ids.Ref]map[ids.SiteID]int)}
+}
+
+// Name implements Collector.
+func (c *WeightedRC) Name() string { return "local-wrc" }
+
+// Step implements Collector: one local trace per site with positive-weight
+// objects as roots, charging weight-return messages for dropped copies.
+func (c *WeightedRC) Step() int {
+	w := c.w
+
+	// Current remote copy counts per object and holder site.
+	current := make(map[ids.Ref]map[ids.SiteID]int)
+	for r, o := range w.Objects {
+		for _, f := range o.Fields {
+			if f.Site == r.Site {
+				continue
+			}
+			if _, ok := w.Objects[f]; !ok {
+				continue
+			}
+			m := current[f]
+			if m == nil {
+				m = make(map[ids.SiteID]int)
+				current[f] = m
+			}
+			m[r.Site]++
+		}
+	}
+
+	// Weight returns: every copy that disappeared since last round sends
+	// its weight back to the owner.
+	for obj, holders := range c.held {
+		for site, prev := range holders {
+			cur := current[obj][site]
+			for k := cur; k < prev; k++ {
+				w.message(site, obj.Site, ctrlMsgSize)
+				c.Decrements++
+			}
+		}
+	}
+	c.held = current
+
+	// Local traces: roots are persistent roots plus objects with positive
+	// total weight. No distances exist on this substrate.
+	collected := 0
+	for _, site := range w.Sites {
+		w.touch(site)
+		marked := make(map[ids.Ref]struct{})
+		var stack []ids.Ref
+		push := func(r ids.Ref) {
+			if r.Site != site {
+				return
+			}
+			if _, ok := w.Objects[r]; !ok {
+				return
+			}
+			if _, ok := marked[r]; ok {
+				return
+			}
+			marked[r] = struct{}{}
+			stack = append(stack, r)
+		}
+		for _, r := range w.objectsAt(site) {
+			if w.Objects[r].Root || len(current[r]) > 0 {
+				push(r)
+			}
+		}
+		for len(stack) > 0 {
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, f := range w.Objects[r].Fields {
+				push(f)
+			}
+		}
+		for _, r := range w.objectsAt(site) {
+			if _, ok := marked[r]; !ok {
+				w.delete(r)
+				collected++
+			}
+		}
+	}
+	return collected
+}
+
+var _ Collector = (*WeightedRC)(nil)

@@ -1,0 +1,388 @@
+// Package cluster assembles multiple sites into one simulated distributed
+// object store, for tests, examples, and the experiment harness.
+//
+// A Cluster owns the in-memory network and the sites. In *stepped* mode
+// (the default for tests) no background goroutines run: messages accumulate
+// until the test delivers them, so the paper's race scenarios (Figures 5
+// and 6) replay deterministically. In asynchronous mode the network
+// delivers with configurable latency, jitter, and loss.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"backtrace/internal/event"
+	"backtrace/internal/ids"
+	"backtrace/internal/metrics"
+	"backtrace/internal/site"
+	"backtrace/internal/tracer"
+	"backtrace/internal/transport"
+)
+
+// Options configures a cluster.
+type Options struct {
+	// NumSites is the number of sites (identifiers 1..NumSites).
+	NumSites int
+	// Stepped selects deterministic manual message delivery (see
+	// transport.Options.Stepped). Defaults to true when Latency, Jitter,
+	// and DropProb are all zero.
+	Stepped bool
+	// Async forces asynchronous delivery even with zero latency.
+	Async bool
+	// Latency, Jitter, DropProb, Seed configure the network.
+	Latency  time.Duration
+	Jitter   time.Duration
+	DropProb float64
+	Seed     int64
+	// SuspicionThreshold, BackThreshold, ThresholdBump, OutsetAlgorithm,
+	// AutoBackTrace, AdaptiveThreshold, CallTimeout, ReportTimeout are
+	// passed to every site; zero values take the site defaults.
+	SuspicionThreshold int
+	BackThreshold      int
+	ThresholdBump      int
+	OutsetAlgorithm    tracer.OutsetAlgorithm
+	AutoBackTrace      bool
+	AdaptiveThreshold  bool
+	Piggyback          bool
+	CallTimeout        time.Duration
+	ReportTimeout      time.Duration
+	// Events, if non-nil, receives every site's observability events.
+	Events *event.Log
+}
+
+// Cluster is a set of sites joined by one network.
+type Cluster struct {
+	opts     Options
+	net      *transport.Net
+	sites    map[ids.SiteID]*site.Site
+	order    []ids.SiteID
+	counters *metrics.Counters
+	stepped  bool
+}
+
+// New builds a cluster with sites 1..NumSites.
+func New(opts Options) *Cluster {
+	if opts.NumSites <= 0 {
+		opts.NumSites = 2
+	}
+	stepped := opts.Stepped
+	if !opts.Async && opts.Latency == 0 && opts.Jitter == 0 && opts.DropProb == 0 {
+		stepped = true
+	}
+	counters := &metrics.Counters{}
+	net := transport.NewNet(transport.Options{
+		Latency:  opts.Latency,
+		Jitter:   opts.Jitter,
+		DropProb: opts.DropProb,
+		Seed:     opts.Seed,
+		Stepped:  stepped,
+		Observer: counters.ObserveMessage,
+	})
+	c := &Cluster{
+		opts:     opts,
+		net:      net,
+		sites:    make(map[ids.SiteID]*site.Site, opts.NumSites),
+		counters: counters,
+		stepped:  stepped,
+	}
+	for i := 1; i <= opts.NumSites; i++ {
+		id := ids.SiteID(i)
+		c.sites[id] = site.New(site.Config{
+			ID:                 id,
+			Network:            net,
+			SuspicionThreshold: opts.SuspicionThreshold,
+			BackThreshold:      opts.BackThreshold,
+			ThresholdBump:      opts.ThresholdBump,
+			OutsetAlgorithm:    opts.OutsetAlgorithm,
+			CallTimeout:        opts.CallTimeout,
+			ReportTimeout:      opts.ReportTimeout,
+			AutoBackTrace:      opts.AutoBackTrace,
+			AdaptiveThreshold:  opts.AdaptiveThreshold,
+			Piggyback:          opts.Piggyback,
+			Counters:           counters,
+			Events:             opts.Events,
+		})
+		c.order = append(c.order, id)
+	}
+	return c
+}
+
+// Close shuts the cluster's network down.
+func (c *Cluster) Close() { c.net.Close() }
+
+// Site returns the site with the given identifier.
+func (c *Cluster) Site(id ids.SiteID) *site.Site { return c.sites[id] }
+
+// Sites returns the sites in identifier order.
+func (c *Cluster) Sites() []*site.Site {
+	out := make([]*site.Site, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.sites[id])
+	}
+	return out
+}
+
+// Net exposes the underlying network for crash/partition/step control.
+func (c *Cluster) Net() *transport.Net { return c.net }
+
+// Counters returns the cluster-wide metrics counters (shared by all sites
+// and the network observer).
+func (c *Cluster) Counters() *metrics.Counters { return c.counters }
+
+// Settle delivers all in-flight messages: in stepped mode it pumps the
+// queue dry; in asynchronous mode it waits for the network to go quiet.
+func (c *Cluster) Settle() {
+	if c.stepped {
+		c.net.DeliverAll()
+		return
+	}
+	if err := c.net.Quiesce(30 * time.Second); err != nil {
+		panic(fmt.Sprintf("cluster settle: %v", err))
+	}
+}
+
+// RunRound performs one collection round: every site runs a local trace,
+// with message delivery after each, then the cluster settles. This is the
+// paper's "round" — a period in which every site completes at least one
+// local trace (Section 3).
+func (c *Cluster) RunRound() []site.TraceReport {
+	reports := make([]site.TraceReport, 0, len(c.order))
+	for _, id := range c.order {
+		reports = append(reports, c.sites[id].RunLocalTrace())
+		c.Settle()
+	}
+	return reports
+}
+
+// RunRounds performs n rounds and returns the total objects collected.
+func (c *Cluster) RunRounds(n int) int {
+	collected := 0
+	for i := 0; i < n; i++ {
+		for _, rep := range c.RunRound() {
+			collected += rep.Collected
+		}
+	}
+	return collected
+}
+
+// CheckAllTimeouts invokes the back-trace timeout scan on every site.
+func (c *Cluster) CheckAllTimeouts() {
+	for _, id := range c.order {
+		c.sites[id].CheckTimeouts()
+	}
+}
+
+// TotalObjects sums heap sizes across sites.
+func (c *Cluster) TotalObjects() int {
+	n := 0
+	for _, id := range c.order {
+		n += c.sites[id].NumObjects()
+	}
+	return n
+}
+
+// --- building object graphs ------------------------------------------------
+
+// Link makes object `from` (on its owning site) reference `target`,
+// performing the full reference-passing protocol when target is remote:
+// the owner of target sends the reference to from's site (transfer +
+// insert barriers), the holder stores it into the object, and the
+// temporary mutator variable is dropped. The cluster settles in between so
+// protocol messages complete.
+func (c *Cluster) Link(from, target ids.Ref) error {
+	holder := c.sites[from.Site]
+	if holder == nil {
+		return fmt.Errorf("cluster: no site %v", from.Site)
+	}
+	if target.Site == from.Site {
+		return holder.AddReference(from.Obj, target)
+	}
+	owner := c.sites[target.Site]
+	if owner == nil {
+		return fmt.Errorf("cluster: no site %v", target.Site)
+	}
+	if err := owner.SendRef(from.Site, target); err != nil {
+		return err
+	}
+	c.Settle()
+	if err := holder.AddReference(from.Obj, target); err != nil {
+		return err
+	}
+	holder.DropAppRoot(target)
+	c.Settle()
+	return nil
+}
+
+// MustLink is Link that panics on error (test fixture construction).
+func (c *Cluster) MustLink(from, target ids.Ref) {
+	if err := c.Link(from, target); err != nil {
+		panic(err)
+	}
+}
+
+// BuildRing creates a garbage ring spanning every site: one object per
+// site, each referencing the next site's object, with no root pointing at
+// any of them. It returns the ring objects in site order.
+func (c *Cluster) BuildRing() []ids.Ref {
+	objs := make([]ids.Ref, len(c.order))
+	for i, id := range c.order {
+		objs[i] = c.sites[id].NewObject()
+	}
+	for i := range objs {
+		c.MustLink(objs[i], objs[(i+1)%len(objs)])
+	}
+	return objs
+}
+
+// --- global audits ------------------------------------------------------------
+
+// GlobalLive computes the set of objects reachable from any persistent or
+// application root anywhere in the cluster, following references across
+// sites. It is an omniscient auditor used to check safety (no live object
+// is ever collected) and completeness (all garbage eventually is).
+func (c *Cluster) GlobalLive() map[ids.Ref]struct{} {
+	snaps := make(map[ids.SiteID]site.Audit, len(c.order))
+	for _, id := range c.order {
+		snaps[id] = c.sites[id].AuditSnapshot()
+	}
+	live := make(map[ids.Ref]struct{})
+	var stack []ids.Ref
+	push := func(r ids.Ref) {
+		if r.IsZero() {
+			return
+		}
+		snap, ok := snaps[r.Site]
+		if !ok {
+			return
+		}
+		if _, exists := snap.Objects[r.Obj]; !exists {
+			return
+		}
+		if _, seen := live[r]; seen {
+			return
+		}
+		live[r] = struct{}{}
+		stack = append(stack, r)
+	}
+	for id, snap := range snaps {
+		for _, obj := range snap.PersistentRoots {
+			push(ids.MakeRef(id, obj))
+		}
+		for _, r := range snap.AppRoots {
+			push(r)
+		}
+	}
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range snaps[r.Site].Objects[r.Obj] {
+			push(f)
+		}
+	}
+	return live
+}
+
+// GarbageCount returns the number of existing objects that are not
+// globally reachable — what a perfect collector would reclaim.
+func (c *Cluster) GarbageCount() int {
+	live := c.GlobalLive()
+	total := 0
+	for _, id := range c.order {
+		snap := c.sites[id].AuditSnapshot()
+		for obj := range snap.Objects {
+			if _, ok := live[ids.MakeRef(id, obj)]; !ok {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// CollectUntilStable runs rounds (with back tracing if enabled) until the
+// omniscient audit finds no remaining garbage or maxRounds is reached; it
+// returns the number of rounds executed and the total collected. Note that
+// several quiet rounds are normal while distance estimates grow toward the
+// back threshold.
+func (c *Cluster) CollectUntilStable(maxRounds int) (rounds, collected int) {
+	for rounds < maxRounds && c.GarbageCount() > 0 {
+		for _, rep := range c.RunRound() {
+			collected += rep.Collected
+		}
+		rounds++
+	}
+	return rounds, collected
+}
+
+// InvariantViolations audits cross-site referential integrity at a
+// quiescent point (no in-flight messages):
+//
+//   - every remote reference field has an outref entry at its holder;
+//   - every outref's target object exists at the owner, and the owner's
+//     inref lists the holder as a source;
+//   - every inref source entry corresponds to a site that either holds an
+//     outref for it or is unreachable (stale entries are allowed to lag by
+//     an update message, but not at quiescence).
+//
+// It returns human-readable violation descriptions (empty = consistent).
+// Call it only when the network is quiet and no messages were dropped.
+func (c *Cluster) InvariantViolations() []string {
+	var out []string
+	snaps := make(map[ids.SiteID]site.Audit, len(c.order))
+	for _, id := range c.order {
+		snaps[id] = c.sites[id].AuditSnapshot()
+	}
+	for _, id := range c.order {
+		snap := snaps[id]
+		for obj, fields := range snap.Objects {
+			for _, f := range fields {
+				if f.IsZero() || f.Site == id {
+					continue
+				}
+				if _, ok := snap.Outrefs[f]; !ok {
+					out = append(out, fmt.Sprintf("site %v: object %v holds %v with no outref", id, obj, f))
+				}
+			}
+		}
+		for target := range snap.Outrefs {
+			owner, ok := snaps[target.Site]
+			if !ok {
+				out = append(out, fmt.Sprintf("site %v: outref to unknown site %v", id, target.Site))
+				continue
+			}
+			if _, exists := owner.Objects[target.Obj]; !exists {
+				out = append(out, fmt.Sprintf("site %v: outref %v targets a collected object", id, target))
+				continue
+			}
+			srcs, ok := owner.InrefSources[target.Obj]
+			if !ok {
+				out = append(out, fmt.Sprintf("site %v: outref %v has no inref at owner", id, target))
+				continue
+			}
+			found := false
+			for _, s := range srcs {
+				if s == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				out = append(out, fmt.Sprintf("site %v: outref %v not in owner's source list %v", id, target, srcs))
+			}
+		}
+		for obj, srcs := range snap.InrefSources {
+			for _, src := range srcs {
+				holder, ok := snaps[src]
+				if !ok {
+					continue
+				}
+				if _, held := holder.Outrefs[ids.MakeRef(id, obj)]; !held {
+					out = append(out, fmt.Sprintf("site %v: inref %v lists source %v which holds no outref", id, obj, src))
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"testing"
+
+	"backtrace/internal/ids"
+)
+
+// FuzzClusterOps drives a small cluster with a byte-string-decoded
+// operation sequence — linking, unlinking, root demotion, local traces,
+// scrambled deliveries, back-trace triggers — then checks the collector
+// against plain reachability: no live object collected, all garbage
+// reclaimed, cross-site reference lists consistent.
+func FuzzClusterOps(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Add([]byte("link unlink trace deliver"))
+	f.Add([]byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 100, 200, 50, 25})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		const nSites = 3
+		opts := defaultOpts(nSites)
+		c := New(opts)
+		defer c.Close()
+
+		// Fixed scaffold: one root per site, a few objects per site.
+		var objs []ids.Ref
+		for i := 1; i <= nSites; i++ {
+			objs = append(objs, c.Site(ids.SiteID(i)).NewRootObject())
+			for k := 0; k < 3; k++ {
+				objs = append(objs, c.Site(ids.SiteID(i)).NewObject())
+			}
+		}
+
+		pos := 0
+		next := func() byte {
+			b := data[pos%len(data)]
+			pos++
+			return b
+		}
+		pick := func() ids.Ref { return objs[int(next())%len(objs)] }
+
+		steps := len(data)
+		if steps > 64 {
+			steps = 64
+		}
+		for i := 0; i < steps; i++ {
+			switch next() % 6 {
+			case 0, 1: // link
+				from, to := pick(), pick()
+				if c.Site(from.Site).ContainsObject(from.Obj) && c.Site(to.Site).ContainsObject(to.Obj) {
+					_ = c.Link(from, to)
+				}
+			case 2: // unlink
+				from := pick()
+				s := c.Site(from.Site)
+				if fields, err := s.Fields(from.Obj); err == nil && len(fields) > 0 {
+					_ = s.RemoveReference(from.Obj, fields[int(next())%len(fields)])
+				}
+			case 3: // local trace at one site
+				c.Site(ids.SiteID(int(next())%nSites + 1)).RunLocalTrace()
+			case 4: // deliver some messages in data-chosen order
+				for k := 0; k < int(next()%5); k++ {
+					if n := c.Net().PendingCount(); n > 0 {
+						c.Net().DeliverIndex(int(next()) % n)
+					}
+				}
+			case 5: // demote a root occasionally
+				if next()%16 == 0 {
+					r := objs[(int(next())%nSites)*4] // roots are every 4th
+					c.Site(r.Site).UnmarkPersistentRoot(r.Obj)
+				}
+			}
+		}
+
+		c.Settle()
+		c.CollectUntilStable(60)
+
+		// Oracle: survivors must be exactly the globally reachable set.
+		if g := c.GarbageCount(); g != 0 {
+			t.Fatalf("%d garbage objects not collected", g)
+		}
+		live := c.GlobalLive()
+		if len(live) != c.TotalObjects() {
+			t.Fatalf("live=%d objects=%d", len(live), c.TotalObjects())
+		}
+		if got := c.InvariantViolations(); len(got) != 0 {
+			t.Fatalf("invariants: %v", got)
+		}
+	})
+}

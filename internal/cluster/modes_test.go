@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"testing"
+
+	idpkg "backtrace/internal/ids"
+	"backtrace/internal/tracer"
+)
+
+// TestAllOptionCombinations runs the canonical ring-plus-live workload
+// under every combination of the optional features (piggybacking,
+// adaptive threshold, outset algorithm) and asserts identical collection
+// semantics: the options change costs, never outcomes.
+func TestAllOptionCombinations(t *testing.T) {
+	for _, piggy := range []bool{false, true} {
+		for _, adaptive := range []bool{false, true} {
+			for _, algo := range []tracer.OutsetAlgorithm{tracer.AlgoBottomUp, tracer.AlgoIndependent} {
+				name := map[bool]string{false: "plain", true: "piggy"}[piggy] +
+					"/" + map[bool]string{false: "fixed", true: "adaptive"}[adaptive] +
+					"/" + algo.String()
+				t.Run(name, func(t *testing.T) {
+					opts := defaultOpts(3)
+					opts.Piggyback = piggy
+					opts.AdaptiveThreshold = adaptive
+					opts.OutsetAlgorithm = algo
+					c := New(opts)
+					defer c.Close()
+
+					root := c.Site(1).NewRootObject()
+					live := c.Site(2).NewObject()
+					c.MustLink(root, live)
+					ring := c.BuildRing()
+
+					rounds, collected := c.CollectUntilStable(40)
+					if collected != 3 {
+						t.Fatalf("collected %d in %d rounds, want the 3-ring", collected, rounds)
+					}
+					if !c.Site(1).ContainsObject(root.Obj) || !c.Site(2).ContainsObject(live.Obj) {
+						t.Fatal("live object collected")
+					}
+					for _, o := range ring {
+						if c.Site(o.Site).ContainsObject(o.Obj) {
+							t.Fatalf("ring member %v survived", o)
+						}
+					}
+					if got := c.InvariantViolations(); len(got) != 0 {
+						t.Fatalf("invariants: %v", got)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestAdaptiveThresholdEndToEnd verifies the adaptive option at cluster
+// level: repeated Live outcomes on live far suspects raise the initiating
+// site's threshold, and garbage is still collected afterwards.
+func TestAdaptiveThresholdEndToEnd(t *testing.T) {
+	opts := defaultOpts(4)
+	opts.SuspicionThreshold = 1
+	opts.BackThreshold = 2
+	opts.ThresholdBump = 1
+	opts.AdaptiveThreshold = true
+	c := New(opts)
+	defer c.Close()
+
+	// A long live chain winding across the sites (far suspects).
+	root := c.Site(1).NewRootObject()
+	prev := root
+	for lap := 0; lap < 3; lap++ {
+		for i := 1; i <= 4; i++ {
+			n := c.Site(idpkg.SiteID(i)).NewObject()
+			c.MustLink(prev, n)
+			prev = n
+		}
+	}
+	before := c.Site(1).SuspicionThreshold()
+	c.RunRounds(25)
+	raised := false
+	for _, s := range c.Sites() {
+		if s.SuspicionThreshold() > before {
+			raised = true
+		}
+	}
+	if !raised {
+		t.Fatal("no site raised its suspicion threshold despite repeated live suspects")
+	}
+
+	// Garbage introduced later is still collected.
+	c.BuildRing()
+	if _, collected := c.CollectUntilStable(60); collected != 4 {
+		t.Fatalf("collected %d, want 4", collected)
+	}
+}

@@ -1,0 +1,592 @@
+// Package core implements the paper's primary contribution: the
+// message-driven back-tracing engine of Sections 4 and 6.
+//
+// A back trace checks whether a suspected object is reachable from any
+// root by tracing the reference graph backwards, leaping between outrefs
+// and inrefs rather than individual references (Section 4.1):
+//
+//   - a *local step* goes from an outref to the inrefs it is locally
+//     reachable from (the outref's inset, computed by the local tracer);
+//   - a *remote step* goes from an inref to the corresponding outrefs on
+//     its source sites.
+//
+// The two steps are the mutually recursive BackStepLocal/BackStepRemote of
+// Section 4.4, realized here as a distributed state machine: every call
+// creates an *activation frame* holding the caller's identity, the ioref
+// the call is active on, a count of pending inner calls, and the result to
+// return when the count reaches zero. Remote steps travel as BackCall
+// messages and come back as BackReply messages; local steps are direct
+// calls within the site. A trace therefore costs two messages per
+// inter-site reference traversed plus one report per participant — the
+// paper's 2E+P message complexity (Section 4.6).
+//
+// The engine also implements:
+//
+//   - the visit marks that keep a trace from looping (Section 4.4) and
+//     their per-trace cleanup in the report phase (Section 4.5);
+//   - per-ioref back thresholds, raised on every visit, so live suspects
+//     stop generating traces while garbage retries until collected
+//     (Section 4.3);
+//   - the clean rule — "when an ioref is cleaned while a trace is active
+//     there, the return value of the trace is set to Live" (Section 6.4);
+//   - timeout handling: a lost call response or a lost report is assumed
+//     Live (Section 4.6).
+//
+// The engine is not internally synchronized: the owning Site invokes every
+// method while holding its own lock, which matches the paper's model of
+// short atomic critical sections per site.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"backtrace/internal/ids"
+	"backtrace/internal/metrics"
+	"backtrace/internal/msg"
+	"backtrace/internal/refs"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Site is the owning site.
+	Site ids.SiteID
+	// Threshold is the suspicion threshold T: iorefs at distance ≤ T are
+	// clean (Section 3).
+	Threshold int
+	// ThresholdBump is the amount δ added to an ioref's back threshold
+	// each time a back trace visits it (Section 4.3).
+	ThresholdBump int
+	// CallTimeout bounds how long a frame waits for its inner calls; an
+	// expired frame assumes Live (Section 4.6). Zero disables timeouts.
+	CallTimeout time.Duration
+	// ReportTimeout bounds how long a participant retains a trace's visit
+	// marks while waiting for the final outcome; expiry assumes Live.
+	// Zero disables timeouts.
+	ReportTimeout time.Duration
+	// Send transmits a message to another site.
+	Send func(to ids.SiteID, m msg.Message)
+	// Table is the site's ioref table.
+	Table *refs.Table
+	// Inset returns the current inset of a suspected outref (from the
+	// site's installed back information, Section 5).
+	Inset func(target ids.Ref) []ids.ObjID
+	// Now is the clock (injectable for tests). Defaults to time.Now.
+	Now func() time.Time
+	// Counters receives engine metrics; may be nil.
+	Counters *metrics.Counters
+	// Completed, if non-nil, is invoked at the initiator when one of its
+	// traces finishes, with the outcome and the participant set.
+	Completed func(t ids.TraceID, outcome msg.Verdict, participants []ids.SiteID)
+	// OnFlagged, if non-nil, is invoked when a report phase flags an
+	// inref garbage (observability hook).
+	OnFlagged func(obj ids.ObjID)
+	// OnTimeout, if non-nil, is invoked when a back-trace wait expires
+	// and is conservatively resolved as Live (observability hook).
+	OnTimeout func(t ids.TraceID)
+}
+
+// frame is an activation frame (Section 4.4): "A frame contains the
+// identity of the frame to return to (including the caller site, etc.),
+// the ioref it is active on, a count of pending inner calls to BackStep,
+// and a result value to return when the count becomes zero."
+type frame struct {
+	id         ids.FrameID
+	trace      ids.TraceID
+	initiator  ids.SiteID
+	caller     ids.FrameID // zero for the outermost call
+	callerSite ids.SiteID
+	// The ioref the frame is active on: exactly one of onInref/onOutref
+	// is meaningful, selected by kind.
+	kind     msg.StepKind
+	onInref  ids.ObjID
+	onOutref ids.Ref
+	pending  int
+	// participants accumulates the sites reached in this frame's subtree,
+	// always including this site.
+	participants map[ids.SiteID]struct{}
+	deadline     time.Time
+}
+
+// traceMarks records, per trace, the iorefs this site has marked visited,
+// so the report phase can flag or unmark them (Section 4.5). expiry
+// implements the lost-report timeout.
+type traceMarks struct {
+	inrefs  []ids.ObjID
+	outrefs []ids.Ref
+	expiry  time.Time
+}
+
+// Engine is one site's back-tracing engine.
+type Engine struct {
+	cfg Config
+
+	nextTrace uint64
+	nextFrame uint64
+	frames    map[ids.FrameID]*frame
+	// byInref/byOutref index the frames active on each ioref, for the
+	// clean rule (Section 6.4).
+	byInref  map[ids.ObjID]map[ids.FrameID]struct{}
+	byOutref map[ids.Ref]map[ids.FrameID]struct{}
+	marks    map[ids.TraceID]*traceMarks
+}
+
+// NewEngine creates an engine for a site.
+func NewEngine(cfg Config) *Engine {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Engine{
+		cfg:      cfg,
+		frames:   make(map[ids.FrameID]*frame),
+		byInref:  make(map[ids.ObjID]map[ids.FrameID]struct{}),
+		byOutref: make(map[ids.Ref]map[ids.FrameID]struct{}),
+		marks:    make(map[ids.TraceID]*traceMarks),
+	}
+}
+
+// SetThreshold updates the suspicion threshold (used by the adaptive
+// threshold controller).
+func (e *Engine) SetThreshold(t int) { e.cfg.Threshold = t }
+
+// Threshold returns the current suspicion threshold.
+func (e *Engine) Threshold() int { return e.cfg.Threshold }
+
+// ActiveFrames returns the number of live activation frames (for tests and
+// introspection).
+func (e *Engine) ActiveFrames() int { return len(e.frames) }
+
+// PendingMarks returns the number of traces whose visit marks this site
+// still holds.
+func (e *Engine) PendingMarks() int { return len(e.marks) }
+
+func (e *Engine) count(name string) {
+	if e.cfg.Counters != nil {
+		e.cfg.Counters.Inc(name)
+	}
+}
+
+// --- starting traces ------------------------------------------------------
+
+// ShouldStart reports whether a back trace should be triggered from the
+// given outref: it exists, it is suspected, its distance has crossed its
+// personal back threshold, and no trace from this engine is already active
+// on it (Section 4.3).
+func (e *Engine) ShouldStart(target ids.Ref) bool {
+	o, ok := e.cfg.Table.Outref(target)
+	if !ok || o.IsClean(e.cfg.Threshold) {
+		return false
+	}
+	if o.Distance <= o.BackThreshold {
+		return false
+	}
+	return len(e.byOutref[target]) == 0
+}
+
+// StartTrace initiates a back trace from a suspected outref on this site
+// (Section 4: "we start a back trace from an outref rather than an inref").
+// It returns the trace id and false if the outref is missing or clean.
+func (e *Engine) StartTrace(target ids.Ref) (ids.TraceID, bool) {
+	o, ok := e.cfg.Table.Outref(target)
+	if !ok || o.IsClean(e.cfg.Threshold) {
+		return ids.NilTrace, false
+	}
+	e.nextTrace++
+	t := ids.TraceID{Initiator: e.cfg.Site, Seq: e.nextTrace}
+	e.count(metrics.BackTracesStarted)
+	// The outermost call: caller is the nil frame on this site.
+	e.stepLocal(t, e.cfg.Site, ids.NilFrame, e.cfg.Site, target)
+	return t, true
+}
+
+// --- message entry points --------------------------------------------------
+
+// HandleBackCall processes a BackCall message from another site.
+func (e *Engine) HandleBackCall(from ids.SiteID, c msg.BackCall) {
+	e.count(metrics.BackTraceCalls)
+	switch c.Kind {
+	case msg.StepLocal:
+		e.stepLocal(c.Trace, c.Initiator, c.Caller, from, c.Outref)
+	case msg.StepRemote:
+		e.stepRemote(c.Trace, c.Initiator, c.Caller, from, c.Inref)
+	}
+}
+
+// HandleBackReply processes a BackReply from another site.
+func (e *Engine) HandleBackReply(from ids.SiteID, r msg.BackReply) {
+	e.applyReply(r.Caller, r.Result, r.Participants)
+}
+
+// HandleReport processes the report phase at a participant (Section 4.5):
+// on Garbage, flag the inrefs the trace visited here; on Live, clear the
+// visit marks.
+func (e *Engine) HandleReport(from ids.SiteID, r msg.Report) {
+	e.finishTraceLocally(r.Trace, r.Outcome)
+}
+
+func (e *Engine) finishTraceLocally(t ids.TraceID, outcome msg.Verdict) {
+	tm, ok := e.marks[t]
+	if !ok {
+		return
+	}
+	delete(e.marks, t)
+	for _, obj := range tm.inrefs {
+		in, ok := e.cfg.Table.Inref(obj)
+		if !ok {
+			continue
+		}
+		in.ClearVisited(t)
+		if outcome == msg.VerdictGarbage {
+			if !in.Garbage {
+				in.Garbage = true
+				e.count(metrics.InrefsFlagged)
+				if e.cfg.OnFlagged != nil {
+					e.cfg.OnFlagged(obj)
+				}
+			}
+		}
+	}
+	for _, target := range tm.outrefs {
+		if o, ok := e.cfg.Table.Outref(target); ok {
+			o.ClearVisited(t)
+		}
+	}
+}
+
+// --- the two back steps -----------------------------------------------------
+
+// stepLocal is BackStepLocal (Section 4.4): examine the outref for a
+// remote reference on this site and fan out to the inrefs in its inset.
+func (e *Engine) stepLocal(t ids.TraceID, initiator ids.SiteID, caller ids.FrameID, callerSite ids.SiteID, target ids.Ref) {
+	o, ok := e.cfg.Table.Outref(target)
+	if !ok {
+		// "its ioref must have been deleted by the garbage collector".
+		e.replyTo(caller, callerSite, t, msg.VerdictGarbage, e.selfParticipants())
+		return
+	}
+	if o.IsClean(e.cfg.Threshold) {
+		e.replyTo(caller, callerSite, t, msg.VerdictLive, e.selfParticipants())
+		return
+	}
+	if o.MarkVisited(t) {
+		// Already visited by this trace: avoid loops and revisits.
+		e.replyTo(caller, callerSite, t, msg.VerdictGarbage, e.selfParticipants())
+		return
+	}
+	e.recordOutrefMark(t, target)
+	o.BackThreshold += e.cfg.ThresholdBump // Section 4.3
+
+	f := e.newFrame(t, initiator, caller, callerSite)
+	f.kind = msg.StepLocal
+	f.onOutref = target
+	e.indexFrame(f)
+
+	inset := e.cfg.Inset(target)
+	// Fan out to every inref in the inset; these are local calls on this
+	// site, so no messages are sent (the paper's message complexity
+	// counts only inter-site reference traversals).
+	f.pending = len(inset)
+	if f.pending == 0 {
+		e.completeFrame(f, msg.VerdictGarbage)
+		return
+	}
+	fid := f.id
+	for _, inrefObj := range inset {
+		// The frame may complete (via Live short-circuit or the clean
+		// rule) while iterating; further calls then have no effect
+		// beyond marking, which is harmless.
+		if _, alive := e.frames[fid]; !alive {
+			return
+		}
+		e.stepRemote(t, initiator, fid, e.cfg.Site, inrefObj)
+	}
+}
+
+// stepRemote is BackStepRemote (Section 4.4): examine the inref for a
+// local object and fan out to the corresponding outrefs on its source
+// sites.
+func (e *Engine) stepRemote(t ids.TraceID, initiator ids.SiteID, caller ids.FrameID, callerSite ids.SiteID, inrefObj ids.ObjID) {
+	in, ok := e.cfg.Table.Inref(inrefObj)
+	if !ok {
+		e.replyTo(caller, callerSite, t, msg.VerdictGarbage, e.selfParticipants())
+		return
+	}
+	if in.IsClean(e.cfg.Threshold) {
+		e.replyTo(caller, callerSite, t, msg.VerdictLive, e.selfParticipants())
+		return
+	}
+	if in.MarkVisited(t) {
+		e.replyTo(caller, callerSite, t, msg.VerdictGarbage, e.selfParticipants())
+		return
+	}
+	e.recordInrefMark(t, inrefObj)
+	in.BackThreshold += e.cfg.ThresholdBump
+
+	f := e.newFrame(t, initiator, caller, callerSite)
+	f.kind = msg.StepRemote
+	f.onInref = inrefObj
+	e.indexFrame(f)
+
+	sources := in.SourceSites()
+	f.pending = len(sources)
+	if f.pending == 0 {
+		e.completeFrame(f, msg.VerdictGarbage)
+		return
+	}
+	target := ids.MakeRef(e.cfg.Site, inrefObj)
+	fid := f.id
+	for _, src := range sources {
+		if _, alive := e.frames[fid]; !alive {
+			return // short-circuited while fanning out
+		}
+		e.cfg.Send(src, msg.BackCall{
+			Trace:     t,
+			Caller:    fid,
+			Initiator: initiator,
+			Kind:      msg.StepLocal,
+			Outref:    target,
+		})
+	}
+}
+
+// --- frame bookkeeping -------------------------------------------------------
+
+func (e *Engine) newFrame(t ids.TraceID, initiator ids.SiteID, caller ids.FrameID, callerSite ids.SiteID) *frame {
+	e.nextFrame++
+	f := &frame{
+		id:           ids.FrameID{Site: e.cfg.Site, Seq: e.nextFrame},
+		trace:        t,
+		initiator:    initiator,
+		caller:       caller,
+		callerSite:   callerSite,
+		participants: map[ids.SiteID]struct{}{e.cfg.Site: {}},
+	}
+	if e.cfg.CallTimeout > 0 {
+		f.deadline = e.cfg.Now().Add(e.cfg.CallTimeout)
+	}
+	e.frames[f.id] = f
+	return f
+}
+
+func (e *Engine) indexFrame(f *frame) {
+	switch f.kind {
+	case msg.StepLocal:
+		set := e.byOutref[f.onOutref]
+		if set == nil {
+			set = make(map[ids.FrameID]struct{})
+			e.byOutref[f.onOutref] = set
+		}
+		set[f.id] = struct{}{}
+	case msg.StepRemote:
+		set := e.byInref[f.onInref]
+		if set == nil {
+			set = make(map[ids.FrameID]struct{})
+			e.byInref[f.onInref] = set
+		}
+		set[f.id] = struct{}{}
+	}
+}
+
+func (e *Engine) unindexFrame(f *frame) {
+	switch f.kind {
+	case msg.StepLocal:
+		if set := e.byOutref[f.onOutref]; set != nil {
+			delete(set, f.id)
+			if len(set) == 0 {
+				delete(e.byOutref, f.onOutref)
+			}
+		}
+	case msg.StepRemote:
+		if set := e.byInref[f.onInref]; set != nil {
+			delete(set, f.id)
+			if len(set) == 0 {
+				delete(e.byInref, f.onInref)
+			}
+		}
+	}
+}
+
+// applyReply folds one inner call's result into its frame. Live
+// short-circuits: the frame completes immediately and later replies to it
+// are ignored (their frame is gone).
+func (e *Engine) applyReply(fid ids.FrameID, result msg.Verdict, participants []ids.SiteID) {
+	f, ok := e.frames[fid]
+	if !ok {
+		return // frame already completed (short-circuit, clean rule, timeout)
+	}
+	for _, p := range participants {
+		f.participants[p] = struct{}{}
+	}
+	if result == msg.VerdictLive {
+		e.completeFrame(f, msg.VerdictLive)
+		return
+	}
+	f.pending--
+	if f.pending <= 0 {
+		// Every inner call returned Garbage (Live short-circuits above).
+		e.completeFrame(f, msg.VerdictGarbage)
+	}
+}
+
+// completeFrame finishes a frame with the given verdict, replying to the
+// caller or — for the outermost frame — running the report phase.
+func (e *Engine) completeFrame(f *frame, verdict msg.Verdict) {
+	delete(e.frames, f.id)
+	e.unindexFrame(f)
+	parts := make([]ids.SiteID, 0, len(f.participants))
+	for p := range f.participants {
+		parts = append(parts, p)
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+
+	if f.caller.IsZero() && f.callerSite == e.cfg.Site {
+		e.finishAtInitiator(f.trace, verdict, parts)
+		return
+	}
+	e.replyTo(f.caller, f.callerSite, f.trace, verdict, parts)
+}
+
+// replyTo delivers a call's result to the caller frame, locally or by
+// message.
+func (e *Engine) replyTo(caller ids.FrameID, callerSite ids.SiteID, t ids.TraceID, verdict msg.Verdict, participants []ids.SiteID) {
+	if callerSite == e.cfg.Site {
+		if caller.IsZero() {
+			// Outermost synchronous failure (e.g. StartTrace raced with
+			// trimming): finish the trace at the initiator.
+			e.finishAtInitiator(t, verdict, participants)
+			return
+		}
+		e.applyReply(caller, verdict, participants)
+		return
+	}
+	e.cfg.Send(callerSite, msg.BackReply{
+		Trace:        t,
+		Caller:       caller,
+		Result:       verdict,
+		Participants: participants,
+	})
+}
+
+// finishAtInitiator runs the report phase (Section 4.5): deliver the
+// outcome to every participant. The initiator's own marks are processed
+// inline; remote participants get Report messages.
+func (e *Engine) finishAtInitiator(t ids.TraceID, outcome msg.Verdict, participants []ids.SiteID) {
+	if outcome == msg.VerdictGarbage {
+		e.count(metrics.BackTracesGarbage)
+	} else {
+		e.count(metrics.BackTracesLive)
+	}
+	for _, p := range participants {
+		if p == e.cfg.Site {
+			continue
+		}
+		e.cfg.Send(p, msg.Report{Trace: t, Outcome: outcome})
+	}
+	e.finishTraceLocally(t, outcome)
+	if e.cfg.Completed != nil {
+		e.cfg.Completed(t, outcome, participants)
+	}
+}
+
+func (e *Engine) selfParticipants() []ids.SiteID {
+	return []ids.SiteID{e.cfg.Site}
+}
+
+// --- visit-mark bookkeeping ---------------------------------------------------
+
+func (e *Engine) marksFor(t ids.TraceID) *traceMarks {
+	tm, ok := e.marks[t]
+	if !ok {
+		tm = &traceMarks{}
+		if e.cfg.ReportTimeout > 0 {
+			tm.expiry = e.cfg.Now().Add(e.cfg.ReportTimeout)
+		}
+		e.marks[t] = tm
+	}
+	return tm
+}
+
+func (e *Engine) recordInrefMark(t ids.TraceID, obj ids.ObjID) {
+	tm := e.marksFor(t)
+	tm.inrefs = append(tm.inrefs, obj)
+}
+
+func (e *Engine) recordOutrefMark(t ids.TraceID, target ids.Ref) {
+	tm := e.marksFor(t)
+	tm.outrefs = append(tm.outrefs, target)
+}
+
+// --- the clean rule (Section 6.4) ----------------------------------------------
+
+// NotifyCleanedInref implements the clean rule for an inref: every trace
+// with a call active on it returns Live.
+func (e *Engine) NotifyCleanedInref(obj ids.ObjID) {
+	e.forceLive(e.byInref[obj])
+}
+
+// NotifyCleanedOutref implements the clean rule for an outref.
+func (e *Engine) NotifyCleanedOutref(target ids.Ref) {
+	e.forceLive(e.byOutref[target])
+}
+
+func (e *Engine) forceLive(set map[ids.FrameID]struct{}) {
+	if len(set) == 0 {
+		return
+	}
+	fids := make([]ids.FrameID, 0, len(set))
+	for fid := range set {
+		fids = append(fids, fid)
+	}
+	sort.Slice(fids, func(i, j int) bool {
+		if fids[i].Site != fids[j].Site {
+			return fids[i].Site < fids[j].Site
+		}
+		return fids[i].Seq < fids[j].Seq
+	})
+	for _, fid := range fids {
+		if f, ok := e.frames[fid]; ok {
+			e.completeFrame(f, msg.VerdictLive)
+		}
+	}
+}
+
+// --- timeouts (Section 4.6) ------------------------------------------------------
+
+// CheckTimeouts expires overdue frames (assuming their pending calls
+// returned Live) and overdue visit marks (assuming the trace's outcome was
+// Live). The site calls this periodically.
+func (e *Engine) CheckTimeouts() {
+	now := e.cfg.Now()
+	if e.cfg.CallTimeout > 0 {
+		var overdue []*frame
+		for _, f := range e.frames {
+			if !f.deadline.IsZero() && now.After(f.deadline) {
+				overdue = append(overdue, f)
+			}
+		}
+		sort.Slice(overdue, func(i, j int) bool { return overdue[i].id.Seq < overdue[j].id.Seq })
+		for _, f := range overdue {
+			if _, ok := e.frames[f.id]; ok {
+				if e.cfg.OnTimeout != nil {
+					e.cfg.OnTimeout(f.trace)
+				}
+				e.completeFrame(f, msg.VerdictLive)
+			}
+		}
+	}
+	if e.cfg.ReportTimeout > 0 {
+		var expired []ids.TraceID
+		for t, tm := range e.marks {
+			if !tm.expiry.IsZero() && now.After(tm.expiry) {
+				expired = append(expired, t)
+			}
+		}
+		sort.Slice(expired, func(i, j int) bool { return expired[i].Less(expired[j]) })
+		for _, t := range expired {
+			if e.cfg.OnTimeout != nil {
+				e.cfg.OnTimeout(t)
+			}
+			e.finishTraceLocally(t, msg.VerdictLive)
+		}
+	}
+}

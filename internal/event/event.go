@@ -1,0 +1,181 @@
+// Package event provides a bounded, thread-safe, structured event log for
+// collector observability: what traces started and how they ended, what
+// barriers fired, what was reclaimed. Sites emit events when configured
+// with a Log; tools like dgcsim print them.
+package event
+
+import (
+	"fmt"
+	"sync"
+
+	"backtrace/internal/ids"
+	"backtrace/internal/msg"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	// TraceStarted: a back trace was initiated from Ref (an outref).
+	TraceStarted Kind = iota + 1
+	// TraceCompleted: a back trace this site initiated finished with
+	// Verdict; N is the number of participant sites.
+	TraceCompleted
+	// InrefFlagged: the report phase flagged inref Obj as garbage.
+	InrefFlagged
+	// ObjectsCollected: a local trace swept N objects.
+	ObjectsCollected
+	// OutrefsTrimmed: a local trace dropped N outrefs.
+	OutrefsTrimmed
+	// TransferBarrier: the transfer barrier cleaned inref Obj (and its
+	// outset).
+	TransferBarrier
+	// OutrefCleaned: an outref (Ref) was barrier-cleaned.
+	OutrefCleaned
+	// TimeoutAssumedLive: a back-trace wait timed out and was resolved
+	// as Live (Trace identifies it when known).
+	TimeoutAssumedLive
+	// CheckpointWritten: the site serialized its durable state.
+	CheckpointWritten
+	// SiteRestored: the site was rebuilt from a checkpoint.
+	SiteRestored
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case TraceStarted:
+		return "trace-started"
+	case TraceCompleted:
+		return "trace-completed"
+	case InrefFlagged:
+		return "inref-flagged"
+	case ObjectsCollected:
+		return "objects-collected"
+	case OutrefsTrimmed:
+		return "outrefs-trimmed"
+	case TransferBarrier:
+		return "transfer-barrier"
+	case OutrefCleaned:
+		return "outref-cleaned"
+	case TimeoutAssumedLive:
+		return "timeout-assumed-live"
+	case CheckpointWritten:
+		return "checkpoint-written"
+	case SiteRestored:
+		return "site-restored"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one log entry. Fields beyond Kind and Site are meaningful per
+// kind (see the Kind constants).
+type Event struct {
+	Seq     uint64
+	Site    ids.SiteID
+	Kind    Kind
+	Trace   ids.TraceID
+	Obj     ids.ObjID
+	Ref     ids.Ref
+	N       int
+	Verdict msg.Verdict
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	s := fmt.Sprintf("#%d %v %s", e.Seq, e.Site, e.Kind)
+	if !e.Trace.IsZero() {
+		s += " " + e.Trace.String()
+	}
+	if e.Obj != ids.NoObj {
+		s += " " + e.Obj.String()
+	}
+	if !e.Ref.IsZero() {
+		s += " " + e.Ref.String()
+	}
+	switch e.Kind {
+	case TraceCompleted:
+		s += fmt.Sprintf(" %s participants=%d", e.Verdict, e.N)
+	case ObjectsCollected, OutrefsTrimmed:
+		s += fmt.Sprintf(" n=%d", e.N)
+	}
+	return s
+}
+
+// Log is a bounded ring of events. The zero value is unusable; create with
+// NewLog.
+type Log struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	full    bool
+	seq     uint64
+	dropped uint64
+}
+
+// NewLog creates a log keeping the most recent capacity events.
+func NewLog(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Log{buf: make([]Event, capacity)}
+}
+
+// Append records an event, assigning its sequence number.
+func (l *Log) Append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e.Seq = l.seq
+	if l.full {
+		l.dropped++
+	}
+	l.buf[l.next] = e
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+		l.full = true
+	}
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.full {
+		return len(l.buf)
+	}
+	return l.next
+}
+
+// Dropped returns how many events were evicted from the ring.
+func (l *Log) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Snapshot returns the retained events, oldest first.
+func (l *Log) Snapshot() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	if l.full {
+		out = append(out, l.buf[l.next:]...)
+	}
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// OfKind returns the retained events of one kind, oldest first.
+func (l *Log) OfKind(k Kind) []Event {
+	var out []Event
+	for _, e := range l.Snapshot() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package event
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"backtrace/internal/ids"
+	"backtrace/internal/msg"
+)
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{
+		TraceStarted, TraceCompleted, InrefFlagged, ObjectsCollected,
+		OutrefsTrimmed, TransferBarrier, OutrefCleaned, TimeoutAssumedLive,
+		CheckpointWritten, SiteRestored,
+	}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || strings.Contains(s, "Kind(") {
+			t.Errorf("kind %d has bad name %q", k, s)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind renders empty")
+	}
+}
+
+func TestAppendAndSnapshotOrder(t *testing.T) {
+	l := NewLog(8)
+	for i := 0; i < 5; i++ {
+		l.Append(Event{Site: 1, Kind: TraceStarted, N: i})
+	}
+	snap := l.Snapshot()
+	if len(snap) != 5 || l.Len() != 5 {
+		t.Fatalf("len = %d/%d, want 5", len(snap), l.Len())
+	}
+	for i, e := range snap {
+		if e.N != i || e.Seq != uint64(i+1) {
+			t.Fatalf("order broken at %d: %+v", i, e)
+		}
+	}
+	if l.Dropped() != 0 {
+		t.Fatal("dropped nonzero before wrap")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	l := NewLog(4)
+	for i := 0; i < 10; i++ {
+		l.Append(Event{Kind: ObjectsCollected, N: i})
+	}
+	snap := l.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("len = %d, want 4", len(snap))
+	}
+	if snap[0].N != 6 || snap[3].N != 9 {
+		t.Fatalf("wrong window: %+v", snap)
+	}
+	if l.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", l.Dropped())
+	}
+}
+
+func TestOfKind(t *testing.T) {
+	l := NewLog(16)
+	l.Append(Event{Kind: TraceStarted})
+	l.Append(Event{Kind: TraceCompleted, Verdict: msg.VerdictGarbage})
+	l.Append(Event{Kind: TraceStarted})
+	if got := len(l.OfKind(TraceStarted)); got != 2 {
+		t.Fatalf("OfKind(TraceStarted) = %d, want 2", got)
+	}
+	if got := len(l.OfKind(InrefFlagged)); got != 0 {
+		t.Fatalf("OfKind(InrefFlagged) = %d, want 0", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{
+		Seq: 3, Site: 2, Kind: TraceCompleted,
+		Trace: ids.TraceID{Initiator: 2, Seq: 7}, Verdict: msg.VerdictLive, N: 4,
+	}
+	s := e.String()
+	for _, want := range []string{"#3", "S2", "trace-completed", "T(S2#7)", "Live", "participants=4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	e2 := Event{Seq: 1, Site: 1, Kind: ObjectsCollected, N: 9}
+	if !strings.Contains(e2.String(), "n=9") {
+		t.Errorf("String() = %q", e2.String())
+	}
+}
+
+func TestZeroCapacityDefaults(t *testing.T) {
+	l := NewLog(0)
+	l.Append(Event{Kind: TraceStarted})
+	if l.Len() != 1 {
+		t.Fatal("default capacity log unusable")
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	l := NewLog(128)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Append(Event{Kind: TraceStarted})
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 128 || l.Dropped() != 800-128 {
+		t.Fatalf("len=%d dropped=%d", l.Len(), l.Dropped())
+	}
+}

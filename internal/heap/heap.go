@@ -1,0 +1,334 @@
+// Package heap implements a site's local object store: objects with
+// reference fields, persistent roots, and application roots (the mutator's
+// local variables, Section 2 and Section 6.3 of the paper).
+//
+// A Heap is deliberately not safe for concurrent use; the owning Site
+// serializes every access (mutator operations, local traces, and message
+// handlers all go through the site's lock). Keeping synchronization at the
+// site level matches the paper's model of short atomic critical sections.
+package heap
+
+import (
+	"fmt"
+	"sort"
+
+	"backtrace/internal/ids"
+)
+
+// Object is one object in a site's store: an identifier, reference fields,
+// and a nominal payload size in bytes (used only for accounting, e.g. the
+// bytes moved by the migration baseline).
+type Object struct {
+	id     ids.ObjID
+	fields []ids.Ref
+	size   int
+}
+
+// ID returns the object's identifier within its owning site.
+func (o *Object) ID() ids.ObjID { return o.id }
+
+// Size returns the object's nominal payload size in bytes.
+func (o *Object) Size() int { return o.size }
+
+// Fields returns a copy of the object's reference fields.
+func (o *Object) Fields() []ids.Ref {
+	out := make([]ids.Ref, len(o.fields))
+	copy(out, o.fields)
+	return out
+}
+
+// NumFields returns the number of reference fields.
+func (o *Object) NumFields() int { return len(o.fields) }
+
+// Field returns the i'th reference field.
+func (o *Object) Field(i int) ids.Ref { return o.fields[i] }
+
+// DefaultObjectSize is the nominal payload size of objects allocated
+// without an explicit size.
+const DefaultObjectSize = 64
+
+// Heap is one site's object store.
+type Heap struct {
+	site    ids.SiteID
+	objects map[ids.ObjID]*Object
+	next    ids.ObjID
+
+	persistentRoots map[ids.ObjID]struct{}
+	// appRoots counts mutator variables holding each reference; the
+	// reference may be local or remote. Local tracing treats these as
+	// roots (Section 6.3), and remote entries keep the corresponding
+	// outrefs live and clean.
+	appRoots map[ids.Ref]int
+}
+
+// New creates an empty heap for the given site.
+func New(site ids.SiteID) *Heap {
+	return &Heap{
+		site:            site,
+		objects:         make(map[ids.ObjID]*Object),
+		persistentRoots: make(map[ids.ObjID]struct{}),
+		appRoots:        make(map[ids.Ref]int),
+	}
+}
+
+// Site returns the owning site's identifier.
+func (h *Heap) Site() ids.SiteID { return h.site }
+
+// Len returns the number of objects in the heap.
+func (h *Heap) Len() int { return len(h.objects) }
+
+// Alloc creates a new object with no fields and DefaultObjectSize payload,
+// returning its fully qualified reference.
+func (h *Heap) Alloc() ids.Ref { return h.AllocSized(DefaultObjectSize) }
+
+// AllocSized creates a new object with the given nominal payload size.
+func (h *Heap) AllocSized(size int) ids.Ref {
+	h.next++
+	o := &Object{id: h.next, size: size}
+	h.objects[h.next] = o
+	return ids.MakeRef(h.site, h.next)
+}
+
+// AllocRoot creates a new object and marks it a persistent root.
+func (h *Heap) AllocRoot() ids.Ref {
+	r := h.Alloc()
+	h.persistentRoots[r.Obj] = struct{}{}
+	return r
+}
+
+// MarkPersistentRoot designates an existing local object as a persistent
+// root (an entry point into the store, such as a name server or directory).
+func (h *Heap) MarkPersistentRoot(obj ids.ObjID) error {
+	if _, ok := h.objects[obj]; !ok {
+		return fmt.Errorf("heap %v: mark root: no object %v", h.site, obj)
+	}
+	h.persistentRoots[obj] = struct{}{}
+	return nil
+}
+
+// UnmarkPersistentRoot removes root status from a local object.
+func (h *Heap) UnmarkPersistentRoot(obj ids.ObjID) {
+	delete(h.persistentRoots, obj)
+}
+
+// IsPersistentRoot reports whether a local object is a persistent root.
+func (h *Heap) IsPersistentRoot(obj ids.ObjID) bool {
+	_, ok := h.persistentRoots[obj]
+	return ok
+}
+
+// PersistentRoots returns the local persistent roots in ascending order.
+func (h *Heap) PersistentRoots() []ids.ObjID {
+	out := make([]ids.ObjID, 0, len(h.persistentRoots))
+	for o := range h.persistentRoots {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Get returns the object with the given identifier.
+func (h *Heap) Get(obj ids.ObjID) (*Object, bool) {
+	o, ok := h.objects[obj]
+	return o, ok
+}
+
+// Contains reports whether the heap holds the object.
+func (h *Heap) Contains(obj ids.ObjID) bool {
+	_, ok := h.objects[obj]
+	return ok
+}
+
+// Objects returns all object identifiers in ascending order.
+func (h *Heap) Objects() []ids.ObjID {
+	out := make([]ids.ObjID, 0, len(h.objects))
+	for o := range h.objects {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddField appends a reference field to a local object (reference
+// creation: "copying a reference z into object y", Section 6.1).
+func (h *Heap) AddField(obj ids.ObjID, target ids.Ref) error {
+	o, ok := h.objects[obj]
+	if !ok {
+		return fmt.Errorf("heap %v: add field: no object %v", h.site, obj)
+	}
+	o.fields = append(o.fields, target)
+	return nil
+}
+
+// RemoveField deletes the first field of obj equal to target (reference
+// deletion). It reports whether a field was removed.
+func (h *Heap) RemoveField(obj ids.ObjID, target ids.Ref) (bool, error) {
+	o, ok := h.objects[obj]
+	if !ok {
+		return false, fmt.Errorf("heap %v: remove field: no object %v", h.site, obj)
+	}
+	for i, f := range o.fields {
+		if f == target {
+			o.fields = append(o.fields[:i], o.fields[i+1:]...)
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// ClearFields removes every reference field of obj.
+func (h *Heap) ClearFields(obj ids.ObjID) error {
+	o, ok := h.objects[obj]
+	if !ok {
+		return fmt.Errorf("heap %v: clear fields: no object %v", h.site, obj)
+	}
+	o.fields = nil
+	return nil
+}
+
+// Delete removes an object from the heap (called by the collector when the
+// object is garbage, and by the migration baseline after moving it).
+func (h *Heap) Delete(obj ids.ObjID) {
+	delete(h.objects, obj)
+	delete(h.persistentRoots, obj)
+}
+
+// Install recreates an object under a specific identifier (checkpoint
+// recovery). It fails if the identifier is already in use.
+func (h *Heap) Install(id ids.ObjID, fields []ids.Ref, size int, root bool) error {
+	if id == ids.NoObj {
+		return fmt.Errorf("heap %v: install: zero object id", h.site)
+	}
+	if _, ok := h.objects[id]; ok {
+		return fmt.Errorf("heap %v: install: object %v already exists", h.site, id)
+	}
+	o := &Object{id: id, size: size}
+	o.fields = make([]ids.Ref, len(fields))
+	copy(o.fields, fields)
+	h.objects[id] = o
+	if root {
+		h.persistentRoots[id] = struct{}{}
+	}
+	if id > h.next {
+		h.next = id
+	}
+	return nil
+}
+
+// NextID returns the allocation high-water mark (for checkpointing).
+func (h *Heap) NextID() ids.ObjID { return h.next }
+
+// SetNextID raises the allocation high-water mark (checkpoint recovery);
+// it never lowers it.
+func (h *Heap) SetNextID(n ids.ObjID) {
+	if n > h.next {
+		h.next = n
+	}
+}
+
+// Adopt installs an object received from another site under a fresh local
+// identifier (used by the migration baseline) and returns its new local
+// reference. The object's fields are supplied by the caller.
+func (h *Heap) Adopt(fields []ids.Ref, size int) ids.Ref {
+	r := h.AllocSized(size)
+	o := h.objects[r.Obj]
+	o.fields = make([]ids.Ref, len(fields))
+	copy(o.fields, fields)
+	return r
+}
+
+// --- application roots --------------------------------------------------
+
+// AddAppRoot records that a mutator variable on this site holds the given
+// reference (local or remote). Multiple holds are counted.
+func (h *Heap) AddAppRoot(r ids.Ref) {
+	h.appRoots[r]++
+}
+
+// RemoveAppRoot releases one mutator-variable hold on the reference. It
+// reports whether a hold existed.
+func (h *Heap) RemoveAppRoot(r ids.Ref) bool {
+	n, ok := h.appRoots[r]
+	if !ok {
+		return false
+	}
+	if n <= 1 {
+		delete(h.appRoots, r)
+	} else {
+		h.appRoots[r] = n - 1
+	}
+	return true
+}
+
+// AppRoots returns the distinct references held by mutator variables, in
+// ascending order.
+func (h *Heap) AppRoots() []ids.Ref {
+	out := make([]ids.Ref, 0, len(h.appRoots))
+	for r := range h.appRoots {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// HoldsAppRoot reports whether any mutator variable holds the reference.
+func (h *Heap) HoldsAppRoot(r ids.Ref) bool {
+	return h.appRoots[r] > 0
+}
+
+// --- reachability helpers (used by local tracing and by tests) ----------
+
+// LocalReachable computes the set of local objects reachable from the given
+// starting references by following only local references (remote fields are
+// not followed). Starting references owned by other sites are ignored.
+func (h *Heap) LocalReachable(starts []ids.Ref) map[ids.ObjID]struct{} {
+	seen := make(map[ids.ObjID]struct{})
+	var stack []ids.ObjID
+	push := func(r ids.Ref) {
+		if r.Site != h.site {
+			return
+		}
+		if _, ok := h.objects[r.Obj]; !ok {
+			return
+		}
+		if _, ok := seen[r.Obj]; ok {
+			return
+		}
+		seen[r.Obj] = struct{}{}
+		stack = append(stack, r.Obj)
+	}
+	for _, s := range starts {
+		push(s)
+	}
+	for len(stack) > 0 {
+		obj := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range h.objects[obj].fields {
+			push(f)
+		}
+	}
+	return seen
+}
+
+// RemoteRefsFrom returns, in ascending order, the distinct remote references
+// held in the fields of the given set of local objects.
+func (h *Heap) RemoteRefsFrom(objs map[ids.ObjID]struct{}) []ids.Ref {
+	set := make(map[ids.Ref]struct{})
+	for obj := range objs {
+		o, ok := h.objects[obj]
+		if !ok {
+			continue
+		}
+		for _, f := range o.fields {
+			if f.Site != h.site && !f.IsZero() {
+				set[f] = struct{}{}
+			}
+		}
+	}
+	out := make([]ids.Ref, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

@@ -1,0 +1,128 @@
+// Package metrics provides thread-safe counters used by the experiment
+// harness to measure the quantities the paper reasons about analytically:
+// messages by type (for the 2E+P message-complexity claim), objects traced
+// per local trace (for the Section 5 cost comparison), back-trace outcomes
+// (for the back-threshold tuning claim), and space occupied by back
+// information (for the O(ni·no) bound).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"backtrace/internal/msg"
+)
+
+// Counters accumulates named integer counters. The zero value is ready to
+// use.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// Add increments a named counter by delta.
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	c.m[name] += delta
+}
+
+// Inc increments a named counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the value of a named counter (zero if never incremented).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Max raises a named counter to v if v is larger (for high-water marks such
+// as peak back-information size).
+func (c *Counters) Max(name string, v int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	if v > c.m[name] {
+		c.m[name] = v
+	}
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset zeroes every counter.
+func (c *Counters) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[string]int64)
+}
+
+// String renders the counters sorted by name, one per line.
+func (c *Counters) String() string {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-28s %d\n", k, snap[k])
+	}
+	return b.String()
+}
+
+// Message counter names. Each sent message is counted both under its type
+// ("msg.BackCall") and under the total ("msg.total"); drops are counted
+// under "msg.dropped".
+const (
+	MsgTotal   = "msg.total"
+	MsgDropped = "msg.dropped"
+)
+
+// MsgName returns the counter name for a message type.
+func MsgName(m msg.Message) string { return "msg." + msg.Name(m) }
+
+// ObserveMessage records one send attempt; it is shaped to plug into
+// transport.Observer.
+func (c *Counters) ObserveMessage(env msg.Envelope, dropped bool) {
+	if dropped {
+		c.Inc(MsgDropped)
+		return
+	}
+	c.Inc(MsgTotal)
+	c.Inc(MsgName(env.M))
+}
+
+// Back-trace and tracer counter names used across the harness.
+const (
+	BackTracesStarted   = "backtrace.started"
+	BackTracesGarbage   = "backtrace.outcome.garbage"
+	BackTracesLive      = "backtrace.outcome.live"
+	BackTraceCalls      = "backtrace.calls"
+	LocalTraces         = "localtrace.runs"
+	ObjectsTraced       = "localtrace.objects"
+	ObjectsRetraced     = "localtrace.objects.retraced"
+	ObjectsCollected    = "localtrace.collected"
+	OutsetUnions        = "outsets.unions"
+	OutsetUnionsMemoHit = "outsets.unions.memoized"
+	BackInfoEntries     = "backinfo.entries"
+	BackInfoPeak        = "backinfo.peak"
+	InrefsFlagged       = "inrefs.flagged.garbage"
+)

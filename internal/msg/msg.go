@@ -1,0 +1,265 @@
+// Package msg defines the inter-site message vocabulary of the back-tracing
+// collector. Every message the paper's protocol sends between sites is a
+// concrete type here:
+//
+//   - RefTransfer — a mutator passes (or traverses) a reference to another
+//     site (Section 2, Section 6.1); triggers the transfer barrier at the
+//     receiver.
+//   - Insert / InsertAck / ReleasePin — the insert protocol that registers a
+//     new source site in an inref's source list, with the insert barrier's
+//     pinning of the sender's outref until the owner has the insert
+//     (Section 2, Section 6.1.2).
+//   - Update — after a local trace, a site reports dropped outrefs and new
+//     outref distances to the target sites (Section 2, Section 3).
+//   - BackCall / BackReply — the remote and local back steps of a back trace
+//     with their activation-frame return information (Section 4.4).
+//   - Report — the report phase delivering a completed trace's outcome to
+//     every participant (Section 4.5).
+//
+// Messages carry only identifiers and plain data so they gob-encode for the
+// TCP transport; RegisterGob registers every concrete type.
+package msg
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"backtrace/internal/ids"
+)
+
+// Verdict is the result of a back-trace call: Live if the trace reached a
+// clean ioref (hence possibly a persistent root), Garbage otherwise.
+type Verdict int
+
+const (
+	// VerdictGarbage means the call found no path to a clean ioref.
+	// It is the zero value so that an activation frame's accumulator
+	// starts at Garbage and any Live reply overrides it.
+	VerdictGarbage Verdict = iota
+	// VerdictLive means the call reached a clean ioref, so the suspect is
+	// (or must conservatively be treated as) reachable from a root.
+	VerdictLive
+)
+
+// String returns "Garbage" or "Live".
+func (v Verdict) String() string {
+	switch v {
+	case VerdictGarbage:
+		return "Garbage"
+	case VerdictLive:
+		return "Live"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// StepKind distinguishes the two kinds of back steps (Section 4.1).
+type StepKind int
+
+const (
+	// StepRemote asks the owner site to run BackStepRemote on one of its
+	// inrefs: the trace then fans out to the inref's source sites.
+	StepRemote StepKind = iota + 1
+	// StepLocal asks a source site to run BackStepLocal on one of its
+	// outrefs: the trace then fans out to the inrefs in the outref's inset.
+	StepLocal
+)
+
+// String returns "remote" or "local".
+func (k StepKind) String() string {
+	switch k {
+	case StepRemote:
+		return "remote"
+	case StepLocal:
+		return "local"
+	default:
+		return fmt.Sprintf("StepKind(%d)", int(k))
+	}
+}
+
+// Message is implemented by every inter-site message type.
+//
+// The marker method keeps the set of messages closed within this module; the
+// transport treats messages opaquely and routing information lives in the
+// Envelope.
+type Message interface {
+	isMessage()
+}
+
+// Envelope wraps a message with its routing information. Transports deliver
+// envelopes; sites receive (from, message) pairs.
+type Envelope struct {
+	From ids.SiteID
+	To   ids.SiteID
+	M    Message
+}
+
+// RefTransfer is sent when a mutator passes a reference to another site —
+// as the target, argument, or result of a remote call in an RPC system
+// (Section 6.1.1). The receiving site applies the transfer barrier and, if
+// it has no outref for the payload, starts the insert protocol.
+//
+// Pinner identifies the sending site, which retains a clean, pinned outref
+// for Payload until the owner acknowledges the insert (the insert barrier);
+// the owner then sends Pinner a ReleasePin.
+type RefTransfer struct {
+	Payload ids.Ref
+	Pinner  ids.SiteID
+}
+
+// Insert asks the owner of Target to add Holder to the source list of the
+// inref for Target (Section 2). Pinner is propagated from the RefTransfer so
+// the owner can release the sender's pin once the insert is recorded.
+type Insert struct {
+	Target ids.Ref
+	Holder ids.SiteID
+	Pinner ids.SiteID
+}
+
+// InsertAck tells Holder that the owner has recorded it in the source list
+// of the inref for Target; the holder's provisional outref is now protected
+// by the source list.
+type InsertAck struct {
+	Target ids.Ref
+}
+
+// ReleasePin tells the original sender of a reference that the owner has
+// received the new holder's insert message, so the sender may unpin its
+// outref (Section 6.1.2, the insert barrier).
+type ReleasePin struct {
+	Target ids.Ref
+}
+
+// DistanceUpdate reports the new estimated distance of one outref held by
+// the sending site for an object owned by the receiving site (Section 3).
+type DistanceUpdate struct {
+	Obj      ids.ObjID
+	Distance int
+}
+
+// Update is sent to each target site after a local trace: Removals lists
+// objects whose outref the sender dropped (the receiver removes the sender
+// from those inrefs' source lists), and Distances carries new distance
+// estimates for outrefs the sender retained (Sections 2 and 3).
+//
+// Holds is the complete list of objects at the receiver for which the
+// sender still has an outref. It makes updates idempotent: the receiver
+// reconciles its source lists against it, so a lost earlier update heals
+// at the next one (the fault-tolerant reference listing of [ML94] that the
+// paper builds on).
+type Update struct {
+	Removals  []ids.ObjID
+	Distances []DistanceUpdate
+	Holds     []ids.ObjID
+}
+
+// BackCall carries one back step of a back trace (Section 4.4).
+//
+// For Kind == StepRemote the receiver is the owner of inref Inref and runs
+// BackStepRemote. For Kind == StepLocal the receiver is a source site that
+// holds an outref for Outref and runs BackStepLocal.
+//
+// Caller identifies the activation frame to reply to; it is the zero frame
+// for the outermost call, in which case the reply completes the whole trace
+// at the initiator. Initiator lets participants know where the report phase
+// will originate.
+type BackCall struct {
+	Trace     ids.TraceID
+	Caller    ids.FrameID
+	Initiator ids.SiteID
+	Kind      StepKind
+	Inref     ids.ObjID
+	Outref    ids.Ref
+}
+
+// BackReply answers a BackCall. Participants accumulates the set of sites
+// reached in the subtree of the call, so the initiator learns the full
+// participant set for the report phase (Section 4.5: "each participant
+// appends its id to the response of a call").
+type BackReply struct {
+	Trace        ids.TraceID
+	Caller       ids.FrameID
+	Result       Verdict
+	Participants []ids.SiteID
+}
+
+// Report delivers the outcome of a completed back trace to a participant
+// (Section 4.5). On Garbage the participant flags the inrefs visited by the
+// trace; on Live it clears the trace's visited marks.
+type Report struct {
+	Trace   ids.TraceID
+	Outcome Verdict
+}
+
+// Batch carries several messages between one pair of sites in a single
+// envelope — the piggybacking the paper suggests for back-trace traffic
+// ("these messages are small and can be piggybacked on other messages",
+// Section 4.6). Receivers process the items in order, preserving the
+// per-link FIFO the protocol assumes.
+type Batch struct {
+	Items []Message
+}
+
+func (RefTransfer) isMessage() {}
+func (Insert) isMessage()      {}
+func (InsertAck) isMessage()   {}
+func (ReleasePin) isMessage()  {}
+func (Update) isMessage()      {}
+func (BackCall) isMessage()    {}
+func (BackReply) isMessage()   {}
+func (Report) isMessage()      {}
+func (Batch) isMessage()       {}
+
+// Compile-time checks that every message type implements Message.
+var (
+	_ Message = RefTransfer{}
+	_ Message = Insert{}
+	_ Message = InsertAck{}
+	_ Message = ReleasePin{}
+	_ Message = Update{}
+	_ Message = BackCall{}
+	_ Message = BackReply{}
+	_ Message = Report{}
+	_ Message = Batch{}
+)
+
+// RegisterGob registers every message type with encoding/gob so Envelope
+// values can cross the TCP transport. It is safe to call more than once.
+func RegisterGob() {
+	gob.Register(RefTransfer{})
+	gob.Register(Insert{})
+	gob.Register(InsertAck{})
+	gob.Register(ReleasePin{})
+	gob.Register(Update{})
+	gob.Register(BackCall{})
+	gob.Register(BackReply{})
+	gob.Register(Report{})
+	gob.Register(Batch{})
+}
+
+// Name returns a short name for a message's type, used by metrics counters
+// and debug logs.
+func Name(m Message) string {
+	switch m.(type) {
+	case RefTransfer:
+		return "RefTransfer"
+	case Insert:
+		return "Insert"
+	case InsertAck:
+		return "InsertAck"
+	case ReleasePin:
+		return "ReleasePin"
+	case Update:
+		return "Update"
+	case BackCall:
+		return "BackCall"
+	case BackReply:
+		return "BackReply"
+	case Report:
+		return "Report"
+	case Batch:
+		return "Batch"
+	default:
+		return fmt.Sprintf("%T", m)
+	}
+}

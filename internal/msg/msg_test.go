@@ -1,0 +1,82 @@
+package msg
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"backtrace/internal/ids"
+)
+
+func TestVerdictString(t *testing.T) {
+	if VerdictGarbage.String() != "Garbage" || VerdictLive.String() != "Live" {
+		t.Fatal("verdict names wrong")
+	}
+	if Verdict(9).String() == "" {
+		t.Fatal("unknown verdict empty")
+	}
+}
+
+func TestVerdictZeroValueIsGarbage(t *testing.T) {
+	// Activation frames rely on the zero value accumulating as Garbage
+	// until a Live reply overrides it.
+	var v Verdict
+	if v != VerdictGarbage {
+		t.Fatal("zero Verdict is not Garbage")
+	}
+}
+
+func TestStepKindString(t *testing.T) {
+	if StepRemote.String() != "remote" || StepLocal.String() != "local" {
+		t.Fatal("step kind names wrong")
+	}
+	if StepKind(9).String() == "" {
+		t.Fatal("unknown step kind empty")
+	}
+}
+
+func TestNameUnknownType(t *testing.T) {
+	type weird struct{ Batch }
+	if got := Name(weird{}); got == "" {
+		t.Fatal("empty name for unknown type")
+	}
+}
+
+func TestBatchGobRoundTrip(t *testing.T) {
+	RegisterGob()
+	env := Envelope{
+		From: 1,
+		To:   2,
+		M: Batch{Items: []Message{
+			Update{Holds: []ids.ObjID{1, 2}},
+			BackCall{Trace: ids.TraceID{Initiator: 1, Seq: 9}, Kind: StepLocal, Outref: ids.MakeRef(2, 3)},
+			Report{Outcome: VerdictLive},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		t.Fatal(err)
+	}
+	var got Envelope
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	b, ok := got.M.(Batch)
+	if !ok || len(b.Items) != 3 {
+		t.Fatalf("decoded %T with %v", got.M, got.M)
+	}
+	if u, ok := b.Items[0].(Update); !ok || len(u.Holds) != 2 {
+		t.Fatalf("item 0 decoded wrong: %+v", b.Items[0])
+	}
+	if c, ok := b.Items[1].(BackCall); !ok || c.Trace.Seq != 9 || c.Outref != ids.MakeRef(2, 3) {
+		t.Fatalf("item 1 decoded wrong: %+v", b.Items[1])
+	}
+	if r, ok := b.Items[2].(Report); !ok || r.Outcome != VerdictLive {
+		t.Fatalf("item 2 decoded wrong: %+v", b.Items[2])
+	}
+}
+
+func TestRegisterGobIdempotent(t *testing.T) {
+	RegisterGob()
+	RegisterGob() // must not panic
+}

@@ -1,0 +1,363 @@
+// Package refs implements a site's tables of inter-site references: the
+// inref table (incoming references with their source lists and per-source
+// distance estimates) and the outref table (outgoing references with their
+// distance estimates and insert-barrier pins), as described in Sections 2,
+// 3, and 6 of the paper.
+//
+// Terminology follows the paper: an *inref* records that remote sites hold
+// references to a local object; an *outref* records that this site holds a
+// reference to a remote object; *iorefs* are both collectively. An ioref is
+// *clean* if it is presumed reachable from a persistent root — because its
+// estimated distance is at or below the suspicion threshold, because the
+// transfer barrier cleaned it (Section 6.1.1), or, for outrefs, because it
+// is pinned by the insert barrier (Section 6.1.2) or held by a mutator
+// variable. Otherwise it is *suspected*.
+//
+// Like package heap, the tables are not safe for concurrent use; the owning
+// Site serializes access.
+package refs
+
+import (
+	"math"
+	"sort"
+
+	"backtrace/internal/ids"
+)
+
+// DistInfinity is the distance of garbage: no path from any persistent
+// root. Arithmetic never overflows because propagation adds at most one per
+// step and saturates.
+const DistInfinity = math.MaxInt32
+
+// AddDist adds a hop count to a distance, saturating at DistInfinity.
+func AddDist(d, hops int) int {
+	if d >= DistInfinity-hops {
+		return DistInfinity
+	}
+	return d + hops
+}
+
+// Inref is one entry in the inref table: a local object that remote sites
+// hold references to (Section 2, Figure 1).
+type Inref struct {
+	// Obj is the local object the incoming references point to.
+	Obj ids.ObjID
+	// Sources maps each source site known to hold the reference to the
+	// estimated distance via that source (Section 3: "A distance field is
+	// associated with each source site in an inref").
+	Sources map[ids.SiteID]int
+	// Barrier is true while the transfer barrier holds this inref clean;
+	// the next local trace resets it (Section 6.1.1).
+	Barrier bool
+	// Garbage is set when a back trace confirmed this inref garbage in
+	// its report phase; the local trace then stops using it as a root
+	// (Section 4.5).
+	Garbage bool
+	// BackThreshold is this ioref's personal back-trace trigger. It
+	// starts at the configured T2 and is raised each time a back trace
+	// visits the ioref, so live suspects stop generating traces
+	// (Section 4.3).
+	BackThreshold int
+	// Visited holds the identifiers of back traces that have visited this
+	// inref and not yet completed (Section 4.4, Section 4.7).
+	Visited map[ids.TraceID]struct{}
+}
+
+// Distance returns the inref's distance: the smallest distance over its
+// sources, or DistInfinity if the source list is empty.
+func (in *Inref) Distance() int {
+	d := DistInfinity
+	for _, sd := range in.Sources {
+		if sd < d {
+			d = sd
+		}
+	}
+	return d
+}
+
+// IsClean reports whether the inref is clean at the given suspicion
+// threshold. A garbage-flagged inref is never clean.
+func (in *Inref) IsClean(threshold int) bool {
+	if in.Garbage {
+		return false
+	}
+	return in.Barrier || in.Distance() <= threshold
+}
+
+// SourceSites returns the source sites in ascending order.
+func (in *Inref) SourceSites() []ids.SiteID {
+	out := make([]ids.SiteID, 0, len(in.Sources))
+	for s := range in.Sources {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MarkVisited records a back trace's visit; it reports whether the trace
+// had already visited (in which case the caller returns Garbage
+// immediately, Section 4.4).
+func (in *Inref) MarkVisited(t ids.TraceID) (already bool) {
+	if _, ok := in.Visited[t]; ok {
+		return true
+	}
+	if in.Visited == nil {
+		in.Visited = make(map[ids.TraceID]struct{})
+	}
+	in.Visited[t] = struct{}{}
+	return false
+}
+
+// ClearVisited removes a completed trace's visit mark.
+func (in *Inref) ClearVisited(t ids.TraceID) {
+	delete(in.Visited, t)
+}
+
+// Outref is one entry in the outref table: a remote object this site holds
+// a reference to (Section 2, Figure 1).
+type Outref struct {
+	// Target is the remote object referenced.
+	Target ids.Ref
+	// Distance is the estimated distance propagated by local traces
+	// (Section 3).
+	Distance int
+	// Pins counts insert-barrier holds: while positive, the outref is
+	// retained and clean regardless of distance (Section 6.1.2).
+	Pins int
+	// Barrier is true while the transfer barrier holds this outref clean;
+	// the next local trace resets it (Section 6.1.1).
+	Barrier bool
+	// BackThreshold is this ioref's personal back-trace trigger
+	// (Section 4.3); see Inref.BackThreshold.
+	BackThreshold int
+	// Visited holds the back traces currently marking this outref
+	// (Section 4.4).
+	Visited map[ids.TraceID]struct{}
+}
+
+// IsClean reports whether the outref is clean at the given suspicion
+// threshold. Cleanliness follows the paper's trace-based definition:
+// "inrefs with distances ≤ the threshold — and objects and outrefs traced
+// from them — are said to be clean" (Section 3). An outref's distance is
+// one plus the distance of the inref (or root) it was traced from, so an
+// outref is clean iff its distance is at most threshold+1. (Comparing
+// against the bare threshold would wrongly suspect a live outref traced
+// from a clean inref sitting exactly at the threshold; its inset contains
+// no suspected inrefs, so a back trace would confirm live objects garbage.)
+func (o *Outref) IsClean(threshold int) bool {
+	return o.Barrier || o.Pins > 0 || o.Distance <= threshold+1
+}
+
+// MarkVisited records a back trace's visit; it reports whether the trace
+// had already visited.
+func (o *Outref) MarkVisited(t ids.TraceID) (already bool) {
+	if _, ok := o.Visited[t]; ok {
+		return true
+	}
+	if o.Visited == nil {
+		o.Visited = make(map[ids.TraceID]struct{})
+	}
+	o.Visited[t] = struct{}{}
+	return false
+}
+
+// ClearVisited removes a completed trace's visit mark.
+func (o *Outref) ClearVisited(t ids.TraceID) {
+	delete(o.Visited, t)
+}
+
+// Table holds one site's inref and outref tables.
+type Table struct {
+	site    ids.SiteID
+	inrefs  map[ids.ObjID]*Inref
+	outrefs map[ids.Ref]*Outref
+
+	// defaultBackThreshold initializes the BackThreshold of new iorefs
+	// (the paper's T2, Section 4.3).
+	defaultBackThreshold int
+}
+
+// NewTable creates empty tables for a site. backThreshold is the initial
+// per-ioref back threshold T2.
+func NewTable(site ids.SiteID, backThreshold int) *Table {
+	return &Table{
+		site:                 site,
+		inrefs:               make(map[ids.ObjID]*Inref),
+		outrefs:              make(map[ids.Ref]*Outref),
+		defaultBackThreshold: backThreshold,
+	}
+}
+
+// Site returns the owning site.
+func (t *Table) Site() ids.SiteID { return t.site }
+
+// --- inrefs --------------------------------------------------------------
+
+// Inref returns the inref for a local object, if present.
+func (t *Table) Inref(obj ids.ObjID) (*Inref, bool) {
+	in, ok := t.inrefs[obj]
+	return in, ok
+}
+
+// EnsureInref returns the inref for obj, creating an empty one if absent.
+func (t *Table) EnsureInref(obj ids.ObjID) *Inref {
+	in, ok := t.inrefs[obj]
+	if !ok {
+		in = &Inref{
+			Obj:           obj,
+			Sources:       make(map[ids.SiteID]int),
+			BackThreshold: t.defaultBackThreshold,
+		}
+		t.inrefs[obj] = in
+	}
+	return in
+}
+
+// AddSource records that a source site holds a reference to obj. If the
+// source is new its distance is conservatively set to 1 (Section 3); an
+// existing source's distance is left unchanged.
+func (t *Table) AddSource(obj ids.ObjID, src ids.SiteID) *Inref {
+	in := t.EnsureInref(obj)
+	if _, ok := in.Sources[src]; !ok {
+		in.Sources[src] = 1
+	}
+	return in
+}
+
+// SetSourceDistance updates the distance for one source of obj's inref, if
+// both exist (distance changes arrive in update messages, Section 3).
+func (t *Table) SetSourceDistance(obj ids.ObjID, src ids.SiteID, dist int) {
+	in, ok := t.inrefs[obj]
+	if !ok {
+		return
+	}
+	if _, ok := in.Sources[src]; !ok {
+		return
+	}
+	in.Sources[src] = dist
+}
+
+// RemoveSource removes src from obj's source list (the sender trimmed its
+// outref); an inref whose source list empties is removed entirely and the
+// removal is reported (Section 2: "An inref with an empty source list is
+// removed").
+func (t *Table) RemoveSource(obj ids.ObjID, src ids.SiteID) (removedInref bool) {
+	in, ok := t.inrefs[obj]
+	if !ok {
+		return false
+	}
+	delete(in.Sources, src)
+	if len(in.Sources) == 0 {
+		delete(t.inrefs, obj)
+		return true
+	}
+	return false
+}
+
+// RemoveInref deletes an inref outright (collector cleanup).
+func (t *Table) RemoveInref(obj ids.ObjID) {
+	delete(t.inrefs, obj)
+}
+
+// Inrefs returns all inrefs ordered by object identifier.
+func (t *Table) Inrefs() []*Inref {
+	out := make([]*Inref, 0, len(t.inrefs))
+	for _, in := range t.inrefs {
+		out = append(out, in)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Obj < out[j].Obj })
+	return out
+}
+
+// NumInrefs returns the number of inrefs.
+func (t *Table) NumInrefs() int { return len(t.inrefs) }
+
+// EachInref invokes fn for every inref in unspecified order, without
+// allocating (for order-insensitive scans like update reconciliation).
+// fn must not add or remove inrefs.
+func (t *Table) EachInref(fn func(*Inref)) {
+	for _, in := range t.inrefs {
+		fn(in)
+	}
+}
+
+// --- outrefs -------------------------------------------------------------
+
+// Outref returns the outref for a remote target, if present.
+func (t *Table) Outref(target ids.Ref) (*Outref, bool) {
+	o, ok := t.outrefs[target]
+	return o, ok
+}
+
+// EnsureOutref returns the outref for target, creating one if absent. A
+// freshly created outref starts with distance 1 (the most optimistic
+// estimate for a reference that just arrived; the next local trace and
+// update messages will correct it) and with the transfer-barrier clean mark
+// set, since a new outref is only created when a mutator is actively
+// passing the reference (Section 6.1.2, case 4: "Y creates a clean outref
+// for z").
+func (t *Table) EnsureOutref(target ids.Ref) (o *Outref, created bool) {
+	o, ok := t.outrefs[target]
+	if !ok {
+		o = &Outref{
+			Target:        target,
+			Distance:      1,
+			Barrier:       true,
+			BackThreshold: t.defaultBackThreshold,
+		}
+		t.outrefs[target] = o
+		created = true
+	}
+	return o, created
+}
+
+// RemoveOutref deletes an outref (trimmed after a local trace).
+func (t *Table) RemoveOutref(target ids.Ref) {
+	delete(t.outrefs, target)
+}
+
+// Outrefs returns all outrefs ordered by target reference.
+func (t *Table) Outrefs() []*Outref {
+	out := make([]*Outref, 0, len(t.outrefs))
+	for _, o := range t.outrefs {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Target.Less(out[j].Target) })
+	return out
+}
+
+// NumOutrefs returns the number of outrefs.
+func (t *Table) NumOutrefs() int { return len(t.outrefs) }
+
+// Pin increments the insert-barrier pin count of the outref for target,
+// creating the outref if needed (the sender must retain it).
+func (t *Table) Pin(target ids.Ref) *Outref {
+	o, _ := t.EnsureOutref(target)
+	o.Pins++
+	return o
+}
+
+// Unpin decrements the pin count; it is a no-op if the outref is missing or
+// unpinned (a duplicate ReleasePin after message retry is harmless).
+func (t *Table) Unpin(target ids.Ref) {
+	o, ok := t.outrefs[target]
+	if !ok {
+		return
+	}
+	if o.Pins > 0 {
+		o.Pins--
+	}
+}
+
+// ResetBarriers clears the transfer-barrier clean marks on every ioref;
+// the local trace calls this when it installs freshly computed distances
+// and back information (Section 6.1.1: barrier-cleaned outrefs "remain
+// clean until the site does the next local trace").
+func (t *Table) ResetBarriers() {
+	for _, in := range t.inrefs {
+		in.Barrier = false
+	}
+	for _, o := range t.outrefs {
+		o.Barrier = false
+	}
+}

@@ -1,0 +1,45 @@
+package site
+
+import (
+	"backtrace/internal/ids"
+)
+
+// Audit is a consistent snapshot of one site's collector-relevant state,
+// used by the cluster's omniscient safety/completeness auditor and the
+// cross-site invariant checker. It is a deep copy; mutating it does not
+// affect the site.
+type Audit struct {
+	// Objects maps every object to a copy of its reference fields.
+	Objects map[ids.ObjID][]ids.Ref
+	// PersistentRoots and AppRoots are the site's roots.
+	PersistentRoots []ids.ObjID
+	AppRoots        []ids.Ref
+	// Outrefs is the set of outref targets.
+	Outrefs map[ids.Ref]struct{}
+	// InrefSources maps each inref to its source sites.
+	InrefSources map[ids.ObjID][]ids.SiteID
+}
+
+// AuditSnapshot captures the site's state under the lock.
+func (s *Site) AuditSnapshot() Audit {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := Audit{
+		Objects:         make(map[ids.ObjID][]ids.Ref, s.heap.Len()),
+		PersistentRoots: s.heap.PersistentRoots(),
+		AppRoots:        s.heap.AppRoots(),
+		Outrefs:         make(map[ids.Ref]struct{}, s.table.NumOutrefs()),
+		InrefSources:    make(map[ids.ObjID][]ids.SiteID, s.table.NumInrefs()),
+	}
+	for _, obj := range s.heap.Objects() {
+		o, _ := s.heap.Get(obj)
+		a.Objects[obj] = o.Fields()
+	}
+	for _, o := range s.table.Outrefs() {
+		a.Outrefs[o.Target] = struct{}{}
+	}
+	for _, in := range s.table.Inrefs() {
+		a.InrefSources[in.Obj] = in.SourceSites()
+	}
+	return a
+}

@@ -1,0 +1,151 @@
+package site
+
+import (
+	"backtrace/internal/event"
+	"backtrace/internal/ids"
+	"backtrace/internal/msg"
+)
+
+// This file implements the Section 6.1 machinery: the transfer barrier
+// (6.1.1), the remote-copy cases and insert barrier (6.1.2), and the clean
+// rule notifications (6.4) they entail. All handlers run with the site
+// lock held.
+
+// handleRefTransfer processes an inbound reference transfer: the sending
+// site's mutator passed Payload to this site (remote copy or traversal).
+func (s *Site) handleRefTransfer(from ids.SiteID, m msg.RefTransfer) {
+	z := m.Payload
+	// The mutator on this site now holds the reference in a variable
+	// (application root) until it explicitly drops it; this is what makes
+	// the non-atomic mutator of Section 6.3 safe.
+	s.heap.AddAppRoot(z)
+
+	if z.Site == s.cfg.ID {
+		// Case 1: the object is local. The transfer barrier applies to
+		// its inref, and the sender's retention can be released — the
+		// owner (this site) has the transfer.
+		s.applyTransferBarrierInref(z.Obj)
+		s.sendReleasePin(m.Pinner, z)
+		return
+	}
+
+	if o, ok := s.table.Outref(z); ok {
+		// Cases 2 and 3: an outref exists. If it is suspected, clean it.
+		if !o.IsClean(s.cfg.SuspicionThreshold) {
+			s.cleanOutref(z)
+		}
+		s.sendReleasePin(m.Pinner, z)
+		return
+	}
+
+	// Case 4: no outref. Create a clean one and run the insert protocol;
+	// the sender stays pinned until the owner records us. The insert is
+	// remembered and retransmitted at each local trace until the owner
+	// acknowledges it (loss healing, Section 4.6 spirit).
+	s.table.EnsureOutref(z)
+	s.notePendingBarrierOutref(z)
+	ins := msg.Insert{Target: z, Holder: s.cfg.ID, Pinner: m.Pinner}
+	s.pendingInserts[z] = ins
+	s.send(z.Site, ins)
+}
+
+// handleInsert processes an insert message at the owner: record the new
+// holder in the inref's source list, apply the transfer barrier to the
+// inref (Section 6.1.2, case 4), acknowledge the holder, and release the
+// original sender's pin.
+func (s *Site) handleInsert(from ids.SiteID, m msg.Insert) {
+	if m.Target.Site != s.cfg.ID {
+		return // misrouted
+	}
+	if !s.heap.Contains(m.Target.Obj) {
+		// The object is gone: the reference was to garbage already
+		// collected (possible only if the sender's retention lapsed,
+		// e.g. after message loss). Nothing to record.
+		s.sendReleasePin(m.Pinner, m.Target)
+		return
+	}
+	s.table.AddSource(m.Target.Obj, m.Holder)
+	s.applyTransferBarrierInref(m.Target.Obj)
+	s.send(m.Holder, msg.InsertAck{Target: m.Target})
+	s.sendReleasePin(m.Pinner, m.Target)
+}
+
+// handleReleasePin releases the retention this site took when it sent the
+// reference (insert barrier, Section 6.1.2).
+func (s *Site) handleReleasePin(from ids.SiteID, m msg.ReleasePin) {
+	s.releasePinLocked(m.Target)
+}
+
+func (s *Site) releasePinLocked(target ids.Ref) {
+	if target.Site == s.cfg.ID {
+		s.heap.RemoveAppRoot(target)
+		return
+	}
+	s.table.Unpin(target)
+}
+
+// sendReleasePin routes a pin release to the original sender, handling the
+// case where the sender is this site.
+func (s *Site) sendReleasePin(pinner ids.SiteID, target ids.Ref) {
+	if pinner == ids.NoSite {
+		return
+	}
+	if pinner == s.cfg.ID {
+		s.releasePinLocked(target)
+		return
+	}
+	s.send(pinner, msg.ReleasePin{Target: target})
+}
+
+// applyTransferBarrierInref implements the transfer barrier (Section
+// 6.1.1): "When a mutator transfers (or traverses) a reference i to site
+// Q, if Q has a suspected inref for i, it cleans inref i and the outrefs
+// in i.outset."
+//
+// Cleaning notifies the engine so any back trace active on the cleaned
+// iorefs returns Live (the clean rule, Section 6.4). If a local trace is
+// between computation and commit, the application is recorded and replayed
+// against the new back information at commit (Section 6.2).
+func (s *Site) applyTransferBarrierInref(obj ids.ObjID) {
+	in, ok := s.table.Inref(obj)
+	if !ok || in.Garbage {
+		return
+	}
+	if in.IsClean(s.cfg.SuspicionThreshold) && !in.Barrier {
+		// Already clean by distance; outrefs in its outset are clean by
+		// the auxiliary invariant, so there is nothing to do.
+		return
+	}
+	in.Barrier = true
+	s.emit(event.Event{Kind: event.TransferBarrier, Obj: obj})
+	s.engine.NotifyCleanedInref(obj)
+	for _, target := range s.back.Outset(obj) {
+		s.cleanOutref(target)
+	}
+	if s.pending != nil {
+		s.pendingBarrierInrefs = append(s.pendingBarrierInrefs, obj)
+	}
+}
+
+// cleanOutref barrier-cleans one outref and notifies the engine.
+func (s *Site) cleanOutref(target ids.Ref) {
+	o, ok := s.table.Outref(target)
+	if !ok {
+		return
+	}
+	if !o.Barrier {
+		o.Barrier = true
+		s.emit(event.Event{Kind: event.OutrefCleaned, Ref: target})
+	}
+	s.engine.NotifyCleanedOutref(target)
+	s.notePendingBarrierOutref(target)
+}
+
+// notePendingBarrierOutref records a barrier-cleaned (or freshly created)
+// outref so its clean mark survives the commit of an in-flight local trace
+// (Section 6.2).
+func (s *Site) notePendingBarrierOutref(target ids.Ref) {
+	if s.pending != nil {
+		s.pendingBarrierOutrefs = append(s.pendingBarrierOutrefs, target)
+	}
+}

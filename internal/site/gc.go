@@ -1,0 +1,348 @@
+package site
+
+import (
+	"sort"
+
+	"backtrace/internal/event"
+	"backtrace/internal/ids"
+	"backtrace/internal/metrics"
+	"backtrace/internal/msg"
+	"backtrace/internal/refs"
+	"backtrace/internal/tracer"
+)
+
+// This file orchestrates the collector phases at one site: the two-phase
+// local trace (computation, then commit — the Section 6.2 double buffering
+// of back information), the update-message protocol that trims source
+// lists and propagates distances (Sections 2–3), and the policy for
+// triggering back traces (Section 4.3).
+
+// TraceReport summarizes one committed local trace.
+type TraceReport struct {
+	// Collected is the number of objects swept.
+	Collected int
+	// OutrefsTrimmed is the number of outrefs dropped.
+	OutrefsTrimmed int
+	// UpdatesSent is the number of update messages sent to target sites.
+	UpdatesSent int
+	// BackTracesStarted is the number of back traces triggered after the
+	// commit (only with AutoBackTrace).
+	BackTracesStarted int
+	// Stats carries the tracer's cost counters.
+	Stats tracer.Stats
+}
+
+// RunLocalTrace computes and immediately commits a local trace. Most
+// callers use this; tests exercising Section 6.2 interleavings call
+// BeginLocalTrace and CommitLocalTrace separately.
+func (s *Site) RunLocalTrace() TraceReport {
+	s.BeginLocalTrace()
+	return s.CommitLocalTrace()
+}
+
+// BeginLocalTrace computes a local trace — the forward mark, new outref
+// distances, and the new copy of the back information — without installing
+// any of it. Back traces arriving before the commit keep using the old
+// copy; transfer barriers applied before the commit are recorded and
+// replayed onto the new copy (Section 6.2).
+func (s *Site) BeginLocalTrace() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending = tracer.Run(s.heap, s.table, s.cfg.SuspicionThreshold, s.cfg.OutsetAlgorithm)
+	s.pendingBarrierInrefs = nil
+	s.pendingBarrierOutrefs = nil
+	s.cfg.Counters.Inc(metrics.LocalTraces)
+	s.cfg.Counters.Add(metrics.ObjectsTraced, s.pending.Stats.ObjectsTraced)
+	s.cfg.Counters.Add(metrics.ObjectsRetraced, s.pending.Stats.OutsetRetraced)
+	s.cfg.Counters.Add(metrics.OutsetUnions, s.pending.Stats.Unions)
+	s.cfg.Counters.Add(metrics.OutsetUnionsMemoHit, s.pending.Stats.MemoHits)
+}
+
+// CommitLocalTrace atomically installs the most recent BeginLocalTrace:
+// sweeps garbage, trims outrefs, applies new distances, replaces the back
+// information, resets expired barrier marks, replays barriers that arrived
+// during the trace, sends update messages, and (optionally) triggers back
+// traces.
+func (s *Site) CommitLocalTrace() TraceReport {
+	s.mu.Lock()
+	res := s.pending
+	s.pending = nil
+	if res == nil {
+		s.mu.Unlock()
+		return TraceReport{}
+	}
+	var rep TraceReport
+	rep.Stats = res.Stats
+
+	// 1. Sweep objects that were unreachable at computation time. (They
+	// cannot have become reachable since: no root or message can name an
+	// unreachable object.)
+	for _, obj := range res.Dead {
+		if s.heap.Contains(obj) {
+			s.heap.Delete(obj)
+			rep.Collected++
+		}
+	}
+	s.cfg.Counters.Add(metrics.ObjectsCollected, int64(rep.Collected))
+
+	// 2. New outref distances. Transitions to clean fire the clean rule.
+	for target, dist := range res.OutrefDist {
+		o, ok := s.table.Outref(target)
+		if !ok {
+			continue
+		}
+		wasClean := o.IsClean(s.cfg.SuspicionThreshold)
+		o.Distance = dist
+		if !wasClean && o.IsClean(s.cfg.SuspicionThreshold) {
+			s.engine.NotifyCleanedOutref(target)
+		}
+	}
+
+	// 3. Trim untraced outrefs — except those retained by the insert
+	// barrier (pins), barrier-cleaned by a transfer that happened AFTER
+	// this trace was computed (pre-computation barriers are superseded:
+	// "outrefs cleaned by the transfer barrier remain clean until the
+	// site does the next local trace"), or held in a mutator variable
+	// that appeared after the computation.
+	postBarrier := make(map[ids.Ref]struct{}, len(s.pendingBarrierOutrefs))
+	for _, target := range s.pendingBarrierOutrefs {
+		postBarrier[target] = struct{}{}
+	}
+	removals := make(map[ids.SiteID][]ids.ObjID)
+	for _, target := range res.Untraced {
+		o, ok := s.table.Outref(target)
+		if !ok {
+			continue
+		}
+		if _, barred := postBarrier[target]; barred || o.Pins > 0 || s.heap.HoldsAppRoot(target) {
+			continue
+		}
+		s.table.RemoveOutref(target)
+		removals[target.Site] = append(removals[target.Site], target.Obj)
+		rep.OutrefsTrimmed++
+	}
+
+	// 4. Install the new back information (the Section 6.2 atomic swap),
+	// reset the transfer-barrier marks that the new information
+	// supersedes, and replay barriers that arrived during the trace on
+	// the new copy.
+	s.back = res.Back
+	s.table.ResetBarriers()
+	for _, obj := range s.pendingBarrierInrefs {
+		if in, ok := s.table.Inref(obj); ok && !in.Garbage {
+			in.Barrier = true
+			for _, target := range s.back.Outset(obj) {
+				if o, ok := s.table.Outref(target); ok {
+					o.Barrier = true
+				}
+			}
+		}
+	}
+	for _, target := range s.pendingBarrierOutrefs {
+		if o, ok := s.table.Outref(target); ok {
+			o.Barrier = true
+		}
+	}
+	s.pendingBarrierInrefs = nil
+	s.pendingBarrierOutrefs = nil
+
+	entries := int64(s.back.Entries())
+	s.cfg.Counters.Add(metrics.BackInfoEntries, entries)
+	s.cfg.Counters.Max(metrics.BackInfoPeak, entries)
+
+	// 5. Build one update message per target site: source-list removals
+	// for trimmed outrefs, distance changes for retained ones (Sections
+	// 2–3), and the complete holds list for idempotent reconciliation.
+	// Peers we owe farewell updates to (no outrefs left) get a few empty
+	// updates so a lost removal heals.
+	updates := make(map[ids.SiteID]*msg.Update)
+	ensure := func(site ids.SiteID) *msg.Update {
+		u, ok := updates[site]
+		if !ok {
+			u = &msg.Update{}
+			updates[site] = u
+		}
+		return u
+	}
+	for siteID, objs := range removals {
+		sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+		ensure(siteID).Removals = objs
+	}
+	for _, o := range s.table.Outrefs() {
+		u := ensure(o.Target.Site)
+		u.Holds = append(u.Holds, o.Target.Obj)
+		if _, traced := res.OutrefDist[o.Target]; traced {
+			u.Distances = append(u.Distances, msg.DistanceUpdate{
+				Obj:      o.Target.Obj,
+				Distance: o.Distance,
+			})
+		}
+	}
+	for peer := range s.farewell {
+		ensure(peer)
+	}
+	sites := make([]ids.SiteID, 0, len(updates))
+	for siteID := range updates {
+		sites = append(sites, siteID)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	for _, siteID := range sites {
+		if siteID == s.cfg.ID {
+			continue
+		}
+		u := updates[siteID]
+		s.send(siteID, *u)
+		rep.UpdatesSent++
+		switch {
+		case len(u.Holds) > 0:
+			s.farewell[siteID] = 3
+		default:
+			n, owed := s.farewell[siteID]
+			switch {
+			case owed && n <= 1:
+				delete(s.farewell, siteID)
+			case owed:
+				s.farewell[siteID] = n - 1
+			case len(u.Removals) > 0:
+				s.farewell[siteID] = 2
+			}
+		}
+	}
+
+	// 5b. Retransmit unacknowledged inserts for outrefs that still exist.
+	for target, ins := range s.pendingInserts {
+		if _, ok := s.table.Outref(target); !ok {
+			delete(s.pendingInserts, target)
+			continue
+		}
+		s.send(target.Site, ins)
+	}
+
+	if rep.Collected > 0 {
+		s.emit(event.Event{Kind: event.ObjectsCollected, N: rep.Collected})
+	}
+	if rep.OutrefsTrimmed > 0 {
+		s.emit(event.Event{Kind: event.OutrefsTrimmed, N: rep.OutrefsTrimmed})
+	}
+
+	// 6. Trigger back traces from outrefs whose distance has crossed
+	// their back threshold (Section 4.3).
+	if s.cfg.AutoBackTrace {
+		rep.BackTracesStarted = s.triggerBackTracesLocked()
+	}
+	s.flushOutbox()
+	s.mu.Unlock()
+	return rep
+}
+
+// handleUpdate processes a peer's post-trace update message: drop the
+// sender from the source lists of removed references, reconcile against
+// the sender's complete holds list (healing any previously lost update),
+// and install new distances. Cleanliness transitions fire the clean rule.
+func (s *Site) handleUpdate(from ids.SiteID, m msg.Update) {
+	for _, obj := range m.Removals {
+		s.table.RemoveSource(obj, from)
+	}
+	// Reconciliation: any inref still listing the sender for an object
+	// the sender no longer holds an outref to must lose that source.
+	holds := make(map[ids.ObjID]struct{}, len(m.Holds))
+	for _, obj := range m.Holds {
+		holds[obj] = struct{}{}
+	}
+	var stale []ids.ObjID
+	s.table.EachInref(func(in *refs.Inref) {
+		if _, listed := in.Sources[from]; !listed {
+			return
+		}
+		if _, held := holds[in.Obj]; !held {
+			stale = append(stale, in.Obj)
+		}
+	})
+	for _, obj := range stale {
+		s.table.RemoveSource(obj, from)
+	}
+	for _, du := range m.Distances {
+		in, ok := s.table.Inref(du.Obj)
+		if !ok {
+			continue
+		}
+		wasClean := in.IsClean(s.cfg.SuspicionThreshold)
+		s.table.SetSourceDistance(du.Obj, from, du.Distance)
+		if !wasClean && in.IsClean(s.cfg.SuspicionThreshold) {
+			s.engine.NotifyCleanedInref(du.Obj)
+		}
+	}
+}
+
+// TriggerBackTraces scans the outref table and starts a back trace from
+// every suspected outref whose distance exceeds its back threshold
+// (Section 4.3). It returns the number of traces started.
+func (s *Site) TriggerBackTraces() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.flushOutbox()
+	return s.triggerBackTracesLocked()
+}
+
+func (s *Site) triggerBackTracesLocked() int {
+	started := 0
+	for _, o := range s.table.Outrefs() {
+		if s.engine.ShouldStart(o.Target) {
+			if t, ok := s.engine.StartTrace(o.Target); ok {
+				s.emit(event.Event{Kind: event.TraceStarted, Trace: t, Ref: o.Target})
+				started++
+			}
+		}
+	}
+	return started
+}
+
+// StartBackTrace starts a back trace from a specific outref, bypassing the
+// back-threshold policy (used by tests and experiments). It reports
+// whether a trace started.
+func (s *Site) StartBackTrace(target ids.Ref) (ids.TraceID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.flushOutbox()
+	t, ok := s.engine.StartTrace(target)
+	if ok {
+		s.emit(event.Event{Kind: event.TraceStarted, Trace: t, Ref: target})
+	}
+	return t, ok
+}
+
+// GarbageFlaggedInrefs returns the local objects whose inrefs a completed
+// back trace has flagged as garbage.
+func (s *Site) GarbageFlaggedInrefs() []ids.ObjID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []ids.ObjID
+	for _, in := range s.table.Inrefs() {
+		if in.Garbage {
+			out = append(out, in.Obj)
+		}
+	}
+	return out
+}
+
+// InrefDistance returns the current distance of the inref for obj, or
+// refs.DistInfinity if there is none.
+func (s *Site) InrefDistance(obj ids.ObjID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if in, ok := s.table.Inref(obj); ok {
+		return in.Distance()
+	}
+	return refs.DistInfinity
+}
+
+// OutrefDistance returns the current distance of the outref for target, or
+// refs.DistInfinity if there is none.
+func (s *Site) OutrefDistance(target ids.Ref) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if o, ok := s.table.Outref(target); ok {
+		return o.Distance
+	}
+	return refs.DistInfinity
+}

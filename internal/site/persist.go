@@ -1,0 +1,196 @@
+package site
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"backtrace/internal/event"
+	"backtrace/internal/ids"
+)
+
+// This file implements site checkpointing and crash recovery. The paper
+// targets persistent object stores (Thor), where a site's objects and its
+// inter-site reference lists survive crashes while in-flight protocol
+// state does not.
+//
+// Durable state: the heap (objects, fields, persistent roots), the inref
+// table (source lists, per-source distances, garbage flags, back
+// thresholds), and the outref table (distances, back thresholds). Volatile
+// state — application roots (mutator variables), insert-barrier pins,
+// activation frames, visit marks, and the computed back information — is
+// deliberately NOT checkpointed: the paper's timeout rules already cover a
+// participant that forgets a trace (peers assume Live, Section 4.6), and
+// back information is recomputed by the first post-recovery local trace.
+//
+// Until that first trace runs, every restored ioref carries the transfer-
+// barrier clean mark: a back trace visiting the recovering site returns
+// Live (safe), exactly the "clean until the next local trace" state the
+// barriers already create.
+
+// snapshotVersion identifies the checkpoint format.
+const snapshotVersion = 1
+
+type objectRec struct {
+	ID     ids.ObjID
+	Fields []ids.Ref
+	Size   int
+	Root   bool
+}
+
+type sourceRec struct {
+	Site ids.SiteID
+	Dist int
+}
+
+type inrefRec struct {
+	Obj           ids.ObjID
+	Sources       []sourceRec
+	Garbage       bool
+	BackThreshold int
+}
+
+type outrefRec struct {
+	Target        ids.Ref
+	Distance      int
+	BackThreshold int
+}
+
+type snapshotRec struct {
+	Version       int
+	Site          ids.SiteID
+	NextObj       ids.ObjID
+	Objects       []objectRec
+	Inrefs        []inrefRec
+	Outrefs       []outrefRec
+	SuspThreshold int
+}
+
+// WriteCheckpoint serializes the site's durable state. It takes the site
+// lock, so the checkpoint is a consistent cut of local state.
+func (s *Site) WriteCheckpoint(w io.Writer) error {
+	s.mu.Lock()
+	rec := snapshotRec{
+		Version:       snapshotVersion,
+		Site:          s.cfg.ID,
+		NextObj:       s.heap.NextID(),
+		SuspThreshold: s.cfg.SuspicionThreshold,
+	}
+	for _, obj := range s.heap.Objects() {
+		o, _ := s.heap.Get(obj)
+		rec.Objects = append(rec.Objects, objectRec{
+			ID:     obj,
+			Fields: o.Fields(),
+			Size:   o.Size(),
+			Root:   s.heap.IsPersistentRoot(obj),
+		})
+	}
+	for _, in := range s.table.Inrefs() {
+		ir := inrefRec{Obj: in.Obj, Garbage: in.Garbage, BackThreshold: in.BackThreshold}
+		for _, src := range in.SourceSites() {
+			ir.Sources = append(ir.Sources, sourceRec{Site: src, Dist: in.Sources[src]})
+		}
+		rec.Inrefs = append(rec.Inrefs, ir)
+	}
+	for _, o := range s.table.Outrefs() {
+		rec.Outrefs = append(rec.Outrefs, outrefRec{
+			Target:        o.Target,
+			Distance:      o.Distance,
+			BackThreshold: o.BackThreshold,
+		})
+	}
+	s.mu.Unlock()
+
+	if err := gob.NewEncoder(w).Encode(rec); err != nil {
+		return fmt.Errorf("site %v: encode checkpoint: %w", s.cfg.ID, err)
+	}
+	return nil
+}
+
+// Checkpoint writes the durable state to a file, atomically (temp file +
+// rename), so a crash during checkpointing never corrupts the previous
+// checkpoint.
+func (s *Site) Checkpoint(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("site %v: checkpoint: %w", s.cfg.ID, err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := s.WriteCheckpoint(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("site %v: checkpoint sync: %w", s.cfg.ID, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("site %v: checkpoint close: %w", s.cfg.ID, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("site %v: checkpoint rename: %w", s.cfg.ID, err)
+	}
+	s.mu.Lock()
+	s.emit(event.Event{Kind: event.CheckpointWritten})
+	s.mu.Unlock()
+	return nil
+}
+
+// Restore builds a site from a checkpoint, registers it on cfg.Network,
+// and returns it. cfg.ID must match the checkpointed site. Restored iorefs
+// start barrier-clean; run a local trace to recompute distances and back
+// information.
+func Restore(cfg Config, r io.Reader) (*Site, error) {
+	var rec snapshotRec
+	if err := gob.NewDecoder(r).Decode(&rec); err != nil {
+		return nil, fmt.Errorf("restore site: decode: %w", err)
+	}
+	if rec.Version != snapshotVersion {
+		return nil, fmt.Errorf("restore site: unsupported checkpoint version %d", rec.Version)
+	}
+	if cfg.ID == ids.NoSite {
+		cfg.ID = rec.Site
+	}
+	if cfg.ID != rec.Site {
+		return nil, fmt.Errorf("restore site: checkpoint is for %v, config says %v", rec.Site, cfg.ID)
+	}
+	s := New(cfg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, o := range rec.Objects {
+		if err := s.heap.Install(o.ID, o.Fields, o.Size, o.Root); err != nil {
+			return nil, fmt.Errorf("restore site %v: %w", cfg.ID, err)
+		}
+	}
+	s.heap.SetNextID(rec.NextObj)
+	for _, ir := range rec.Inrefs {
+		in := s.table.EnsureInref(ir.Obj)
+		for _, src := range ir.Sources {
+			in.Sources[src.Site] = src.Dist
+		}
+		in.Garbage = ir.Garbage
+		in.BackThreshold = ir.BackThreshold
+		in.Barrier = !ir.Garbage // conservatively clean until the first trace
+	}
+	for _, orc := range rec.Outrefs {
+		o, _ := s.table.EnsureOutref(orc.Target)
+		o.Distance = orc.Distance
+		o.BackThreshold = orc.BackThreshold
+		o.Barrier = true // conservatively clean until the first trace
+	}
+	s.emit(event.Event{Kind: event.SiteRestored})
+	return s, nil
+}
+
+// RestoreFile is Restore reading from a checkpoint file.
+func RestoreFile(cfg Config, path string) (*Site, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("restore site: %w", err)
+	}
+	defer f.Close()
+	return Restore(cfg, f)
+}

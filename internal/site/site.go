@@ -1,0 +1,404 @@
+// Package site composes a complete site of the back-tracing collector: the
+// object heap, the inref/outref tables, the local tracer, and the back-
+// tracing engine, wired to a transport.Network.
+//
+// A Site is the unit of locality in the paper: it traces its own objects
+// independently, exchanges insert/update messages to maintain inter-site
+// reference lists (Section 2), propagates distance estimates (Section 3),
+// computes back information during local traces (Section 5), participates
+// in back traces (Section 4), and applies the transfer and insert barriers
+// that keep everything safe under concurrent mutation (Section 6).
+//
+// All state is guarded by one mutex; message handlers, mutator operations,
+// and collector phases are short critical sections, matching the paper's
+// concurrency model.
+package site
+
+import (
+	"sync"
+	"time"
+
+	"backtrace/internal/core"
+	"backtrace/internal/event"
+	"backtrace/internal/heap"
+	"backtrace/internal/ids"
+	"backtrace/internal/metrics"
+	"backtrace/internal/msg"
+	"backtrace/internal/refs"
+	"backtrace/internal/tracer"
+	"backtrace/internal/transport"
+)
+
+// Config parameterizes a Site.
+type Config struct {
+	// ID is the site's identifier (must be unique in the cluster).
+	ID ids.SiteID
+	// Network connects the site to its peers.
+	Network transport.Network
+	// SuspicionThreshold is T (Section 3): iorefs with estimated distance
+	// beyond T are suspected. Defaults to 3.
+	SuspicionThreshold int
+	// BackThreshold is T2 (Section 4.3), the initial per-ioref trigger for
+	// starting a back trace; it should be T plus a conservative cycle
+	// length estimate. Defaults to SuspicionThreshold + 4.
+	BackThreshold int
+	// ThresholdBump is δ, added to an ioref's back threshold each time a
+	// back trace visits it. Defaults to 4.
+	ThresholdBump int
+	// OutsetAlgorithm selects the Section 5 inset computation; defaults
+	// to the Section 5.2 bottom-up algorithm.
+	OutsetAlgorithm tracer.OutsetAlgorithm
+	// CallTimeout / ReportTimeout bound back-trace waits (Section 4.6);
+	// zero disables timeouts (appropriate with a reliable transport).
+	CallTimeout   time.Duration
+	ReportTimeout time.Duration
+	// AutoBackTrace, when true, starts back traces automatically after
+	// each local trace from every outref whose distance has crossed its
+	// back threshold.
+	AutoBackTrace bool
+	// AdaptiveThreshold, when true, raises the suspicion threshold after
+	// repeated Live back-trace outcomes (the tuning knob Section 3
+	// suggests: "if too many suspects are found live, the threshold
+	// should be increased").
+	AdaptiveThreshold bool
+	// Piggyback, when true, coalesces the messages produced within one
+	// protocol step (a message delivery, a trace commit, a timeout scan)
+	// into one Batch envelope per destination — the piggybacking the
+	// paper suggests for the small back-trace messages (Section 4.6).
+	Piggyback bool
+	// Counters receives metrics; may be nil (a fresh set is created).
+	Counters *metrics.Counters
+	// Events, if non-nil, receives structured observability events
+	// (trace lifecycle, barriers, sweeps, timeouts).
+	Events *event.Log
+}
+
+func (c Config) withDefaults() Config {
+	if c.SuspicionThreshold == 0 {
+		c.SuspicionThreshold = 3
+	}
+	if c.BackThreshold == 0 {
+		c.BackThreshold = c.SuspicionThreshold + 4
+	}
+	if c.ThresholdBump == 0 {
+		c.ThresholdBump = 4
+	}
+	if c.OutsetAlgorithm == 0 {
+		c.OutsetAlgorithm = tracer.AlgoBottomUp
+	}
+	if c.Counters == nil {
+		c.Counters = &metrics.Counters{}
+	}
+	return c
+}
+
+// Site is one node of the distributed store.
+type Site struct {
+	cfg Config
+
+	mu     sync.Mutex
+	heap   *heap.Heap
+	table  *refs.Table
+	engine *core.Engine
+	back   *tracer.BackInfo
+
+	// pending holds a computed-but-uncommitted local trace (Section 6.2:
+	// the "new copy" being prepared while back traces still use the old).
+	pending *tracer.Result
+	// pendingBarrierInrefs / pendingBarrierOutrefs record transfer-barrier
+	// applications that arrived while pending != nil; their cleaning is
+	// re-applied to the new copy at commit.
+	pendingBarrierInrefs  []ids.ObjID
+	pendingBarrierOutrefs []ids.Ref
+
+	liveStreak int // consecutive Live outcomes, for AdaptiveThreshold
+
+	// outbox holds messages coalesced per destination while a protocol
+	// step runs (Piggyback mode); outboxOrder keeps flushing
+	// deterministic.
+	outbox      map[ids.SiteID][]msg.Message
+	outboxOrder []ids.SiteID
+
+	// pendingInserts tracks insert messages awaiting acknowledgement;
+	// they are retransmitted at each local trace so a lost insert heals.
+	pendingInserts map[ids.Ref]msg.Insert
+	// farewell counts down the empty update messages still owed to peers
+	// we no longer hold outrefs for, so a lost removal update heals.
+	farewell map[ids.SiteID]int
+
+	completions []TraceOutcome
+}
+
+// TraceOutcome records one completed back trace initiated by this site.
+type TraceOutcome struct {
+	Trace        ids.TraceID
+	Outcome      msg.Verdict
+	Participants []ids.SiteID
+}
+
+var _ transport.Handler = (*Site)(nil)
+
+// New creates a site and registers it on the network.
+func New(cfg Config) *Site {
+	cfg = cfg.withDefaults()
+	s := &Site{
+		cfg:            cfg,
+		heap:           heap.New(cfg.ID),
+		table:          refs.NewTable(cfg.ID, cfg.BackThreshold),
+		back:           tracer.EmptyBackInfo(),
+		pendingInserts: make(map[ids.Ref]msg.Insert),
+		farewell:       make(map[ids.SiteID]int),
+		outbox:         make(map[ids.SiteID][]msg.Message),
+	}
+	s.engine = core.NewEngine(core.Config{
+		Site:          cfg.ID,
+		Threshold:     cfg.SuspicionThreshold,
+		ThresholdBump: cfg.ThresholdBump,
+		CallTimeout:   cfg.CallTimeout,
+		ReportTimeout: cfg.ReportTimeout,
+		Send:          s.send,
+		Table:         s.table,
+		Inset:         func(target ids.Ref) []ids.ObjID { return s.back.Inset(target) },
+		Counters:      cfg.Counters,
+		Completed:     s.onTraceCompleted,
+		OnFlagged: func(obj ids.ObjID) {
+			s.emit(event.Event{Kind: event.InrefFlagged, Obj: obj})
+		},
+		OnTimeout: func(t ids.TraceID) {
+			s.emit(event.Event{Kind: event.TimeoutAssumedLive, Trace: t})
+		},
+	})
+	cfg.Network.Register(cfg.ID, s)
+	return s
+}
+
+// ID returns the site's identifier.
+func (s *Site) ID() ids.SiteID { return s.cfg.ID }
+
+// Counters returns the site's metrics counters.
+func (s *Site) Counters() *metrics.Counters { return s.cfg.Counters }
+
+// send transmits (or, in Piggyback mode, queues) one protocol message. It
+// is called with the site lock held; flushOutbox runs before the lock is
+// released by every entry point that can send.
+func (s *Site) send(to ids.SiteID, m msg.Message) {
+	if !s.cfg.Piggyback {
+		s.cfg.Network.Send(s.cfg.ID, to, m)
+		return
+	}
+	if _, ok := s.outbox[to]; !ok {
+		s.outboxOrder = append(s.outboxOrder, to)
+	}
+	s.outbox[to] = append(s.outbox[to], m)
+}
+
+// flushOutbox ships the coalesced messages: one Batch envelope per
+// destination (or the bare message when only one queued).
+func (s *Site) flushOutbox() {
+	if !s.cfg.Piggyback || len(s.outboxOrder) == 0 {
+		return
+	}
+	for _, to := range s.outboxOrder {
+		items := s.outbox[to]
+		delete(s.outbox, to)
+		switch len(items) {
+		case 0:
+		case 1:
+			s.cfg.Network.Send(s.cfg.ID, to, items[0])
+		default:
+			s.cfg.Network.Send(s.cfg.ID, to, msg.Batch{Items: items})
+		}
+	}
+	s.outboxOrder = s.outboxOrder[:0]
+}
+
+// emit appends an observability event if a log is configured.
+func (s *Site) emit(e event.Event) {
+	if s.cfg.Events != nil {
+		e.Site = s.cfg.ID
+		s.cfg.Events.Append(e)
+	}
+}
+
+// onTraceCompleted runs (with the lock held) when a trace this site
+// initiated finishes.
+func (s *Site) onTraceCompleted(t ids.TraceID, outcome msg.Verdict, participants []ids.SiteID) {
+	s.completions = append(s.completions, TraceOutcome{Trace: t, Outcome: outcome, Participants: participants})
+	s.emit(event.Event{Kind: event.TraceCompleted, Trace: t, Verdict: outcome, N: len(participants)})
+	if !s.cfg.AdaptiveThreshold {
+		return
+	}
+	if outcome == msg.VerdictLive {
+		s.liveStreak++
+		if s.liveStreak >= 3 {
+			// Too many live suspects: raise T (Section 3).
+			s.cfg.SuspicionThreshold++
+			s.engine.SetThreshold(s.cfg.SuspicionThreshold)
+			s.liveStreak = 0
+		}
+	} else {
+		s.liveStreak = 0
+	}
+}
+
+// Completions drains and returns the outcomes of back traces initiated by
+// this site since the previous call.
+func (s *Site) Completions() []TraceOutcome {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.completions
+	s.completions = nil
+	return out
+}
+
+// Deliver implements transport.Handler: it dispatches one inbound message.
+// The transport invokes it serially per site.
+func (s *Site) Deliver(from ids.SiteID, m msg.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.flushOutbox()
+	s.deliverLocked(from, m)
+}
+
+func (s *Site) deliverLocked(from ids.SiteID, m msg.Message) {
+	switch mm := m.(type) {
+	case msg.RefTransfer:
+		s.handleRefTransfer(from, mm)
+	case msg.Insert:
+		s.handleInsert(from, mm)
+	case msg.InsertAck:
+		// The holder's outref is now protected by the owner's source
+		// list: stop retransmitting the insert.
+		delete(s.pendingInserts, mm.Target)
+	case msg.ReleasePin:
+		s.handleReleasePin(from, mm)
+	case msg.Update:
+		s.handleUpdate(from, mm)
+	case msg.BackCall:
+		s.engine.HandleBackCall(from, mm)
+	case msg.BackReply:
+		s.engine.HandleBackReply(from, mm)
+	case msg.Report:
+		s.engine.HandleReport(from, mm)
+	case msg.Batch:
+		for _, item := range mm.Items {
+			s.deliverLocked(from, item)
+		}
+	}
+}
+
+// CheckTimeouts expires overdue back-trace state (Section 4.6). Call it
+// periodically when running over an unreliable transport.
+func (s *Site) CheckTimeouts() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.flushOutbox()
+	s.engine.CheckTimeouts()
+}
+
+// SuspicionThreshold returns the site's current suspicion threshold T
+// (which AdaptiveThreshold may have raised).
+func (s *Site) SuspicionThreshold() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg.SuspicionThreshold
+}
+
+// --- introspection for tests, tools, and experiments ---------------------
+
+// NumObjects returns the number of objects in the heap.
+func (s *Site) NumObjects() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.heap.Len()
+}
+
+// ContainsObject reports whether the heap holds the object.
+func (s *Site) ContainsObject(obj ids.ObjID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.heap.Contains(obj)
+}
+
+// NumInrefs and NumOutrefs report table sizes.
+func (s *Site) NumInrefs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table.NumInrefs()
+}
+
+// NumOutrefs reports the outref table size.
+func (s *Site) NumOutrefs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table.NumOutrefs()
+}
+
+// InrefInfo describes one inref for introspection.
+type InrefInfo struct {
+	Obj      ids.ObjID
+	Distance int
+	Sources  []ids.SiteID
+	Clean    bool
+	Garbage  bool
+}
+
+// Inrefs returns a snapshot of the inref table.
+func (s *Site) Inrefs() []InrefInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]InrefInfo, 0, s.table.NumInrefs())
+	for _, in := range s.table.Inrefs() {
+		out = append(out, InrefInfo{
+			Obj:      in.Obj,
+			Distance: in.Distance(),
+			Sources:  in.SourceSites(),
+			Clean:    in.IsClean(s.cfg.SuspicionThreshold),
+			Garbage:  in.Garbage,
+		})
+	}
+	return out
+}
+
+// OutrefInfo describes one outref for introspection.
+type OutrefInfo struct {
+	Target        ids.Ref
+	Distance      int
+	Clean         bool
+	Pinned        bool
+	BackThreshold int
+	Inset         []ids.ObjID
+}
+
+// Outrefs returns a snapshot of the outref table.
+func (s *Site) Outrefs() []OutrefInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]OutrefInfo, 0, s.table.NumOutrefs())
+	for _, o := range s.table.Outrefs() {
+		out = append(out, OutrefInfo{
+			Target:        o.Target,
+			Distance:      o.Distance,
+			Clean:         o.IsClean(s.cfg.SuspicionThreshold),
+			Pinned:        o.Pins > 0,
+			BackThreshold: o.BackThreshold,
+			Inset:         s.back.Inset(o.Target),
+		})
+	}
+	return out
+}
+
+// BackInfoEntries returns the current number of (inref, outref) pairs in
+// the installed back information — the paper's O(ni·no)-bounded quantity.
+func (s *Site) BackInfoEntries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.back.Entries()
+}
+
+// ActiveFrames exposes the engine's live activation-frame count.
+func (s *Site) ActiveFrames() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.ActiveFrames()
+}

@@ -1,0 +1,183 @@
+package tracer
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"backtrace/internal/ids"
+)
+
+// refSetFromBytes builds a small sorted deduplicated ref set from fuzz
+// bytes.
+func refSetFromBytes(bs []byte) []ids.Ref {
+	set := make(map[ids.Ref]struct{})
+	for _, b := range bs {
+		set[ids.MakeRef(ids.SiteID(b%4+2), ids.ObjID(b%16+1))] = struct{}{}
+	}
+	out := make([]ids.Ref, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+func TestInternerCanonicalSharing(t *testing.T) {
+	it := newInterner()
+	a := refSetFromBytes([]byte{1, 2, 3})
+	b := refSetFromBytes([]byte{3, 2, 1})
+	ida := it.intern(a)
+	idb := it.intern(b)
+	if ida != idb {
+		t.Fatal("equal sets interned to different ids")
+	}
+	if ida == emptyOutset {
+		t.Fatal("non-empty set interned as empty")
+	}
+	if it.intern(nil) != emptyOutset {
+		t.Fatal("nil set not the empty outset")
+	}
+}
+
+func TestInternerUnionSemantics(t *testing.T) {
+	f := func(x, y []byte) bool {
+		it := newInterner()
+		a := it.intern(refSetFromBytes(x))
+		b := it.intern(refSetFromBytes(y))
+		u := it.union(a, b)
+		// Model answer via a map.
+		want := make(map[ids.Ref]struct{})
+		for _, r := range it.refs(a) {
+			want[r] = struct{}{}
+		}
+		for _, r := range it.refs(b) {
+			want[r] = struct{}{}
+		}
+		got := it.refs(u)
+		if len(got) != len(want) {
+			return false
+		}
+		for _, r := range got {
+			if _, ok := want[r]; !ok {
+				return false
+			}
+		}
+		// Sortedness of the canonical form.
+		for i := 1; i < len(got); i++ {
+			if !got[i-1].Less(got[i]) {
+				return false
+			}
+		}
+		// Commutativity and idempotence land on the same ids.
+		if it.union(b, a) != u || it.union(u, u) != u || it.union(u, a) != u {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInternerUnionAssociative(t *testing.T) {
+	f := func(x, y, z []byte) bool {
+		it := newInterner()
+		a := it.intern(refSetFromBytes(x))
+		b := it.intern(refSetFromBytes(y))
+		c := it.intern(refSetFromBytes(z))
+		return it.union(it.union(a, b), c) == it.union(a, it.union(b, c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInternerAddRef(t *testing.T) {
+	f := func(x []byte, b byte) bool {
+		it := newInterner()
+		a := it.intern(refSetFromBytes(x))
+		r := ids.MakeRef(ids.SiteID(b%4+2), ids.ObjID(b%16+1))
+		u := it.addRef(a, r)
+		got := it.refs(u)
+		found := false
+		for _, g := range got {
+			if g == r {
+				found = true
+			}
+		}
+		if !found {
+			return false
+		}
+		// addRef is equivalent to union with the singleton.
+		s := it.intern([]ids.Ref{r})
+		if it.union(a, s) != u {
+			return false
+		}
+		// Adding an element already present is the identity.
+		return it.addRef(u, r) == u
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInternerMemoization(t *testing.T) {
+	it := newInterner()
+	a := it.intern(refSetFromBytes([]byte{1, 2}))
+	b := it.intern(refSetFromBytes([]byte{3, 4}))
+	it.union(a, b)
+	before := it.memoHits
+	it.union(a, b)
+	it.union(b, a) // symmetric key
+	if it.memoHits != before+2 {
+		t.Fatalf("memoHits = %d, want %d", it.memoHits, before+2)
+	}
+	r := ids.MakeRef(2, 1)
+	it.addRef(a, r)
+	hits := it.memoHits
+	it.addRef(a, r)
+	if it.memoHits != hits+1 {
+		t.Fatal("addRef not memoized")
+	}
+}
+
+func TestMergeRefs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		x := make([]byte, rng.Intn(10))
+		y := make([]byte, rng.Intn(10))
+		rng.Read(x)
+		rng.Read(y)
+		a, b := refSetFromBytes(x), refSetFromBytes(y)
+		got := mergeRefs(a, b)
+		want := refSetFromBytes(append(append([]byte{}, x...), y...))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("mergeRefs(%v, %v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestOutsetKeyInjective(t *testing.T) {
+	// Distinct sets must produce distinct keys (the canonical map relies
+	// on it); in particular boundary-crossing byte patterns.
+	sets := [][]ids.Ref{
+		nil,
+		{ids.MakeRef(1, 1)},
+		{ids.MakeRef(1, 256)},
+		{ids.MakeRef(256, 1)},
+		{ids.MakeRef(1, 1), ids.MakeRef(1, 2)},
+		{ids.MakeRef(1, 1), ids.MakeRef(2, 1)},
+		{ids.MakeRef(0x01020304, 0x05060708090a0b0c)},
+	}
+	seen := make(map[string]int)
+	for i, s := range sets {
+		k := outsetKey(s)
+		if j, ok := seen[k]; ok {
+			t.Fatalf("sets %d and %d collide on key %q", i, j, k)
+		}
+		seen[k] = i
+	}
+}

@@ -1,0 +1,151 @@
+package tracer
+
+import (
+	"fmt"
+	"sort"
+
+	"backtrace/internal/heap"
+	"backtrace/internal/ids"
+	"backtrace/internal/refs"
+)
+
+// OutsetAlgorithm selects how outsets of suspected inrefs are computed.
+type OutsetAlgorithm int
+
+const (
+	// AlgoBottomUp is the Section 5.2 single-pass algorithm (default):
+	// Tarjan SCCs, interned canonical outsets, memoized unions.
+	AlgoBottomUp OutsetAlgorithm = iota + 1
+	// AlgoIndependent is the Section 5.1 algorithm: an independent trace
+	// from every suspected inref, possibly retracing objects.
+	AlgoIndependent
+)
+
+// String returns the algorithm's name.
+func (a OutsetAlgorithm) String() string {
+	switch a {
+	case AlgoBottomUp:
+		return "bottom-up"
+	case AlgoIndependent:
+		return "independent"
+	default:
+		return fmt.Sprintf("OutsetAlgorithm(%d)", int(a))
+	}
+}
+
+// Stats reports the cost of one local trace.
+type Stats struct {
+	// ObjectsTraced counts objects scanned by the forward marking phase
+	// (each exactly once).
+	ObjectsTraced int64
+	// OutsetVisits counts object scans during outset computation.
+	OutsetVisits int64
+	// OutsetRetraced counts scans beyond an object's first during outset
+	// computation (nonzero only for AlgoIndependent).
+	OutsetRetraced int64
+	// Unions and MemoHits count outset union operations and how many were
+	// answered from the memo tables (AlgoBottomUp only).
+	Unions   int64
+	MemoHits int64
+	// SuspectedInrefs and SuspectedOutrefs count the suspected iorefs at
+	// this trace (ni and no in the paper's space bound).
+	SuspectedInrefs  int
+	SuspectedOutrefs int
+}
+
+// Result is the outcome of one local trace, computed without mutating the
+// heap or the ioref tables. The owning Site applies it (sweeping dead
+// objects, trimming outrefs, installing distances and back information) at
+// commit time; see Section 6.2 for why computation and installation are
+// separated.
+type Result struct {
+	// Threshold is the suspicion threshold the trace classified with.
+	Threshold int
+	// Marked maps every object reached from a root (persistent roots,
+	// application roots, and non-garbage-flagged inrefs) to the distance
+	// of the first root that reached it.
+	Marked map[ids.ObjID]int
+	// Dead lists the objects that were present and unreached — garbage to
+	// sweep, in ascending order.
+	Dead []ids.ObjID
+	// OutrefDist maps each outref the trace reached to its new distance.
+	OutrefDist map[ids.Ref]int
+	// Untraced lists outrefs the trace did not reach — candidates for
+	// trimming (ascending order). The commit skips any that are pinned or
+	// barrier-cleaned by then.
+	Untraced []ids.Ref
+	// Missing lists remote references found in reachable objects with no
+	// outref table entry; always empty unless a protocol invariant broke.
+	Missing []ids.Ref
+	// Back is the freshly computed back information for suspected iorefs.
+	Back *BackInfo
+	// Stats reports the trace's cost.
+	Stats Stats
+}
+
+// IsCleanObj reports whether the trace classified a local object as clean
+// (reached from a root at distance ≤ threshold).
+func (r *Result) IsCleanObj(obj ids.ObjID) bool {
+	d, ok := r.Marked[obj]
+	return ok && d <= r.Threshold
+}
+
+// IsLiveObj reports whether the trace reached the object at all.
+func (r *Result) IsLiveObj(obj ids.ObjID) bool {
+	_, ok := r.Marked[obj]
+	return ok
+}
+
+// Run performs a local trace of the heap at the given suspicion threshold:
+// the distance-ordered forward mark of Sections 2–3 followed by the
+// Section 5 computation of back information with the selected algorithm.
+// It does not modify the heap or the tables.
+func Run(h *heap.Heap, tbl *refs.Table, threshold int, algo OutsetAlgorithm) *Result {
+	mr := forwardMark(h, tbl)
+
+	env := &outsetEnv{h: h, tbl: tbl, mr: mr, threshold: threshold}
+	var (
+		outsets map[ids.ObjID][]ids.Ref
+		ost     outsetStats
+	)
+	switch algo {
+	case AlgoIndependent:
+		outsets, ost = outsetsIndependent(env)
+	default:
+		outsets, ost = outsetsBottomUp(env)
+	}
+
+	res := &Result{
+		Threshold:  threshold,
+		Marked:     mr.marked,
+		OutrefDist: mr.outrefDist,
+		Missing:    mr.missingOutrefs,
+		Back:       NewBackInfo(outsets),
+		Stats: Stats{
+			ObjectsTraced:   mr.objectsTraced,
+			OutsetVisits:    ost.objectsVisited,
+			OutsetRetraced:  ost.objectsRetraced,
+			Unions:          ost.unions,
+			MemoHits:        ost.memoHits,
+			SuspectedInrefs: len(outsets),
+		},
+	}
+
+	for _, obj := range h.Objects() {
+		if _, ok := mr.marked[obj]; !ok {
+			res.Dead = append(res.Dead, obj)
+		}
+	}
+	for _, o := range tbl.Outrefs() {
+		if _, ok := mr.outrefDist[o.Target]; !ok {
+			res.Untraced = append(res.Untraced, o.Target)
+		}
+	}
+	for _, d := range mr.outrefDist {
+		if d > threshold+1 {
+			res.Stats.SuspectedOutrefs++
+		}
+	}
+	sort.Slice(res.Untraced, func(i, j int) bool { return res.Untraced[i].Less(res.Untraced[j]) })
+	return res
+}

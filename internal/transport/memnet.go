@@ -1,0 +1,422 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"backtrace/internal/ids"
+	"backtrace/internal/msg"
+)
+
+// Options configures an in-memory network.
+type Options struct {
+	// Latency is the base one-way delivery delay. Zero means immediate.
+	Latency time.Duration
+	// Jitter adds a uniformly random extra delay in [0, Jitter) per
+	// message. Delivery remains FIFO per destination.
+	Jitter time.Duration
+	// DropProb is the probability in [0, 1] that any given message is
+	// lost. The decision is made at send time.
+	DropProb float64
+	// Seed seeds the random source used for jitter and drops, making a
+	// lossy run reproducible. Zero selects a fixed default seed.
+	Seed int64
+	// Stepped, when true, disables background delivery entirely: sent
+	// messages accumulate in a pending queue until the test delivers them
+	// explicitly with DeliverNext, DeliverAll, or DeliverMatching. This is
+	// how the paper's race figures are replayed deterministically.
+	Stepped bool
+	// Observer, if non-nil, is called for every send attempt.
+	Observer Observer
+}
+
+// Net is an in-process Network connecting sites in one OS process.
+//
+// In the default (asynchronous) mode each destination site has a delivery
+// worker goroutine that pops messages in send order, waits out the simulated
+// latency, and invokes the site's handler. In stepped mode there are no
+// workers and the test controls delivery.
+type Net struct {
+	opts Options
+
+	mu       sync.Mutex
+	handlers map[ids.SiteID]Handler
+	workers  map[ids.SiteID]*memWorker
+	crashed  map[ids.SiteID]bool
+	cut      map[[2]ids.SiteID]bool // symmetric partition pairs
+	rng      *rand.Rand
+	pending  []delivery // stepped mode only
+	inflight int
+	closed   bool
+}
+
+var _ Network = (*Net)(nil)
+
+type delivery struct {
+	env     msg.Envelope
+	ready   time.Time
+	dropped bool
+}
+
+// NewNet builds an in-memory network with the given options.
+func NewNet(opts Options) *Net {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	n := &Net{
+		opts:     opts,
+		handlers: make(map[ids.SiteID]Handler),
+		workers:  make(map[ids.SiteID]*memWorker),
+		crashed:  make(map[ids.SiteID]bool),
+		cut:      make(map[[2]ids.SiteID]bool),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	return n
+}
+
+// Register implements Network.
+func (n *Net) Register(site ids.SiteID, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[site] = h
+	if !n.opts.Stepped {
+		if _, ok := n.workers[site]; !ok {
+			w := newMemWorker(n, site)
+			n.workers[site] = w
+			go w.run()
+		}
+	}
+}
+
+func pairKey(a, b ids.SiteID) [2]ids.SiteID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]ids.SiteID{a, b}
+}
+
+// Send implements Network.
+func (n *Net) Send(from, to ids.SiteID, m msg.Message) {
+	env := msg.Envelope{From: from, To: to, M: m}
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	dropped := n.crashed[from] || n.crashed[to] || n.cut[pairKey(from, to)]
+	if !dropped && n.opts.DropProb > 0 && n.rng.Float64() < n.opts.DropProb {
+		dropped = true
+	}
+	if _, ok := n.handlers[to]; !ok {
+		dropped = true
+	}
+	obs := n.opts.Observer
+	if dropped {
+		n.mu.Unlock()
+		if obs != nil {
+			obs(env, true)
+		}
+		return
+	}
+
+	var extra time.Duration
+	if n.opts.Jitter > 0 {
+		extra = time.Duration(n.rng.Int63n(int64(n.opts.Jitter)))
+	}
+	d := delivery{env: env, ready: time.Now().Add(n.opts.Latency + extra)}
+	n.inflight++
+	if n.opts.Stepped {
+		n.pending = append(n.pending, d)
+		n.mu.Unlock()
+	} else {
+		w := n.workers[to]
+		n.mu.Unlock()
+		w.enqueue(d)
+	}
+	if obs != nil {
+		obs(env, false)
+	}
+}
+
+// finishDelivery decrements the in-flight counter after a handler returns.
+func (n *Net) finishDelivery() {
+	n.mu.Lock()
+	n.inflight--
+	n.mu.Unlock()
+}
+
+// dispatch invokes the destination handler for one delivery and accounts
+// for it. The caller must not hold n.mu.
+func (n *Net) dispatch(d delivery) {
+	n.mu.Lock()
+	h := n.handlers[d.env.To]
+	crashed := n.crashed[d.env.To]
+	n.mu.Unlock()
+	if h != nil && !crashed {
+		h.Deliver(d.env.From, d.env.M)
+	}
+	n.finishDelivery()
+}
+
+// SetDropProb changes the message-loss probability at runtime (tests build
+// their object graphs reliably, then inject loss for the collection phase).
+func (n *Net) SetDropProb(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.opts.DropProb = p
+}
+
+// Crash marks a site as crashed: all messages to and from it are dropped
+// (including ones already queued) until Restart is called. Crashing a site
+// does not clear its registered handler.
+func (n *Net) Crash(site ids.SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crashed[site] = true
+}
+
+// Restart clears a site's crashed status.
+func (n *Net) Restart(site ids.SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.crashed, site)
+}
+
+// Partition cuts the bidirectional link between two sites.
+func (n *Net) Partition(a, b ids.SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut[pairKey(a, b)] = true
+}
+
+// Heal restores the link between two sites.
+func (n *Net) Heal(a, b ids.SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cut, pairKey(a, b))
+}
+
+// Quiesce blocks until no messages are in flight or queued, or until the
+// timeout elapses. It returns an error on timeout. Quiesce is only
+// meaningful in asynchronous mode; in stepped mode use DeliverAll.
+func (n *Net) Quiesce(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		n.mu.Lock()
+		in := n.inflight
+		closed := n.closed
+		n.mu.Unlock()
+		if in == 0 || closed {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("network quiesce: %d messages still in flight after %v", in, timeout)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Close implements Network. It stops delivery workers; queued messages are
+// discarded.
+func (n *Net) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.inflight = 0
+	n.pending = nil
+	workers := make([]*memWorker, 0, len(n.workers))
+	for _, w := range n.workers {
+		workers = append(workers, w)
+	}
+	n.mu.Unlock()
+	for _, w := range workers {
+		w.stop()
+	}
+}
+
+// --- stepped mode -----------------------------------------------------
+
+// PendingCount returns the number of undelivered messages in stepped mode.
+func (n *Net) PendingCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.pending)
+}
+
+// Pending returns a snapshot of the undelivered envelopes in send order.
+func (n *Net) Pending() []msg.Envelope {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]msg.Envelope, len(n.pending))
+	for i, d := range n.pending {
+		out[i] = d.env
+	}
+	return out
+}
+
+// DeliverNext delivers the oldest pending message synchronously on the
+// caller's goroutine. It reports whether a message was delivered.
+func (n *Net) DeliverNext() bool {
+	n.mu.Lock()
+	if len(n.pending) == 0 {
+		n.mu.Unlock()
+		return false
+	}
+	d := n.pending[0]
+	n.pending = n.pending[1:]
+	n.mu.Unlock()
+	n.dispatch(d)
+	return true
+}
+
+// DeliverAll repeatedly delivers pending messages (including messages
+// enqueued by the handlers it invokes) until none remain, and returns the
+// number delivered. maxSteps guards against protocol livelock; DeliverAll
+// panics if it is exceeded, which indicates a protocol bug.
+func (n *Net) DeliverAll() int {
+	const maxSteps = 1 << 20
+	count := 0
+	for n.DeliverNext() {
+		count++
+		if count > maxSteps {
+			panic("transport: DeliverAll exceeded step budget; message livelock?")
+		}
+	}
+	return count
+}
+
+// DeliverIndex delivers the i'th pending message (0-based, in send order)
+// synchronously. It reports whether such a message existed. Randomized
+// interleaving tests use it to scramble delivery order.
+func (n *Net) DeliverIndex(i int) bool {
+	n.mu.Lock()
+	if i < 0 || i >= len(n.pending) {
+		n.mu.Unlock()
+		return false
+	}
+	d := n.pending[i]
+	n.pending = append(n.pending[:i], n.pending[i+1:]...)
+	n.mu.Unlock()
+	n.dispatch(d)
+	return true
+}
+
+// DeliverMatching delivers, in order, every pending message satisfying pred
+// (messages enqueued during those deliveries are considered too). Messages
+// not matching stay queued in order. It returns the number delivered.
+func (n *Net) DeliverMatching(pred func(msg.Envelope) bool) int {
+	count := 0
+	for {
+		n.mu.Lock()
+		idx := -1
+		for i, d := range n.pending {
+			if pred(d.env) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			n.mu.Unlock()
+			return count
+		}
+		d := n.pending[idx]
+		n.pending = append(n.pending[:idx], n.pending[idx+1:]...)
+		n.mu.Unlock()
+		n.dispatch(d)
+		count++
+	}
+}
+
+// DropMatching discards every pending message satisfying pred and returns
+// the number dropped. It simulates message loss at precise points.
+func (n *Net) DropMatching(pred func(msg.Envelope) bool) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	kept := n.pending[:0]
+	count := 0
+	for _, d := range n.pending {
+		if pred(d.env) {
+			count++
+			n.inflight--
+			continue
+		}
+		kept = append(kept, d)
+	}
+	n.pending = kept
+	return count
+}
+
+// --- asynchronous delivery worker --------------------------------------
+
+// memWorker delivers messages to a single destination site in FIFO order.
+type memWorker struct {
+	net  *Net
+	site ids.SiteID
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []delivery
+	halted bool
+	done   chan struct{}
+}
+
+func newMemWorker(n *Net, site ids.SiteID) *memWorker {
+	w := &memWorker{net: n, site: site, done: make(chan struct{})}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+func (w *memWorker) enqueue(d delivery) {
+	w.mu.Lock()
+	if w.halted {
+		w.mu.Unlock()
+		w.net.finishDelivery()
+		return
+	}
+	w.queue = append(w.queue, d)
+	w.cond.Signal()
+	w.mu.Unlock()
+}
+
+func (w *memWorker) run() {
+	defer close(w.done)
+	for {
+		w.mu.Lock()
+		for len(w.queue) == 0 && !w.halted {
+			w.cond.Wait()
+		}
+		if w.halted {
+			// Drain remaining accounting so Quiesce does not hang.
+			remaining := len(w.queue)
+			w.queue = nil
+			w.mu.Unlock()
+			for i := 0; i < remaining; i++ {
+				w.net.finishDelivery()
+			}
+			return
+		}
+		d := w.queue[0]
+		w.queue = w.queue[1:]
+		w.mu.Unlock()
+
+		if wait := time.Until(d.ready); wait > 0 {
+			time.Sleep(wait)
+		}
+		w.net.dispatch(d)
+	}
+}
+
+func (w *memWorker) stop() {
+	w.mu.Lock()
+	w.halted = true
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	<-w.done
+}

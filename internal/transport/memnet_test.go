@@ -1,0 +1,362 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"backtrace/internal/ids"
+	"backtrace/internal/msg"
+)
+
+// collector is a Handler that records everything it receives.
+type collector struct {
+	mu   sync.Mutex
+	got  []msg.Envelope
+	self ids.SiteID
+}
+
+func (c *collector) Deliver(from ids.SiteID, m msg.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.got = append(c.got, msg.Envelope{From: from, To: c.self, M: m})
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.got)
+}
+
+func (c *collector) snapshot() []msg.Envelope {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]msg.Envelope, len(c.got))
+	copy(out, c.got)
+	return out
+}
+
+func ping(n uint64) msg.Message {
+	return msg.Report{Trace: ids.TraceID{Initiator: 1, Seq: n}}
+}
+
+func pingSeq(m msg.Message) uint64 {
+	r, ok := m.(msg.Report)
+	if !ok {
+		return 0
+	}
+	return r.Trace.Seq
+}
+
+func TestMemNetBasicDelivery(t *testing.T) {
+	n := NewNet(Options{})
+	defer n.Close()
+	c := &collector{self: 2}
+	n.Register(2, c)
+
+	n.Send(1, 2, ping(7))
+	if err := n.Quiesce(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := c.snapshot()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d messages, want 1", len(got))
+	}
+	if got[0].From != 1 || pingSeq(got[0].M) != 7 {
+		t.Errorf("got %+v, want from=1 seq=7", got[0])
+	}
+}
+
+func TestMemNetFIFOPerLink(t *testing.T) {
+	n := NewNet(Options{Jitter: time.Millisecond})
+	defer n.Close()
+	c := &collector{self: 2}
+	n.Register(2, c)
+
+	const total = 200
+	for i := uint64(1); i <= total; i++ {
+		n.Send(1, 2, ping(i))
+	}
+	if err := n.Quiesce(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := c.snapshot()
+	if len(got) != total {
+		t.Fatalf("delivered %d, want %d", len(got), total)
+	}
+	for i, env := range got {
+		if pingSeq(env.M) != uint64(i+1) {
+			t.Fatalf("out of order at %d: seq %d", i, pingSeq(env.M))
+		}
+	}
+}
+
+func TestMemNetDropAll(t *testing.T) {
+	dropped := int32(0)
+	n := NewNet(Options{
+		DropProb: 1.0,
+		Observer: func(env msg.Envelope, d bool) {
+			if d {
+				atomic.AddInt32(&dropped, 1)
+			}
+		},
+	})
+	defer n.Close()
+	c := &collector{self: 2}
+	n.Register(2, c)
+
+	for i := 0; i < 10; i++ {
+		n.Send(1, 2, ping(uint64(i)))
+	}
+	if err := n.Quiesce(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.count() != 0 {
+		t.Errorf("delivered %d messages with DropProb=1, want 0", c.count())
+	}
+	if atomic.LoadInt32(&dropped) != 10 {
+		t.Errorf("observer saw %d drops, want 10", dropped)
+	}
+}
+
+func TestMemNetUnregisteredDestinationDrops(t *testing.T) {
+	n := NewNet(Options{})
+	defer n.Close()
+	n.Send(1, 9, ping(1)) // site 9 never registered
+	if err := n.Quiesce(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemNetCrashAndRestart(t *testing.T) {
+	n := NewNet(Options{})
+	defer n.Close()
+	c := &collector{self: 2}
+	n.Register(2, c)
+
+	n.Crash(2)
+	n.Send(1, 2, ping(1))
+	if err := n.Quiesce(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.count() != 0 {
+		t.Fatalf("crashed site received %d messages", c.count())
+	}
+
+	n.Restart(2)
+	n.Send(1, 2, ping(2))
+	if err := n.Quiesce(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.count() != 1 {
+		t.Fatalf("restarted site received %d messages, want 1", c.count())
+	}
+}
+
+func TestMemNetCrashedSenderDrops(t *testing.T) {
+	n := NewNet(Options{})
+	defer n.Close()
+	c := &collector{self: 2}
+	n.Register(2, c)
+
+	n.Crash(1)
+	n.Send(1, 2, ping(1))
+	if err := n.Quiesce(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.count() != 0 {
+		t.Fatalf("message from crashed sender delivered")
+	}
+}
+
+func TestMemNetPartitionAndHeal(t *testing.T) {
+	n := NewNet(Options{})
+	defer n.Close()
+	c1 := &collector{self: 1}
+	c2 := &collector{self: 2}
+	c3 := &collector{self: 3}
+	n.Register(1, c1)
+	n.Register(2, c2)
+	n.Register(3, c3)
+
+	n.Partition(1, 2)
+	n.Send(1, 2, ping(1))
+	n.Send(2, 1, ping(2))
+	n.Send(1, 3, ping(3)) // unaffected link
+	if err := n.Quiesce(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c1.count() != 0 || c2.count() != 0 {
+		t.Errorf("partitioned sites received messages: c1=%d c2=%d", c1.count(), c2.count())
+	}
+	if c3.count() != 1 {
+		t.Errorf("unpartitioned site received %d, want 1", c3.count())
+	}
+
+	n.Heal(1, 2)
+	n.Send(1, 2, ping(4))
+	if err := n.Quiesce(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c2.count() != 1 {
+		t.Errorf("after heal, c2 received %d, want 1", c2.count())
+	}
+}
+
+func TestMemNetSteppedDelivery(t *testing.T) {
+	n := NewNet(Options{Stepped: true})
+	defer n.Close()
+	c := &collector{self: 2}
+	n.Register(2, c)
+
+	n.Send(1, 2, ping(1))
+	n.Send(1, 2, ping(2))
+	if c.count() != 0 {
+		t.Fatal("stepped net delivered without being asked")
+	}
+	if n.PendingCount() != 2 {
+		t.Fatalf("PendingCount = %d, want 2", n.PendingCount())
+	}
+	if !n.DeliverNext() {
+		t.Fatal("DeliverNext returned false with pending messages")
+	}
+	if c.count() != 1 {
+		t.Fatalf("after one step, delivered %d, want 1", c.count())
+	}
+	if got := n.DeliverAll(); got != 1 {
+		t.Fatalf("DeliverAll delivered %d, want 1", got)
+	}
+	if n.DeliverNext() {
+		t.Fatal("DeliverNext returned true with empty queue")
+	}
+}
+
+func TestMemNetSteppedCascade(t *testing.T) {
+	// A handler that forwards each message once; DeliverAll must drain the
+	// cascade.
+	n := NewNet(Options{Stepped: true})
+	defer n.Close()
+	c := &collector{self: 3}
+	n.Register(3, c)
+	n.Register(2, HandlerFunc(func(from ids.SiteID, m msg.Message) {
+		n.Send(2, 3, m)
+	}))
+
+	n.Send(1, 2, ping(1))
+	if got := n.DeliverAll(); got != 2 {
+		t.Fatalf("DeliverAll delivered %d, want 2 (original + forwarded)", got)
+	}
+	if c.count() != 1 {
+		t.Fatalf("final destination got %d, want 1", c.count())
+	}
+}
+
+func TestMemNetDeliverMatching(t *testing.T) {
+	n := NewNet(Options{Stepped: true})
+	defer n.Close()
+	c2 := &collector{self: 2}
+	c3 := &collector{self: 3}
+	n.Register(2, c2)
+	n.Register(3, c3)
+
+	n.Send(1, 2, ping(1))
+	n.Send(1, 3, ping(2))
+	n.Send(1, 2, ping(3))
+
+	got := n.DeliverMatching(func(e msg.Envelope) bool { return e.To == 3 })
+	if got != 1 {
+		t.Fatalf("DeliverMatching delivered %d, want 1", got)
+	}
+	if c3.count() != 1 || c2.count() != 0 {
+		t.Fatalf("selective delivery wrong: c2=%d c3=%d", c2.count(), c3.count())
+	}
+	if n.PendingCount() != 2 {
+		t.Fatalf("PendingCount = %d, want 2", n.PendingCount())
+	}
+}
+
+func TestMemNetDropMatching(t *testing.T) {
+	n := NewNet(Options{Stepped: true})
+	defer n.Close()
+	c := &collector{self: 2}
+	n.Register(2, c)
+
+	n.Send(1, 2, ping(1))
+	n.Send(1, 2, ping(2))
+	dropped := n.DropMatching(func(e msg.Envelope) bool { return pingSeq(e.M) == 1 })
+	if dropped != 1 {
+		t.Fatalf("DropMatching dropped %d, want 1", dropped)
+	}
+	n.DeliverAll()
+	got := c.snapshot()
+	if len(got) != 1 || pingSeq(got[0].M) != 2 {
+		t.Fatalf("surviving delivery wrong: %+v", got)
+	}
+}
+
+func TestMemNetQuiesceTimesOutWithStuckMessages(t *testing.T) {
+	// In stepped mode, undelivered messages keep inflight > 0, so Quiesce
+	// must report a timeout rather than succeed.
+	n := NewNet(Options{Stepped: true})
+	defer n.Close()
+	n.Register(2, &collector{self: 2})
+	n.Send(1, 2, ping(1))
+	if err := n.Quiesce(50 * time.Millisecond); err == nil {
+		t.Fatal("Quiesce succeeded with a pending message")
+	}
+}
+
+func TestMemNetConcurrentSenders(t *testing.T) {
+	n := NewNet(Options{})
+	defer n.Close()
+	c := &collector{self: 5}
+	n.Register(5, c)
+
+	const senders, per = 8, 50
+	var wg sync.WaitGroup
+	for s := 1; s <= senders; s++ {
+		wg.Add(1)
+		go func(site ids.SiteID) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				n.Send(site, 5, ping(uint64(i)))
+			}
+		}(ids.SiteID(s))
+	}
+	wg.Wait()
+	if err := n.Quiesce(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.count() != senders*per {
+		t.Fatalf("delivered %d, want %d", c.count(), senders*per)
+	}
+}
+
+func TestMemNetLatency(t *testing.T) {
+	n := NewNet(Options{Latency: 30 * time.Millisecond})
+	defer n.Close()
+	c := &collector{self: 2}
+	n.Register(2, c)
+
+	start := time.Now()
+	n.Send(1, 2, ping(1))
+	if err := n.Quiesce(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("delivery took %v, want >= ~30ms latency", elapsed)
+	}
+}
+
+func TestMemNetCloseIsIdempotentAndStopsSends(t *testing.T) {
+	n := NewNet(Options{})
+	c := &collector{self: 2}
+	n.Register(2, c)
+	n.Close()
+	n.Close() // must not panic
+	n.Send(1, 2, ping(1))
+	if c.count() != 0 {
+		t.Error("send after close was delivered")
+	}
+}

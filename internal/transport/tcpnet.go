@@ -1,0 +1,259 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"backtrace/internal/ids"
+	"backtrace/internal/msg"
+)
+
+// TCPNode is a Network implementation for one site running as its own OS
+// process, exchanging gob-encoded envelopes over TCP. Every node knows the
+// listen address of every site (static membership, as in the paper's
+// setting of a fixed object store spread over sites).
+//
+// Connections are established lazily on first send and reused; each
+// incoming connection is drained by its own goroutine, which invokes the
+// handler inline so per-link FIFO order is preserved.
+type TCPNode struct {
+	self  ids.SiteID
+	addrs map[ids.SiteID]string
+
+	mu       sync.Mutex
+	handler  Handler
+	conns    map[ids.SiteID]*tcpConn
+	accepted map[net.Conn]struct{}
+	ln       net.Listener
+	closed   bool
+	obs      Observer
+
+	wg sync.WaitGroup
+}
+
+var _ Network = (*TCPNode)(nil)
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// NewTCPNode creates a node for site self that will listen on addrs[self]
+// and send to the other addresses. Call Register to install the handler,
+// then Listen to start accepting.
+func NewTCPNode(self ids.SiteID, addrs map[ids.SiteID]string, obs Observer) (*TCPNode, error) {
+	if _, ok := addrs[self]; !ok {
+		return nil, fmt.Errorf("tcpnode: no listen address for self %v", self)
+	}
+	msg.RegisterGob()
+	copied := make(map[ids.SiteID]string, len(addrs))
+	for k, v := range addrs {
+		copied[k] = v
+	}
+	return &TCPNode{
+		self:     self,
+		addrs:    copied,
+		conns:    make(map[ids.SiteID]*tcpConn),
+		accepted: make(map[net.Conn]struct{}),
+		obs:      obs,
+	}, nil
+}
+
+// Register implements Network. Only the node's own site may be registered.
+func (t *TCPNode) Register(site ids.SiteID, h Handler) {
+	if site != t.self {
+		return
+	}
+	t.mu.Lock()
+	t.handler = h
+	t.mu.Unlock()
+}
+
+// Listen starts accepting connections on the node's address. It returns the
+// bound address, which is useful when the configured address has port 0.
+func (t *TCPNode) Listen() (string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ln != nil {
+		return t.ln.Addr().String(), nil
+	}
+	ln, err := net.Listen("tcp", t.addrs[t.self])
+	if err != nil {
+		return "", fmt.Errorf("tcpnode listen %v: %w", t.self, err)
+	}
+	t.ln = ln
+	t.wg.Add(1)
+	go t.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (t *TCPNode) acceptLoop(ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.accepted[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCPNode) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	for {
+		var env msg.Envelope
+		if err := dec.Decode(&env); err != nil {
+			// EOF, a closed connection, or stream damage all end the
+			// read loop; any messages lost with it are ordinary message
+			// loss, which the protocol tolerates by timeout.
+			return
+		}
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		if h != nil && env.To == t.self {
+			h.Deliver(env.From, env.M)
+		}
+	}
+}
+
+// Send implements Network. Failures (unknown site, dial or encode errors)
+// are treated as message loss, which the protocol tolerates by timeout.
+func (t *TCPNode) Send(from, to ids.SiteID, m msg.Message) {
+	env := msg.Envelope{From: from, To: to, M: m}
+	if from != t.self {
+		t.observe(env, true)
+		return
+	}
+	if to == t.self {
+		// Loopback: deliver directly.
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		if h != nil {
+			h.Deliver(from, m)
+			t.observe(env, false)
+		} else {
+			t.observe(env, true)
+		}
+		return
+	}
+	c, err := t.connTo(to)
+	if err != nil {
+		t.observe(env, true)
+		return
+	}
+	c.mu.Lock()
+	err = c.enc.Encode(env)
+	c.mu.Unlock()
+	if err != nil {
+		// Drop the broken connection; the next send redials.
+		t.mu.Lock()
+		if t.conns[to] == c {
+			delete(t.conns, to)
+		}
+		t.mu.Unlock()
+		c.conn.Close()
+		t.observe(env, true)
+		return
+	}
+	t.observe(env, false)
+}
+
+func (t *TCPNode) observe(env msg.Envelope, dropped bool) {
+	if t.obs != nil {
+		t.obs(env, dropped)
+	}
+}
+
+func (t *TCPNode) connTo(to ids.SiteID) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, errors.New("tcpnode: closed")
+	}
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.addrs[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("tcpnode: unknown site %v", to)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcpnode dial %v: %w", to, err)
+	}
+	c := &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
+	t.mu.Lock()
+	if existing, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	t.conns[to] = c
+	t.mu.Unlock()
+	return c, nil
+}
+
+// SetAddr updates the known address of a site (used when peers bind
+// ephemeral ports and gossip their bound addresses out of band).
+func (t *TCPNode) SetAddr(site ids.SiteID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs[site] = addr
+}
+
+// Close implements Network: it stops the listener, closes connections, and
+// waits for reader goroutines to exit.
+func (t *TCPNode) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	ln := t.ln
+	conns := make([]*tcpConn, 0, len(t.conns))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.conns = make(map[ids.SiteID]*tcpConn)
+	inbound := make([]net.Conn, 0, len(t.accepted))
+	for c := range t.accepted {
+		inbound = append(inbound, c)
+	}
+	t.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	for _, c := range inbound {
+		c.Close()
+	}
+	t.wg.Wait()
+}

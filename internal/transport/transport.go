@@ -1,0 +1,59 @@
+// Package transport provides the networking substrate that connects sites.
+//
+// Two implementations of the Network interface are provided:
+//
+//   - Net (memnet.go): an in-process network for simulation and testing. It
+//     supports per-message latency and jitter, probabilistic message loss,
+//     partitions, site crashes, and a deterministic *stepped* mode in which
+//     messages accumulate until the test delivers them explicitly — the
+//     mechanism used to replay the exact interleavings of the paper's
+//     Figures 5 and 6.
+//
+//   - TCPNode (tcpnet.go): a real TCP transport using encoding/gob, for
+//     running sites as separate OS processes (cmd/dgcnode).
+//
+// Both preserve FIFO delivery per (source, destination) link, matching the
+// paper's in-order delivery assumption (relation R1 in the Section 6.4
+// safety proof).
+package transport
+
+import (
+	"backtrace/internal/ids"
+	"backtrace/internal/msg"
+)
+
+// Handler receives messages delivered to a site. Deliver is invoked
+// serially per destination site: a site never handles two network messages
+// concurrently, which keeps the protocol's critical sections short and
+// simple (the site still synchronizes internally against local traces and
+// mutators running on other goroutines).
+type Handler interface {
+	Deliver(from ids.SiteID, m msg.Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from ids.SiteID, m msg.Message)
+
+// Deliver implements Handler.
+func (f HandlerFunc) Deliver(from ids.SiteID, m msg.Message) { f(from, m) }
+
+var _ Handler = HandlerFunc(nil)
+
+// Network is the interface sites use to exchange messages.
+type Network interface {
+	// Register installs the handler for a site. It must be called before
+	// any message is sent to that site.
+	Register(site ids.SiteID, h Handler)
+	// Send transmits m from one site to another. Send never blocks on the
+	// receiver; delivery is asynchronous. Sending to an unregistered,
+	// crashed, or partitioned site silently drops the message (the
+	// protocol tolerates loss by timeout, Section 4.6).
+	Send(from, to ids.SiteID, m msg.Message)
+	// Close shuts the network down and waits for delivery workers to stop.
+	Close()
+}
+
+// Observer is an optional callback invoked for every send attempt; dropped
+// reports whether the message was lost (crash, partition, or random drop).
+// Metrics counters hook in here.
+type Observer func(env msg.Envelope, dropped bool)

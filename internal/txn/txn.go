@@ -1,0 +1,433 @@
+// Package txn provides a client-caching transactional mutator on top of
+// the site API — the application model the paper's system (Thor) actually
+// has: "in client-caching systems where objects from multiple servers may
+// be fetched into a client cache, the [transfer] barrier may be
+// implemented by checking the transaction's read-write log at commit time"
+// (Section 6.1.1).
+//
+// A Client fetches objects from their owning sites into a local cache;
+// while an object is cached, its owner holds an application-root
+// registration for it, so local tracing treats client-held references as
+// roots (Section 6.3). A Tx buffers reads and writes; Commit installs the
+// writes at the owning sites, passing every newly stored reference through
+// the regular reference-transfer machinery — which applies the transfer
+// and insert barriers exactly where the paper requires.
+package txn
+
+import (
+	"fmt"
+	"sort"
+
+	"backtrace/internal/ids"
+	"backtrace/internal/site"
+)
+
+// Client is a caching client of the distributed store. It is not safe for
+// concurrent use; model concurrent mutators as separate clients.
+//
+// Cache entries are snapshots taken at fetch time, not kept coherent with
+// other clients' commits (cache coherence is Thor's concern, not the
+// collector's); Evict and re-Fetch to refresh. Staleness never endangers
+// the collector — cached objects are application roots either way.
+type Client struct {
+	name  string
+	sites map[ids.SiteID]*site.Site
+	// cache maps cached objects to their fetched field snapshots; while
+	// present, the owner holds an app-root registration for the object.
+	cache map[ids.Ref][]ids.Ref
+	// settle, if set, flushes the network's in-flight messages; commit
+	// calls it between sending a reference transfer and storing the
+	// reference (see SetSettle).
+	settle func()
+}
+
+// SetSettle installs a callback that delivers in-flight network messages
+// (e.g. Cluster.Settle, or a short wait on an asynchronous transport).
+// Commit uses it to complete reference transfers synchronously; without
+// it, commits needing a transfer return *ErrTransferPending.
+func (c *Client) SetSettle(f func()) { c.settle = f }
+
+// NewClient creates a client that can reach the given sites.
+func NewClient(name string, sites map[ids.SiteID]*site.Site) *Client {
+	copied := make(map[ids.SiteID]*site.Site, len(sites))
+	for id, s := range sites {
+		copied[id] = s
+	}
+	return &Client{name: name, sites: copied, cache: make(map[ids.Ref][]ids.Ref)}
+}
+
+func (c *Client) site(id ids.SiteID) (*site.Site, error) {
+	s, ok := c.sites[id]
+	if !ok {
+		return nil, fmt.Errorf("client %s: unknown site %v", c.name, id)
+	}
+	return s, nil
+}
+
+// Fetch pulls an object into the cache (a no-op if already cached). The
+// owner registers the client's hold as an application root, keeping the
+// object and everything the client can reach from it safe from collection
+// while cached.
+func (c *Client) Fetch(r ids.Ref) error {
+	if _, ok := c.cache[r]; ok {
+		return nil
+	}
+	owner, err := c.site(r.Site)
+	if err != nil {
+		return err
+	}
+	fields, err := owner.Fields(r.Obj)
+	if err != nil {
+		return fmt.Errorf("client %s: fetch %v: %w", c.name, r, err)
+	}
+	owner.AddAppRoot(r)
+	c.cache[r] = fields
+	return nil
+}
+
+// Cached reports whether the object is in the cache.
+func (c *Client) Cached(r ids.Ref) bool {
+	_, ok := c.cache[r]
+	return ok
+}
+
+// Evict drops an object from the cache, releasing the owner's
+// application-root hold.
+func (c *Client) Evict(r ids.Ref) {
+	if _, ok := c.cache[r]; !ok {
+		return
+	}
+	delete(c.cache, r)
+	if owner, err := c.site(r.Site); err == nil {
+		owner.DropAppRoot(r)
+	}
+}
+
+// Close evicts everything.
+func (c *Client) Close() {
+	refs := make([]ids.Ref, 0, len(c.cache))
+	for r := range c.cache {
+		refs = append(refs, r)
+	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i].Less(refs[j]) })
+	for _, r := range refs {
+		c.Evict(r)
+	}
+}
+
+// Begin starts a transaction.
+func (c *Client) Begin() *Tx {
+	return &Tx{
+		client: c,
+		writes: make(map[ids.Ref][]txRef),
+		reads:  make(map[ids.Ref]struct{}),
+	}
+}
+
+// Tx is one transaction: buffered reads and writes over the client cache.
+type Tx struct {
+	client *Client
+	reads  map[ids.Ref]struct{}
+	// writes maps an object to its new full field list; entries may
+	// reference objects created in this transaction, resolved at commit.
+	writes map[ids.Ref][]txRef
+	// created lists objects allocated by this transaction, installed at
+	// commit.
+	created []*NewObject
+	done    bool
+}
+
+// NewObject is an object allocated inside a transaction; its identity is
+// assigned at commit.
+type NewObject struct {
+	Site   ids.SiteID
+	fields []txRef
+	ref    ids.Ref // valid after commit
+	root   bool
+}
+
+// Ref returns the object's reference; it is the zero Ref before commit.
+func (n *NewObject) Ref() ids.Ref { return n.ref }
+
+// txRef is either an existing reference or a reference to an object
+// created in this transaction.
+type txRef struct {
+	existing ids.Ref
+	created  *NewObject
+}
+
+// Read returns an object's fields, fetching it into the cache if needed,
+// and records the read in the transaction's read log.
+func (t *Tx) Read(r ids.Ref) ([]ids.Ref, error) {
+	if t.done {
+		return nil, fmt.Errorf("txn: read after commit/abort")
+	}
+	if err := t.client.Fetch(r); err != nil {
+		return nil, err
+	}
+	t.reads[r] = struct{}{}
+	if w, ok := t.writes[r]; ok {
+		out := make([]ids.Ref, 0, len(w))
+		for _, f := range w {
+			if f.created != nil {
+				// Unresolved until commit; reads in the same transaction
+				// see the zero ref as a placeholder.
+				out = append(out, f.created.ref)
+				continue
+			}
+			out = append(out, f.existing)
+		}
+		return out, nil
+	}
+	fields := t.client.cache[r]
+	out := make([]ids.Ref, len(fields))
+	copy(out, fields)
+	return out, nil
+}
+
+// Write replaces an object's fields in the transaction's write buffer. The
+// object must have been read first (the read-write log discipline the
+// commit-time barrier check relies on).
+func (t *Tx) Write(r ids.Ref, fields []ids.Ref) error {
+	args := make([]interface{}, len(fields))
+	for i, f := range fields {
+		args[i] = f
+	}
+	return t.WriteMixed(r, args...)
+}
+
+// WriteMixed is Write accepting both existing references (ids.Ref) and
+// objects created in this transaction (*NewObject), whose identities
+// resolve at commit.
+func (t *Tx) WriteMixed(r ids.Ref, fields ...interface{}) error {
+	if t.done {
+		return fmt.Errorf("txn: write after commit/abort")
+	}
+	if _, read := t.reads[r]; !read {
+		return fmt.Errorf("txn: write to %v without reading it first", r)
+	}
+	buf := make([]txRef, 0, len(fields))
+	for _, f := range fields {
+		switch v := f.(type) {
+		case ids.Ref:
+			buf = append(buf, txRef{existing: v})
+		case *NewObject:
+			buf = append(buf, txRef{created: v})
+		default:
+			return fmt.Errorf("txn: write: bad field type %T", f)
+		}
+	}
+	t.writes[r] = buf
+	return nil
+}
+
+// Create allocates a new object on a site with the given field values;
+// fields may include other NewObjects from this transaction.
+func (t *Tx) Create(onSite ids.SiteID, fields ...interface{}) (*NewObject, error) {
+	if t.done {
+		return nil, fmt.Errorf("txn: create after commit/abort")
+	}
+	n := &NewObject{Site: onSite}
+	for _, f := range fields {
+		switch v := f.(type) {
+		case ids.Ref:
+			n.fields = append(n.fields, txRef{existing: v})
+		case *NewObject:
+			n.fields = append(n.fields, txRef{created: v})
+		default:
+			return nil, fmt.Errorf("txn: create: bad field type %T", f)
+		}
+	}
+	t.created = append(t.created, n)
+	return n, nil
+}
+
+// CreateRoot is Create for a new persistent root (e.g. a directory).
+func (t *Tx) CreateRoot(onSite ids.SiteID, fields ...interface{}) (*NewObject, error) {
+	n, err := t.Create(onSite, fields...)
+	if err != nil {
+		return nil, err
+	}
+	n.root = true
+	return n, nil
+}
+
+// Abort discards the transaction's buffers (the cache and its holds stay).
+func (t *Tx) Abort() {
+	t.done = true
+	t.writes = nil
+	t.created = nil
+}
+
+// Commit installs the transaction at the owning sites:
+//
+//  1. created objects are allocated at their sites;
+//  2. every written object gets its new field list, with each reference
+//     that is new at its destination site passed through the reference-
+//     transfer protocol first — this is exactly "checking the
+//     transaction's read-write log at commit time": the transfer barrier
+//     fires at each destination for each reference stored there, and the
+//     insert protocol registers new inter-site references.
+//
+// Commit is not atomic across sites (neither is Thor's within the GC
+// model); partial failure simply leaves some writes unapplied, which the
+// collector tolerates like any mutation ordering.
+func (t *Tx) Commit() error {
+	if t.done {
+		return fmt.Errorf("txn: already finished")
+	}
+	t.done = true
+
+	// 1. Allocate created objects (two passes so mutual references among
+	// created objects resolve).
+	for _, n := range t.created {
+		owner, err := t.client.site(n.Site)
+		if err != nil {
+			return err
+		}
+		if n.root {
+			n.ref = owner.NewRootObject()
+		} else {
+			n.ref = owner.NewObject()
+		}
+		// Hold it like a cached object until the write phase stores it
+		// somewhere (or the client evicts it).
+		owner.AddAppRoot(n.ref)
+		t.client.cache[n.ref] = nil
+	}
+	for _, n := range t.created {
+		fields := make([]ids.Ref, 0, len(n.fields))
+		for _, f := range n.fields {
+			r := f.existing
+			if f.created != nil {
+				r = f.created.ref
+			}
+			fields = append(fields, r)
+		}
+		if err := t.storeFields(n.ref, nil, fields); err != nil {
+			return err
+		}
+		t.client.cache[n.ref] = fields
+	}
+
+	// 2. Apply buffered writes in deterministic order, resolving
+	// references to objects created above.
+	targets := make([]ids.Ref, 0, len(t.writes))
+	for r := range t.writes {
+		targets = append(targets, r)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].Less(targets[j]) })
+	for _, r := range targets {
+		newFields := make([]ids.Ref, 0, len(t.writes[r]))
+		for _, f := range t.writes[r] {
+			resolved := f.existing
+			if f.created != nil {
+				if f.created.ref.IsZero() {
+					return fmt.Errorf("txn: write to %v references an object from another uncommitted transaction", r)
+				}
+				resolved = f.created.ref
+			}
+			newFields = append(newFields, resolved)
+		}
+		oldFields := t.client.cache[r]
+		if err := t.storeFields(r, oldFields, newFields); err != nil {
+			return err
+		}
+		t.client.cache[r] = newFields
+	}
+	return nil
+}
+
+// storeFields makes object obj's fields equal to newFields, transferring
+// references to obj's site as needed and applying removals.
+func (t *Tx) storeFields(obj ids.Ref, oldFields, newFields []ids.Ref) error {
+	owner, err := t.client.site(obj.Site)
+	if err != nil {
+		return err
+	}
+	// Count-based diff so duplicates behave.
+	oldCount := make(map[ids.Ref]int, len(oldFields))
+	for _, f := range oldFields {
+		oldCount[f]++
+	}
+	for _, f := range newFields {
+		if oldCount[f] > 0 {
+			oldCount[f]--
+			continue
+		}
+		if err := t.addRef(owner, obj, f); err != nil {
+			return err
+		}
+	}
+	for f, n := range oldCount {
+		for i := 0; i < n; i++ {
+			if err := owner.RemoveReference(obj.Obj, f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// addRef stores one reference into obj at its owner, running the transfer
+// protocol when the reference is remote to the owner and not yet known
+// there. The client must hold the reference (cache) or it must be local to
+// the owner.
+func (t *Tx) addRef(owner *site.Site, obj, target ids.Ref) error {
+	if target.Site == obj.Site {
+		return owner.AddReference(obj.Obj, target)
+	}
+	// Try directly: the owner may already hold an outref.
+	if err := owner.AddReference(obj.Obj, target); err == nil {
+		return nil
+	}
+	// The reference must travel: its owner sends it to obj's site (the
+	// client holds it, so it is pinned alive throughout). This fires the
+	// transfer barrier at the destination and the insert protocol.
+	src, err := t.client.site(target.Site)
+	if err != nil {
+		return err
+	}
+	if !t.client.Cached(target) {
+		return fmt.Errorf("txn: storing %v the client does not hold", target)
+	}
+	if err := src.SendRef(obj.Site, target); err != nil {
+		return err
+	}
+	if t.client.settle != nil {
+		t.client.settle()
+	}
+	// Retry through the site API until the outref exists.
+	if err := owner.AddReference(obj.Obj, target); err != nil {
+		return &ErrTransferPending{Obj: obj, Target: target}
+	}
+	owner.DropAppRoot(target)
+	return nil
+}
+
+// ErrTransferPending reports that a committed write needs a reference
+// transfer that has not been delivered yet; the caller should settle the
+// network and call Resolve.
+type ErrTransferPending struct {
+	Obj    ids.Ref
+	Target ids.Ref
+}
+
+// Error implements error.
+func (e *ErrTransferPending) Error() string {
+	return fmt.Sprintf("txn: transfer of %v to %v pending delivery", e.Target, e.Obj.Site)
+}
+
+// Resolve completes a pending write after the network has delivered the
+// transfer.
+func (e *ErrTransferPending) Resolve(c *Client) error {
+	owner, err := c.site(e.Obj.Site)
+	if err != nil {
+		return err
+	}
+	if err := owner.AddReference(e.Obj.Obj, e.Target); err != nil {
+		return err
+	}
+	owner.DropAppRoot(e.Target)
+	return nil
+}

@@ -1,0 +1,134 @@
+// Package viz renders a cluster's state as a Graphviz DOT document: one
+// subgraph per site, objects colored by their collector classification
+// (persistent root, clean, suspected, garbage-flagged), reference edges
+// with inter-site edges styled by the holding outref's cleanliness. Useful
+// for debugging protocols and for teaching the algorithm.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"backtrace/internal/cluster"
+	"backtrace/internal/ids"
+	"backtrace/internal/site"
+)
+
+// siteView bundles the per-site state the renderer needs.
+type siteView struct {
+	id      ids.SiteID
+	audit   site.Audit
+	inrefs  map[ids.ObjID]site.InrefInfo
+	outrefs map[ids.Ref]site.OutrefInfo
+}
+
+// ClusterDOT renders the whole cluster.
+func ClusterDOT(c *cluster.Cluster) string {
+	var views []siteView
+	for _, s := range c.Sites() {
+		v := siteView{
+			id:      s.ID(),
+			audit:   s.AuditSnapshot(),
+			inrefs:  make(map[ids.ObjID]site.InrefInfo),
+			outrefs: make(map[ids.Ref]site.OutrefInfo),
+		}
+		for _, in := range s.Inrefs() {
+			v.inrefs[in.Obj] = in
+		}
+		for _, o := range s.Outrefs() {
+			v.outrefs[o.Target] = o
+		}
+		views = append(views, v)
+	}
+
+	var b strings.Builder
+	b.WriteString("digraph backtrace {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=circle, style=filled, fontsize=10];\n")
+
+	for _, v := range views {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n", v.id)
+		fmt.Fprintf(&b, "    label=\"site %v\";\n    color=gray;\n", v.id)
+		objs := make([]ids.ObjID, 0, len(v.audit.Objects))
+		for obj := range v.audit.Objects {
+			objs = append(objs, obj)
+		}
+		sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+		roots := make(map[ids.ObjID]bool, len(v.audit.PersistentRoots))
+		for _, r := range v.audit.PersistentRoots {
+			roots[r] = true
+		}
+		for _, obj := range objs {
+			fmt.Fprintf(&b, "    %s [label=\"%v\", fillcolor=%s%s];\n",
+				nodeID(v.id, obj), obj, fillColor(v, obj, roots[obj]), extraStyle(roots[obj]))
+		}
+		b.WriteString("  }\n")
+	}
+
+	// Edges (after all nodes, so cross-subgraph edges resolve).
+	for _, v := range views {
+		objs := make([]ids.ObjID, 0, len(v.audit.Objects))
+		for obj := range v.audit.Objects {
+			objs = append(objs, obj)
+		}
+		sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+		for _, obj := range objs {
+			for _, f := range v.audit.Objects[obj] {
+				if f.IsZero() {
+					continue
+				}
+				attrs := ""
+				if f.Site != v.id {
+					attrs = " [style=dashed, color=" + outrefColor(v, f) + "]"
+				}
+				fmt.Fprintf(&b, "  %s -> %s%s;\n", nodeID(v.id, obj), nodeID(f.Site, f.Obj), attrs)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func nodeID(s ids.SiteID, o ids.ObjID) string {
+	return fmt.Sprintf("s%d_o%d", s, o)
+}
+
+// fillColor classifies an object: persistent roots green, garbage-flagged
+// inrefs red, suspected inrefs orange, everything else white.
+func fillColor(v siteView, obj ids.ObjID, root bool) string {
+	if root {
+		return "palegreen"
+	}
+	if in, ok := v.inrefs[obj]; ok {
+		switch {
+		case in.Garbage:
+			return "lightcoral"
+		case !in.Clean:
+			return "orange"
+		}
+		return "lightblue"
+	}
+	return "white"
+}
+
+func extraStyle(root bool) string {
+	if root {
+		return ", penwidth=2"
+	}
+	return ""
+}
+
+// outrefColor styles an inter-site edge by the holder's outref state.
+func outrefColor(v siteView, target ids.Ref) string {
+	o, ok := v.outrefs[target]
+	switch {
+	case !ok:
+		return "gray" // no outref recorded (should not happen at quiescence)
+	case o.Pinned:
+		return "blue"
+	case !o.Clean:
+		return "orange"
+	default:
+		return "black"
+	}
+}
