@@ -129,6 +129,17 @@ func NewTCPNode(self SiteID, addrs map[SiteID]string, obs transport.Observer) (*
 	return transport.NewTCPNode(self, addrs, obs)
 }
 
+// NewReliable wraps any network with the ack/retransmit session layer:
+// exactly-once, per-link in-order delivery (the paper's relation R1) over
+// lossy, duplicating, or reordering substrates, with crash-epoch link
+// resets on site restart.
+func NewReliable(inner Network, opts ReliableOptions) *transport.Reliable {
+	return transport.NewReliable(inner, opts)
+}
+
+// ReliableOptions configures NewReliable.
+type ReliableOptions = transport.ReliableOptions
+
 // Workload specs and generators (shared by the cluster and the baseline
 // collectors so comparisons run on identical graphs).
 type (

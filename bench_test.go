@@ -10,14 +10,18 @@ package backtrace_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"backtrace"
 	"backtrace/internal/baseline"
 	"backtrace/internal/cluster"
 	"backtrace/internal/experiments"
 	"backtrace/internal/heap"
+	"backtrace/internal/ids"
+	"backtrace/internal/msg"
 	"backtrace/internal/refs"
 	"backtrace/internal/tracer"
+	"backtrace/internal/transport"
 	"backtrace/internal/workload"
 )
 
@@ -438,4 +442,47 @@ func BenchmarkDistancePropagation(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkReliableLinkOverhead (experiment C11) measures what the
+// ack/retransmit session layer costs on a loss-free in-memory link: the
+// same message stream sent bare over the memnet versus wrapped in
+// transport.Reliable (sequence numbering, windowing, acks, dedup state).
+func BenchmarkReliableLinkOverhead(b *testing.B) {
+	payload := func(i int) msg.Message {
+		return msg.Report{Trace: ids.TraceID{Initiator: 1, Seq: uint64(i)}}
+	}
+	sink := transport.HandlerFunc(func(ids.SiteID, msg.Message) {})
+
+	b.Run("bare", func(b *testing.B) {
+		inner := transport.NewNet(transport.Options{})
+		defer inner.Close()
+		inner.Register(1, sink) // acks/replies need a registered sender site
+		inner.Register(2, sink)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inner.Send(1, 2, payload(i))
+		}
+		if err := inner.Quiesce(60 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+	})
+
+	b.Run("reliable", func(b *testing.B) {
+		inner := transport.NewNet(transport.Options{})
+		rel := transport.NewReliable(inner, transport.ReliableOptions{})
+		defer rel.Close()
+		rel.Register(1, sink) // the session's acks route back to site 1
+		rel.Register(2, sink)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rel.Send(1, 2, payload(i))
+		}
+		if err := rel.AwaitIdle(60 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+		if err := inner.Quiesce(60 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+	})
 }

@@ -39,17 +39,18 @@ func main() {
 		selfID = flag.Uint("site", 0, "this node's site id (node mode)")
 		peers  = flag.String("peers", "", "comma-separated id=host:port list (node mode)")
 		drive  = flag.Bool("drive", false, "this node builds the demo graph and drives rounds (node mode)")
-		period = flag.Duration("trace-every", 2*time.Second, "local trace period (node mode)")
-		run    = flag.Duration("run-for", 30*time.Second, "how long a non-driving node runs")
+		period   = flag.Duration("trace-every", 2*time.Second, "local trace period (node mode)")
+		run      = flag.Duration("run-for", 30*time.Second, "how long a non-driving node runs")
+		reliable = flag.Bool("reliable", false, "interpose the ack/retransmit session layer over TCP")
 	)
 	flag.Parse()
 
 	var err error
 	switch {
 	case *demo || *selfID == 0:
-		err = runDemo(*nSites)
+		err = runDemo(*nSites, *reliable)
 	default:
-		err = runNode(ids.SiteID(*selfID), *peers, *drive, *period, *run)
+		err = runNode(ids.SiteID(*selfID), *peers, *drive, *period, *run, *reliable)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dgcnode:", err)
@@ -57,9 +58,9 @@ func main() {
 	}
 }
 
-// runDemo brings up n sites over loopback TCP and collects a distributed
-// cycle end to end.
-func runDemo(n int) error {
+// runDemo brings up n sites over loopback TCP (optionally under the
+// reliable session layer) and collects a distributed cycle end to end.
+func runDemo(n int, reliable bool) error {
 	counters := &metrics.Counters{}
 	addrs := make(map[ids.SiteID]string, n)
 	for i := 1; i <= n; i++ {
@@ -67,6 +68,7 @@ func runDemo(n int) error {
 	}
 
 	nodes := make(map[ids.SiteID]*transport.TCPNode, n)
+	networks := make([]transport.Network, 0, n)
 	sites := make(map[ids.SiteID]*site.Site, n)
 	bound := make(map[ids.SiteID]string, n)
 	for i := 1; i <= n; i++ {
@@ -75,10 +77,19 @@ func runDemo(n int) error {
 		if err != nil {
 			return err
 		}
+		node.SetCounters(counters)
 		nodes[id] = node
+		var network transport.Network = node
+		if reliable {
+			network = backtrace.NewReliable(node, backtrace.ReliableOptions{
+				Seed:     int64(i),
+				Counters: counters,
+			})
+		}
+		networks = append(networks, network)
 		sites[id] = site.New(site.Config{
 			ID:                 id,
-			Network:            node,
+			Network:            network,
 			SuspicionThreshold: 3,
 			BackThreshold:      7,
 			AutoBackTrace:      true,
@@ -98,11 +109,16 @@ func runDemo(n int) error {
 		}
 	}
 	defer func() {
-		for _, node := range nodes {
-			node.Close()
+		// Closing the session layer (when present) closes its TCP node too.
+		for _, nw := range networks {
+			nw.Close()
 		}
 	}()
-	fmt.Printf("%d sites listening on TCP loopback\n", n)
+	if reliable {
+		fmt.Printf("%d sites listening on TCP loopback (reliable session layer on)\n", n)
+	} else {
+		fmt.Printf("%d sites listening on TCP loopback\n", n)
+	}
 
 	// Live structure: root at site 1 -> object at site 2.
 	root := sites[1].NewRootObject()
@@ -183,7 +199,7 @@ func tcpLink(sites map[ids.SiteID]*site.Site, from, target backtrace.Ref) error 
 }
 
 // runNode runs one site as its own process.
-func runNode(self ids.SiteID, peerList string, drive bool, period, runFor time.Duration) error {
+func runNode(self ids.SiteID, peerList string, drive bool, period, runFor time.Duration, reliable bool) error {
 	addrs, err := parsePeers(peerList)
 	if err != nil {
 		return err
@@ -196,10 +212,18 @@ func runNode(self ids.SiteID, peerList string, drive bool, period, runFor time.D
 	if err != nil {
 		return err
 	}
-	defer node.Close()
+	node.SetCounters(counters)
+	var network transport.Network = node
+	if reliable {
+		network = backtrace.NewReliable(node, backtrace.ReliableOptions{
+			Seed:     int64(self),
+			Counters: counters,
+		})
+	}
+	defer network.Close()
 	s := site.New(site.Config{
 		ID:                 self,
-		Network:            node,
+		Network:            network,
 		SuspicionThreshold: 3,
 		BackThreshold:      7,
 		AutoBackTrace:      true,

@@ -41,7 +41,16 @@ func TestRunDemoSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("TCP demo skipped in -short mode")
 	}
-	if err := runDemo(2); err != nil {
+	if err := runDemo(2, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDemoReliableSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP demo skipped in -short mode")
+	}
+	if err := runDemo(2, true); err != nil {
 		t.Fatal(err)
 	}
 }

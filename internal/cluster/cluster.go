@@ -31,11 +31,19 @@ type Options struct {
 	Stepped bool
 	// Async forces asynchronous delivery even with zero latency.
 	Async bool
-	// Latency, Jitter, DropProb, Seed configure the network.
-	Latency  time.Duration
-	Jitter   time.Duration
-	DropProb float64
-	Seed     int64
+	// Latency, Jitter, DropProb, DupProb, ReorderProb, Seed configure the
+	// network.
+	Latency     time.Duration
+	Jitter      time.Duration
+	DropProb    float64
+	DupProb     float64
+	ReorderProb float64
+	Seed        int64
+	// Reliable interposes a transport.Reliable session layer between the
+	// sites and the memnet, giving exactly-once in-order delivery over
+	// whatever loss, duplication, and reordering the options above inject.
+	// Retransmission is time-driven, so Reliable forces asynchronous mode.
+	Reliable bool
 	// SuspicionThreshold, BackThreshold, ThresholdBump, OutsetAlgorithm,
 	// AutoBackTrace, AdaptiveThreshold, CallTimeout, ReportTimeout are
 	// passed to every site; zero values take the site defaults.
@@ -56,6 +64,7 @@ type Options struct {
 type Cluster struct {
 	opts     Options
 	net      *transport.Net
+	rel      *transport.Reliable // non-nil when Options.Reliable
 	sites    map[ids.SiteID]*site.Site
 	order    []ids.SiteID
 	counters *metrics.Counters
@@ -68,21 +77,38 @@ func New(opts Options) *Cluster {
 		opts.NumSites = 2
 	}
 	stepped := opts.Stepped
-	if !opts.Async && opts.Latency == 0 && opts.Jitter == 0 && opts.DropProb == 0 {
+	if !opts.Async && !opts.Reliable && opts.Latency == 0 && opts.Jitter == 0 &&
+		opts.DropProb == 0 && opts.DupProb == 0 && opts.ReorderProb == 0 {
 		stepped = true
+	}
+	if opts.Reliable {
+		stepped = false // retransmission timers need real delivery
 	}
 	counters := &metrics.Counters{}
 	net := transport.NewNet(transport.Options{
-		Latency:  opts.Latency,
-		Jitter:   opts.Jitter,
-		DropProb: opts.DropProb,
-		Seed:     opts.Seed,
-		Stepped:  stepped,
-		Observer: counters.ObserveMessage,
+		Latency:     opts.Latency,
+		Jitter:      opts.Jitter,
+		DropProb:    opts.DropProb,
+		DupProb:     opts.DupProb,
+		ReorderProb: opts.ReorderProb,
+		Seed:        opts.Seed,
+		Stepped:     stepped,
+		Observer:    counters.ObserveMessage,
 	})
+	var network transport.Network = net
+	var rel *transport.Reliable
+	if opts.Reliable {
+		rel = transport.NewReliable(net, transport.ReliableOptions{
+			RetransmitInitial: 3 * time.Millisecond,
+			Seed:              opts.Seed,
+			Counters:          counters,
+		})
+		network = rel
+	}
 	c := &Cluster{
 		opts:     opts,
 		net:      net,
+		rel:      rel,
 		sites:    make(map[ids.SiteID]*site.Site, opts.NumSites),
 		counters: counters,
 		stepped:  stepped,
@@ -91,7 +117,7 @@ func New(opts Options) *Cluster {
 		id := ids.SiteID(i)
 		c.sites[id] = site.New(site.Config{
 			ID:                 id,
-			Network:            net,
+			Network:            network,
 			SuspicionThreshold: opts.SuspicionThreshold,
 			BackThreshold:      opts.BackThreshold,
 			ThresholdBump:      opts.ThresholdBump,
@@ -109,8 +135,15 @@ func New(opts Options) *Cluster {
 	return c
 }
 
-// Close shuts the cluster's network down.
-func (c *Cluster) Close() { c.net.Close() }
+// Close shuts the cluster's network down (the session layer, when enabled,
+// closes the memnet underneath it).
+func (c *Cluster) Close() {
+	if c.rel != nil {
+		c.rel.Close()
+		return
+	}
+	c.net.Close()
+}
 
 // Site returns the site with the given identifier.
 func (c *Cluster) Site(id ids.SiteID) *site.Site { return c.sites[id] }
@@ -127,6 +160,10 @@ func (c *Cluster) Sites() []*site.Site {
 // Net exposes the underlying network for crash/partition/step control.
 func (c *Cluster) Net() *transport.Net { return c.net }
 
+// ReliableLayer returns the session layer, or nil when Options.Reliable is
+// off.
+func (c *Cluster) ReliableLayer() *transport.Reliable { return c.rel }
+
 // Counters returns the cluster-wide metrics counters (shared by all sites
 // and the network observer).
 func (c *Cluster) Counters() *metrics.Counters { return c.counters }
@@ -140,6 +177,17 @@ func (c *Cluster) Settle() {
 	}
 	if err := c.net.Quiesce(30 * time.Second); err != nil {
 		panic(fmt.Sprintf("cluster settle: %v", err))
+	}
+	if c.rel != nil {
+		// Wait for every session window to drain (retransmission keeps the
+		// memnet busy in pulses, so quiesce alone is not enough), then for
+		// the trailing acks and deliveries to land.
+		if err := c.rel.AwaitIdle(20 * time.Second); err != nil {
+			panic(fmt.Sprintf("cluster settle: %v", err))
+		}
+		if err := c.net.Quiesce(30 * time.Second); err != nil {
+			panic(fmt.Sprintf("cluster settle: %v", err))
+		}
 	}
 }
 

@@ -110,6 +110,36 @@ func (c *Counters) ObserveMessage(env msg.Envelope, dropped bool) {
 	c.Inc(MsgName(env.M))
 }
 
+// Transport and reliable-link-layer counter names (transport.TCPNode and
+// transport.Reliable).
+const (
+	// TransportSendFail counts TCP dial and encode failures; the failed
+	// message is requeued and retried with backoff, so a nonzero count
+	// with full delivery means the redial path healed the link.
+	TransportSendFail = "transport.send_fail"
+	// LinkRetransmits counts LinkData frames retransmitted after an ack
+	// deadline passed.
+	LinkRetransmits = "link.retransmit"
+	// LinkDupDropped counts received LinkData frames discarded as
+	// duplicates (already delivered or already buffered).
+	LinkDupDropped = "link.dup_dropped"
+	// LinkStaleDropped counts frames discarded for carrying an epoch older
+	// than the link's current session.
+	LinkStaleDropped = "link.stale_epoch_dropped"
+	// LinkAcksSent counts LinkAck frames sent by receivers.
+	LinkAcksSent = "link.acks_sent"
+	// LinkResets counts link session resets (site restarts announced via
+	// LinkReset, and resets applied on receiving one).
+	LinkResets = "link.resets"
+	// LinkResetDropped counts in-flight and queued frames abandoned when a
+	// session reset — traffic addressed to a dead incarnation, which the
+	// protocol tolerates as message loss.
+	LinkResetDropped = "link.reset_dropped"
+	// LinkReorderBuffered counts frames that arrived ahead of a gap and
+	// were held in the receiver's reorder buffer.
+	LinkReorderBuffered = "link.reorder_buffered"
+)
+
 // Back-trace and tracer counter names used across the harness.
 const (
 	BackTracesStarted   = "backtrace.started"

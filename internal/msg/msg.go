@@ -200,6 +200,44 @@ type Batch struct {
 	Items []Message
 }
 
+// LinkData is a session-layer frame of the reliable link layer
+// (transport.Reliable): one protocol message stamped with the sender's
+// session epoch and a per-link sequence number. Sequence numbers start at 1
+// for each (link, epoch) pair and increase by one per frame, which lets the
+// receiver deduplicate, reorder, and acknowledge cumulatively — restoring
+// the in-order delivery relation R1 of the Section 6.4 safety proof over a
+// lossy transport.
+type LinkData struct {
+	Epoch   uint64
+	Seq     uint64
+	Payload Message
+}
+
+// LinkAck cumulatively acknowledges a link session: every LinkData frame of
+// epoch Epoch with sequence number <= Cum has been received (delivered or
+// buffered). The sender drops acknowledged frames from its retransmission
+// window.
+//
+// Inc carries the acker's current incarnation. A sender that observes a
+// peer's incarnation increase resets the link session even if the peer's
+// LinkReset announcement was lost, so a single dropped control frame can
+// never wedge a link.
+type LinkAck struct {
+	Epoch uint64
+	Cum   uint64
+	Inc   uint64
+}
+
+// LinkReset announces that the sending site restarted with a new
+// incarnation Epoch. Receivers abandon their send session toward the
+// restarted site (frames in flight were addressed to the dead incarnation
+// and count as ordinary message loss, which the protocol tolerates by
+// timeout) and open a fresh session with a strictly larger epoch, so stale
+// traffic is never replayed into or accepted from the new incarnation.
+type LinkReset struct {
+	Epoch uint64
+}
+
 func (RefTransfer) isMessage() {}
 func (Insert) isMessage()      {}
 func (InsertAck) isMessage()   {}
@@ -209,6 +247,9 @@ func (BackCall) isMessage()    {}
 func (BackReply) isMessage()   {}
 func (Report) isMessage()      {}
 func (Batch) isMessage()       {}
+func (LinkData) isMessage()    {}
+func (LinkAck) isMessage()     {}
+func (LinkReset) isMessage()   {}
 
 // Compile-time checks that every message type implements Message.
 var (
@@ -221,6 +262,9 @@ var (
 	_ Message = BackReply{}
 	_ Message = Report{}
 	_ Message = Batch{}
+	_ Message = LinkData{}
+	_ Message = LinkAck{}
+	_ Message = LinkReset{}
 )
 
 // RegisterGob registers every message type with encoding/gob so Envelope
@@ -235,6 +279,9 @@ func RegisterGob() {
 	gob.Register(BackReply{})
 	gob.Register(Report{})
 	gob.Register(Batch{})
+	gob.Register(LinkData{})
+	gob.Register(LinkAck{})
+	gob.Register(LinkReset{})
 }
 
 // Name returns a short name for a message's type, used by metrics counters
@@ -259,6 +306,12 @@ func Name(m Message) string {
 		return "Report"
 	case Batch:
 		return "Batch"
+	case LinkData:
+		return "LinkData"
+	case LinkAck:
+		return "LinkAck"
+	case LinkReset:
+		return "LinkReset"
 	default:
 		return fmt.Sprintf("%T", m)
 	}

@@ -80,3 +80,60 @@ func TestRegisterGobIdempotent(t *testing.T) {
 	RegisterGob()
 	RegisterGob() // must not panic
 }
+
+func TestNameCoversEveryMessageType(t *testing.T) {
+	r := ids.MakeRef(2, 17)
+	all := []Message{
+		RefTransfer{}, Insert{}, InsertAck{}, ReleasePin{}, Update{},
+		BackCall{}, BackReply{}, Report{}, Batch{},
+		LinkData{Payload: ReleasePin{Target: r}}, LinkAck{}, LinkReset{},
+	}
+	seen := make(map[string]bool)
+	for _, m := range all {
+		name := Name(m)
+		if name == "" || name[0] == '*' || seen[name] {
+			t.Errorf("Name(%T) = %q (empty, pointerish, or duplicate)", m, name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestLinkFramesGobRoundTrip(t *testing.T) {
+	RegisterGob()
+	frames := []Envelope{
+		{From: 1, To: 2, M: LinkData{Epoch: 3, Seq: 41, Payload: Insert{Target: ids.MakeRef(2, 5), Holder: 1, Pinner: 4}}},
+		{From: 2, To: 1, M: LinkAck{Epoch: 3, Cum: 41}},
+		{From: 2, To: 1, M: LinkReset{Epoch: 4}},
+		{From: 1, To: 2, M: LinkData{Epoch: 1, Seq: 1, Payload: Batch{Items: []Message{Report{Outcome: VerdictLive}}}}},
+	}
+	for _, env := range frames {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+			t.Fatalf("encode %s: %v", Name(env.M), err)
+		}
+		var got Envelope
+		if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+			t.Fatalf("decode %s: %v", Name(env.M), err)
+		}
+		if Name(got.M) != Name(env.M) {
+			t.Fatalf("round trip changed type: %s -> %s", Name(env.M), Name(got.M))
+		}
+	}
+	// Spot-check nested payloads survive.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	var got Envelope
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	ld := got.M.(LinkData)
+	if ld.Epoch != 3 || ld.Seq != 41 {
+		t.Fatalf("LinkData header corrupted: %+v", ld)
+	}
+	ins, ok := ld.Payload.(Insert)
+	if !ok || ins.Target != ids.MakeRef(2, 5) || ins.Holder != 1 || ins.Pinner != 4 {
+		t.Fatalf("LinkData payload corrupted: %+v", ld.Payload)
+	}
+}

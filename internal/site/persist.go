@@ -6,9 +6,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"backtrace/internal/event"
 	"backtrace/internal/ids"
+	"backtrace/internal/transport"
 )
 
 // This file implements site checkpointing and crash recovery. The paper
@@ -66,6 +68,12 @@ type snapshotRec struct {
 	Inrefs        []inrefRec
 	Outrefs       []outrefRec
 	SuspThreshold int
+	// Incarnation is the site's session epoch at checkpoint time (zero when
+	// the network has no session layer). Recovery restarts with a strictly
+	// larger incarnation so peers reset their link sessions instead of
+	// replaying stale traffic into the new lifetime. Gob tolerates the
+	// field's absence in old checkpoints, so the version stays unchanged.
+	Incarnation uint64
 }
 
 // WriteCheckpoint serializes the site's durable state. It takes the site
@@ -77,6 +85,9 @@ func (s *Site) WriteCheckpoint(w io.Writer) error {
 		Site:          s.cfg.ID,
 		NextObj:       s.heap.NextID(),
 		SuspThreshold: s.cfg.SuspicionThreshold,
+	}
+	if sn, ok := s.cfg.Network.(transport.SessionNetwork); ok {
+		rec.Incarnation = sn.Incarnation(s.cfg.ID)
 	}
 	for _, obj := range s.heap.Objects() {
 		o, _ := s.heap.Get(obj)
@@ -158,31 +169,64 @@ func Restore(cfg Config, r io.Reader) (*Site, error) {
 		return nil, fmt.Errorf("restore site: checkpoint is for %v, config says %v", rec.Site, cfg.ID)
 	}
 	s := New(cfg)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, o := range rec.Objects {
-		if err := s.heap.Install(o.ID, o.Fields, o.Size, o.Root); err != nil {
-			return nil, fmt.Errorf("restore site %v: %w", cfg.ID, err)
+	if err := func() error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for _, o := range rec.Objects {
+			if err := s.heap.Install(o.ID, o.Fields, o.Size, o.Root); err != nil {
+				return fmt.Errorf("restore site %v: %w", cfg.ID, err)
+			}
 		}
+		s.heap.SetNextID(rec.NextObj)
+		for _, ir := range rec.Inrefs {
+			in := s.table.EnsureInref(ir.Obj)
+			for _, src := range ir.Sources {
+				in.Sources[src.Site] = src.Dist
+			}
+			in.Garbage = ir.Garbage
+			in.BackThreshold = ir.BackThreshold
+			in.Barrier = !ir.Garbage // conservatively clean until the first trace
+		}
+		for _, orc := range rec.Outrefs {
+			o, _ := s.table.EnsureOutref(orc.Target)
+			o.Distance = orc.Distance
+			o.BackThreshold = orc.BackThreshold
+			o.Barrier = true // conservatively clean until the first trace
+		}
+		s.emit(event.Event{Kind: event.SiteRestored})
+		return nil
+	}(); err != nil {
+		return nil, err
 	}
-	s.heap.SetNextID(rec.NextObj)
+	// On a session-layer network, announce the restart: the new incarnation
+	// is strictly larger than any the checkpoint saw, and every site named
+	// in the checkpoint's reference lists is told to reset its link session
+	// (Send would replay stale sequence state otherwise).
+	if sn, ok := cfg.Network.(transport.SessionNetwork); ok {
+		sn.NotifyRestart(cfg.ID, rec.Incarnation+1, checkpointPeers(rec))
+	}
+	return s, nil
+}
+
+// checkpointPeers collects every peer site named in a checkpoint: sources
+// of inrefs and owners of outref targets.
+func checkpointPeers(rec snapshotRec) []ids.SiteID {
+	set := make(map[ids.SiteID]struct{})
 	for _, ir := range rec.Inrefs {
-		in := s.table.EnsureInref(ir.Obj)
 		for _, src := range ir.Sources {
-			in.Sources[src.Site] = src.Dist
+			set[src.Site] = struct{}{}
 		}
-		in.Garbage = ir.Garbage
-		in.BackThreshold = ir.BackThreshold
-		in.Barrier = !ir.Garbage // conservatively clean until the first trace
 	}
 	for _, orc := range rec.Outrefs {
-		o, _ := s.table.EnsureOutref(orc.Target)
-		o.Distance = orc.Distance
-		o.BackThreshold = orc.BackThreshold
-		o.Barrier = true // conservatively clean until the first trace
+		set[orc.Target.Site] = struct{}{}
 	}
-	s.emit(event.Event{Kind: event.SiteRestored})
-	return s, nil
+	delete(set, rec.Site)
+	peers := make([]ids.SiteID, 0, len(set))
+	for p := range set {
+		peers = append(peers, p)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	return peers
 }
 
 // RestoreFile is Restore reading from a checkpoint file.

@@ -2,8 +2,10 @@ package site
 
 import (
 	"bytes"
+	"encoding/gob"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"backtrace/internal/ids"
 	"backtrace/internal/msg"
@@ -130,6 +132,73 @@ func TestCheckpointFileAtomic(t *testing.T) {
 	}
 	if _, err := RestoreFile(Config{Network: net2}, filepath.Join(t.TempDir(), "missing")); err == nil {
 		t.Fatal("restore of missing file accepted")
+	}
+}
+
+// TestRestoreOverSessionNetworkBumpsIncarnation: on a session-layer network
+// (transport.Reliable), a checkpoint records the site's incarnation and
+// Restore announces the restart with a strictly larger one, so peers reset
+// their link sessions instead of wedging on stale sequence state.
+func TestRestoreOverSessionNetworkBumpsIncarnation(t *testing.T) {
+	inner := transport.NewNet(transport.Options{})
+	rel := transport.NewReliable(inner, transport.ReliableOptions{
+		RetransmitInitial: 2 * time.Millisecond,
+	})
+	t.Cleanup(rel.Close)
+	a := New(Config{ID: 1, Network: rel, SuspicionThreshold: 3, BackThreshold: 7})
+	b := New(Config{ID: 2, Network: rel, SuspicionThreshold: 3, BackThreshold: 7})
+
+	settle := func() {
+		t.Helper()
+		if err := rel.AwaitIdle(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if err := inner.Quiesce(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One cross-site reference so the checkpoint names site 1 as a peer.
+	x := a.NewRootObject()
+	y := b.NewObject()
+	if err := b.SendRef(1, y); err != nil {
+		t.Fatal(err)
+	}
+	settle()
+	if err := a.AddReference(x.Obj, y); err != nil {
+		t.Fatal(err)
+	}
+	a.DropAppRoot(y)
+	settle()
+
+	var buf bytes.Buffer
+	if err := b.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var rec snapshotRec
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	old := rel.Incarnation(2)
+	if rec.Incarnation != old {
+		t.Fatalf("checkpoint recorded incarnation %d, network says %d", rec.Incarnation, old)
+	}
+
+	b2, err := Restore(Config{Network: rel, SuspicionThreshold: 3, BackThreshold: 7}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rel.Incarnation(2); got != old+1 {
+		t.Fatalf("post-restore incarnation %d, want %d", got, old+1)
+	}
+
+	// The link must come back usable: a post-restart exchange settles with
+	// nothing stuck in a session window.
+	a.RunLocalTrace()
+	b2.RunLocalTrace()
+	settle()
+	if b2.NumInrefs() == 0 {
+		t.Fatal("restored site lost its inref")
 	}
 }
 

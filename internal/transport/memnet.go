@@ -20,6 +20,15 @@ type Options struct {
 	// DropProb is the probability in [0, 1] that any given message is
 	// lost. The decision is made at send time.
 	DropProb float64
+	// DupProb is the probability in [0, 1] that a message is delivered
+	// twice (the duplicate follows the original in the destination's
+	// queue). Stresses receiver-side deduplication in transport.Reliable.
+	DupProb float64
+	// ReorderProb is the probability in [0, 1] that a message is swapped
+	// with the message queued immediately before it at the destination,
+	// violating per-link FIFO. Stresses the reorder buffering in
+	// transport.Reliable.
+	ReorderProb float64
 	// Seed seeds the random source used for jitter and drops, making a
 	// lossy run reproducible. Zero selects a fixed default seed.
 	Seed int64
@@ -58,6 +67,7 @@ type delivery struct {
 	env     msg.Envelope
 	ready   time.Time
 	dropped bool
+	swap    bool // reorder injection: swap with the previously queued message
 }
 
 // NewNet builds an in-memory network with the given options.
@@ -127,19 +137,42 @@ func (n *Net) Send(from, to ids.SiteID, m msg.Message) {
 	if n.opts.Jitter > 0 {
 		extra = time.Duration(n.rng.Int63n(int64(n.opts.Jitter)))
 	}
-	d := delivery{env: env, ready: time.Now().Add(n.opts.Latency + extra)}
+	dup := n.opts.DupProb > 0 && n.rng.Float64() < n.opts.DupProb
+	swap := n.opts.ReorderProb > 0 && n.rng.Float64() < n.opts.ReorderProb
+	d := delivery{env: env, ready: time.Now().Add(n.opts.Latency + extra), swap: swap}
 	n.inflight++
+	if dup {
+		n.inflight++
+	}
 	if n.opts.Stepped {
-		n.pending = append(n.pending, d)
+		n.insertPending(d)
+		if dup {
+			n.insertPending(delivery{env: env, ready: d.ready})
+		}
 		n.mu.Unlock()
 	} else {
 		w := n.workers[to]
 		n.mu.Unlock()
 		w.enqueue(d)
+		if dup {
+			w.enqueue(delivery{env: env, ready: d.ready})
+		}
 	}
 	if obs != nil {
 		obs(env, false)
 	}
+}
+
+// insertPending appends d to the stepped-mode queue, swapping it before the
+// previously queued message when reorder injection fired. Caller holds n.mu.
+func (n *Net) insertPending(d delivery) {
+	if d.swap && len(n.pending) > 0 {
+		last := n.pending[len(n.pending)-1]
+		n.pending[len(n.pending)-1] = d
+		n.pending = append(n.pending, last)
+		return
+	}
+	n.pending = append(n.pending, d)
 }
 
 // finishDelivery decrements the in-flight counter after a handler returns.
@@ -168,6 +201,20 @@ func (n *Net) SetDropProb(p float64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.opts.DropProb = p
+}
+
+// SetDupProb changes the duplication probability at runtime.
+func (n *Net) SetDupProb(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.opts.DupProb = p
+}
+
+// SetReorderProb changes the reordering probability at runtime.
+func (n *Net) SetReorderProb(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.opts.ReorderProb = p
 }
 
 // Crash marks a site as crashed: all messages to and from it are dropped
@@ -380,7 +427,13 @@ func (w *memWorker) enqueue(d delivery) {
 		w.net.finishDelivery()
 		return
 	}
-	w.queue = append(w.queue, d)
+	if d.swap && len(w.queue) > 0 {
+		last := w.queue[len(w.queue)-1]
+		w.queue[len(w.queue)-1] = d
+		w.queue = append(w.queue, last)
+	} else {
+		w.queue = append(w.queue, d)
+	}
 	w.cond.Signal()
 	w.mu.Unlock()
 }

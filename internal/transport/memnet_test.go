@@ -307,6 +307,77 @@ func TestMemNetQuiesceTimesOutWithStuckMessages(t *testing.T) {
 	}
 }
 
+func TestMemNetDuplicateInjection(t *testing.T) {
+	n := NewNet(Options{DupProb: 1.0})
+	defer n.Close()
+	c := &collector{self: 2}
+	n.Register(2, c)
+
+	const sends = 10
+	for i := uint64(1); i <= sends; i++ {
+		n.Send(1, 2, ping(i))
+	}
+	if err := n.Quiesce(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.count() != 2*sends {
+		t.Fatalf("delivered %d with DupProb=1, want %d", c.count(), 2*sends)
+	}
+	// Each original is immediately followed by its duplicate.
+	got := c.snapshot()
+	for i := 0; i < len(got); i += 2 {
+		if pingSeq(got[i].M) != pingSeq(got[i+1].M) {
+			t.Fatalf("messages %d/%d are not a dup pair: %d vs %d",
+				i, i+1, pingSeq(got[i].M), pingSeq(got[i+1].M))
+		}
+	}
+}
+
+func TestMemNetReorderInjection(t *testing.T) {
+	n := NewNet(Options{Stepped: true, ReorderProb: 1.0})
+	defer n.Close()
+	c := &collector{self: 2}
+	n.Register(2, c)
+
+	n.Send(1, 2, ping(1))
+	n.Send(1, 2, ping(2)) // swaps before ping(1)
+	n.DeliverAll()
+	got := c.snapshot()
+	if len(got) != 2 || pingSeq(got[0].M) != 2 || pingSeq(got[1].M) != 1 {
+		t.Fatalf("reorder injection did not swap: %+v", got)
+	}
+}
+
+func TestMemNetReorderInjectionAsync(t *testing.T) {
+	// A little latency lets the destination queue accumulate so swaps have
+	// a neighbour to swap with.
+	n := NewNet(Options{ReorderProb: 1.0, Seed: 3, Latency: 2 * time.Millisecond})
+	defer n.Close()
+	c := &collector{self: 2}
+	n.Register(2, c)
+
+	const sends = 50
+	for i := uint64(1); i <= sends; i++ {
+		n.Send(1, 2, ping(i))
+	}
+	if err := n.Quiesce(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.count() != sends {
+		t.Fatalf("delivered %d, want %d", c.count(), sends)
+	}
+	inOrder := true
+	for i, env := range c.snapshot() {
+		if pingSeq(env.M) != uint64(i+1) {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Fatal("ReorderProb=1 delivered everything in order")
+	}
+}
+
 func TestMemNetConcurrentSenders(t *testing.T) {
 	n := NewNet(Options{})
 	defer n.Close()

@@ -1,0 +1,598 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"backtrace/internal/ids"
+	"backtrace/internal/metrics"
+	"backtrace/internal/msg"
+)
+
+// This file implements Reliable, a session layer that upgrades any Network
+// to FIFO, at-most-once, retransmitted delivery.
+//
+// The paper assumes per-link in-order delivery (relation R1, Section 6.4)
+// and tolerates outright loss only through the Section 4.6 timeout rule: a
+// lost Call or Report makes the trace conservatively assume Live, costing a
+// whole re-suspicion round per dropped packet. Reliable removes that cost
+// on lossy substrates: every protocol message is wrapped in a LinkData
+// frame carrying a per-link (source, destination) monotone sequence number
+// and the sender's session epoch. Receivers acknowledge cumulatively,
+// deduplicate, and buffer out-of-order frames so handlers see every message
+// exactly once, in send order — R1 restored. Senders keep a bounded
+// in-flight window and retransmit unacknowledged frames on exponential
+// backoff with jitter.
+//
+// Site crashes are handled with incarnation epochs: a restarted site (see
+// internal/site/persist.go) calls NotifyRestart, which bumps its epoch,
+// wipes its link state, and announces a LinkReset to its peers. Peers
+// abandon their old send sessions (frames in flight were addressed to the
+// dead incarnation; dropping them is ordinary message loss, which the
+// protocol tolerates by timeout) and open fresh sessions with a strictly
+// larger epoch, so stale traffic is neither replayed into nor accepted
+// from the new incarnation.
+
+// ReliableOptions configures a Reliable session layer.
+type ReliableOptions struct {
+	// Window bounds the number of unacknowledged frames per link; sends
+	// beyond it queue at the sender until acks open the window. Defaults
+	// to 64.
+	Window int
+	// RetransmitInitial is the first ack deadline after a (re)transmission.
+	// Defaults to 15ms.
+	RetransmitInitial time.Duration
+	// RetransmitMax caps the exponential backoff. Defaults to 500ms.
+	RetransmitMax time.Duration
+	// RetransmitJitter is the fraction of the backoff added as uniform
+	// random extra delay, de-synchronizing retransmission bursts across
+	// links. Defaults to 0.25.
+	RetransmitJitter float64
+	// Tick is the granularity of the retransmission scan. Defaults to a
+	// third of RetransmitInitial (at least 1ms).
+	Tick time.Duration
+	// Seed seeds the jitter source, making retransmission schedules
+	// reproducible. Zero selects a fixed default.
+	Seed int64
+	// Epoch is the initial incarnation for sites registered on this layer.
+	// Defaults to 1. After a crash, pass the persisted incarnation + 1 via
+	// NotifyRestart instead.
+	Epoch uint64
+	// Counters, if non-nil, receives the link.* metrics.
+	Counters *metrics.Counters
+	// Observer, if non-nil, is called once per logical Send (not per
+	// retransmission); dropped is true only when the layer is closed.
+	Observer Observer
+}
+
+func (o ReliableOptions) withDefaults() ReliableOptions {
+	if o.Window <= 0 {
+		o.Window = 64
+	}
+	if o.RetransmitInitial <= 0 {
+		o.RetransmitInitial = 15 * time.Millisecond
+	}
+	if o.RetransmitMax <= 0 {
+		o.RetransmitMax = 500 * time.Millisecond
+	}
+	if o.RetransmitJitter <= 0 {
+		o.RetransmitJitter = 0.25
+	}
+	if o.Tick <= 0 {
+		o.Tick = o.RetransmitInitial / 3
+		if o.Tick < time.Millisecond {
+			o.Tick = time.Millisecond
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Epoch == 0 {
+		o.Epoch = 1
+	}
+	return o
+}
+
+// SessionNetwork is the optional interface implemented by session-layer
+// transports. Site checkpointing records the incarnation, and crash
+// recovery announces the restart so peers reset their links cleanly.
+type SessionNetwork interface {
+	Network
+	// Incarnation returns the site's current session epoch.
+	Incarnation(site ids.SiteID) uint64
+	// NotifyRestart installs a new incarnation for a restarted site (at
+	// least one greater than any previous), wipes the site's link state,
+	// and sends LinkReset to the given peers.
+	NotifyRestart(site ids.SiteID, incarnation uint64, peers []ids.SiteID)
+}
+
+type linkKey struct {
+	from, to ids.SiteID
+}
+
+// linkFrame is one unacknowledged message in a sender's window.
+type linkFrame struct {
+	seq uint64
+	m   msg.Message
+}
+
+// sendLink is the sender half of one link session.
+type sendLink struct {
+	epoch    uint64
+	nextSeq  uint64      // next sequence number to assign
+	inflight []linkFrame // transmitted, unacknowledged; ascending seq
+	pending  []msg.Message
+	backoff  time.Duration
+	retryAt  time.Time
+	peerInc  uint64 // the peer's incarnation as last seen in an ack (0 = unknown)
+}
+
+// recvLink is the receiver half of one link session.
+type recvLink struct {
+	epoch    uint64
+	expected uint64 // next sequence number to deliver
+	buffer   map[uint64]msg.Message
+}
+
+// Reliable wraps an inner Network with per-link ack/retransmit sessions.
+// Register sites and Send messages exactly as with the inner network; the
+// handlers installed via Register receive every message exactly once, in
+// per-link send order, as long as both endpoints of a link go through a
+// Reliable layer. Frames from peers that do not (bare protocol messages)
+// are passed through unchanged.
+//
+// Retransmission is time-driven, so Reliable requires an asynchronously
+// delivering inner network (it is not meaningful over a stepped memnet).
+type Reliable struct {
+	inner Network
+	opts  ReliableOptions
+
+	mu          sync.Mutex
+	incarnation map[ids.SiteID]uint64
+	sends       map[linkKey]*sendLink
+	recvs       map[linkKey]*recvLink
+	handlers    map[ids.SiteID]Handler
+	rng         *rand.Rand
+	closed      bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+var (
+	_ Network        = (*Reliable)(nil)
+	_ SessionNetwork = (*Reliable)(nil)
+)
+
+// NewReliable wraps inner with a reliable session layer and starts its
+// retransmission scanner. Close the returned layer, not the inner network
+// (Close closes both).
+func NewReliable(inner Network, opts ReliableOptions) *Reliable {
+	opts = opts.withDefaults()
+	r := &Reliable{
+		inner:       inner,
+		opts:        opts,
+		incarnation: make(map[ids.SiteID]uint64),
+		sends:       make(map[linkKey]*sendLink),
+		recvs:       make(map[linkKey]*recvLink),
+		handlers:    make(map[ids.SiteID]Handler),
+		rng:         rand.New(rand.NewSource(opts.Seed)),
+		done:        make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go r.retransmitLoop()
+	return r
+}
+
+// Inner returns the wrapped network (for fault injection in tests).
+func (r *Reliable) Inner() Network { return r.inner }
+
+// Register implements Network: h receives the deduplicated, reordered
+// payload stream for site.
+func (r *Reliable) Register(site ids.SiteID, h Handler) {
+	r.mu.Lock()
+	r.handlers[site] = h
+	if _, ok := r.incarnation[site]; !ok {
+		r.incarnation[site] = r.opts.Epoch
+	}
+	r.mu.Unlock()
+	r.inner.Register(site, HandlerFunc(func(from ids.SiteID, m msg.Message) {
+		r.receive(site, from, m)
+	}))
+}
+
+// Send implements Network. The message is assigned the link's next sequence
+// number and retransmitted until acknowledged; if the in-flight window is
+// full it queues at the sender. Send never blocks on the receiver.
+func (r *Reliable) Send(from, to ids.SiteID, m msg.Message) {
+	env := msg.Envelope{From: from, To: to, M: m}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		r.observe(env, true)
+		return
+	}
+	sl := r.sendLinkLocked(from, to)
+	var frame msg.Message
+	if len(sl.inflight) < r.opts.Window {
+		seq := sl.nextSeq
+		sl.nextSeq++
+		sl.inflight = append(sl.inflight, linkFrame{seq: seq, m: m})
+		if len(sl.inflight) == 1 {
+			r.armLocked(sl, time.Now())
+		}
+		frame = msg.LinkData{Epoch: sl.epoch, Seq: seq, Payload: m}
+	} else {
+		sl.pending = append(sl.pending, m)
+	}
+	r.mu.Unlock()
+	r.observe(env, false)
+	if frame != nil {
+		r.inner.Send(from, to, frame)
+	}
+}
+
+// Close implements Network: it stops the retransmission scanner and closes
+// the inner network.
+func (r *Reliable) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.done)
+	r.wg.Wait()
+	r.inner.Close()
+}
+
+// Incarnation implements SessionNetwork.
+func (r *Reliable) Incarnation(site ids.SiteID) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if inc, ok := r.incarnation[site]; ok {
+		return inc
+	}
+	return r.opts.Epoch
+}
+
+// NotifyRestart implements SessionNetwork: site came back from a crash with
+// the given incarnation (bumped further if not strictly greater than the
+// current one). All of the site's send sessions restart at the new epoch
+// with their queues dropped, its receive state is forgotten, and every peer
+// is sent a LinkReset so it abandons its stale session toward the site.
+func (r *Reliable) NotifyRestart(site ids.SiteID, incarnation uint64, peers []ids.SiteID) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	if cur := r.incarnation[site]; incarnation <= cur {
+		incarnation = cur + 1
+	}
+	r.incarnation[site] = incarnation
+	for key, sl := range r.sends {
+		if key.from != site {
+			continue
+		}
+		r.resetSendLinkLocked(sl, incarnation)
+	}
+	for key := range r.recvs {
+		if key.to == site {
+			delete(r.recvs, key)
+		}
+	}
+	r.count(metrics.LinkResets, 1)
+	r.mu.Unlock()
+	for _, p := range peers {
+		if p == site {
+			continue
+		}
+		r.inner.Send(site, p, msg.LinkReset{Epoch: incarnation})
+	}
+}
+
+// AwaitIdle blocks until every send link has no in-flight or queued frames
+// (everything sent has been acknowledged), or the timeout elapses.
+func (r *Reliable) AwaitIdle(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		r.mu.Lock()
+		n := 0
+		for _, sl := range r.sends {
+			n += len(sl.inflight) + len(sl.pending)
+		}
+		closed := r.closed
+		r.mu.Unlock()
+		if n == 0 || closed {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("reliable: %d frames unacknowledged after %v", n, timeout)
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+}
+
+// --- internals ----------------------------------------------------------
+
+func (r *Reliable) observe(env msg.Envelope, dropped bool) {
+	if r.opts.Observer != nil {
+		r.opts.Observer(env, dropped)
+	}
+}
+
+func (r *Reliable) count(name string, delta int64) {
+	if r.opts.Counters != nil {
+		r.opts.Counters.Add(name, delta)
+	}
+}
+
+// sendLinkLocked returns (creating if needed) the send session for a link.
+func (r *Reliable) sendLinkLocked(from, to ids.SiteID) *sendLink {
+	key := linkKey{from, to}
+	sl := r.sends[key]
+	if sl == nil {
+		epoch := r.opts.Epoch
+		if inc, ok := r.incarnation[from]; ok {
+			epoch = inc
+		}
+		sl = &sendLink{epoch: epoch, nextSeq: 1}
+		r.sends[key] = sl
+	}
+	return sl
+}
+
+// resetSendLinkLocked opens a fresh session at epoch, dropping anything in
+// flight or queued (addressed to a dead incarnation: ordinary loss).
+func (r *Reliable) resetSendLinkLocked(sl *sendLink, epoch uint64) {
+	if n := len(sl.inflight) + len(sl.pending); n > 0 {
+		r.count(metrics.LinkResetDropped, int64(n))
+	}
+	if epoch <= sl.epoch {
+		epoch = sl.epoch + 1
+	}
+	sl.epoch = epoch
+	sl.nextSeq = 1
+	sl.inflight = nil
+	sl.pending = nil
+}
+
+// armLocked starts a fresh backoff window for a link's oldest unacked frame.
+func (r *Reliable) armLocked(sl *sendLink, now time.Time) {
+	sl.backoff = r.opts.RetransmitInitial
+	sl.retryAt = now.Add(r.jitteredLocked(sl.backoff))
+}
+
+func (r *Reliable) jitteredLocked(d time.Duration) time.Duration {
+	return d + time.Duration(r.opts.RetransmitJitter*r.rng.Float64()*float64(d))
+}
+
+// receive demultiplexes one frame arriving at self's inner handler.
+func (r *Reliable) receive(self, from ids.SiteID, m msg.Message) {
+	switch f := m.(type) {
+	case msg.LinkData:
+		r.receiveData(self, from, f)
+	case msg.LinkAck:
+		r.receiveAck(self, from, f)
+	case msg.LinkReset:
+		r.receiveReset(self, from, f)
+	default:
+		// A peer not running the session layer: pass through unchanged.
+		r.mu.Lock()
+		h := r.handlers[self]
+		r.mu.Unlock()
+		if h != nil {
+			h.Deliver(from, m)
+		}
+	}
+}
+
+// receiveData runs the receiver side of the session: epoch checks, dedup,
+// reorder buffering, in-order delivery, and a cumulative ack. The inner
+// network invokes handlers serially per link, so per-link state is never
+// processed concurrently.
+func (r *Reliable) receiveData(self, from ids.SiteID, f msg.LinkData) {
+	key := linkKey{from, self}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	rl := r.recvs[key]
+	if rl == nil {
+		rl = &recvLink{epoch: f.Epoch, expected: 1, buffer: make(map[uint64]msg.Message)}
+		r.recvs[key] = rl
+	}
+	switch {
+	case f.Epoch < rl.epoch:
+		// Stale traffic from a previous session: never deliver, never ack.
+		r.count(metrics.LinkStaleDropped, 1)
+		r.mu.Unlock()
+		return
+	case f.Epoch > rl.epoch:
+		// The sender opened a new session (e.g. after a restart).
+		rl.epoch = f.Epoch
+		rl.expected = 1
+		rl.buffer = make(map[uint64]msg.Message)
+	}
+	var deliver []msg.Message
+	switch {
+	case f.Seq < rl.expected:
+		// Duplicate of a delivered frame; re-ack so the sender stops.
+		r.count(metrics.LinkDupDropped, 1)
+	case f.Seq == rl.expected:
+		deliver = append(deliver, f.Payload)
+		rl.expected++
+		for {
+			p, ok := rl.buffer[rl.expected]
+			if !ok {
+				break
+			}
+			delete(rl.buffer, rl.expected)
+			deliver = append(deliver, p)
+			rl.expected++
+		}
+	default: // ahead of a gap
+		if _, ok := rl.buffer[f.Seq]; ok {
+			r.count(metrics.LinkDupDropped, 1)
+		} else if len(rl.buffer) < 4*r.opts.Window {
+			rl.buffer[f.Seq] = f.Payload
+			r.count(metrics.LinkReorderBuffered, 1)
+		}
+		// Over the buffer bound the frame is dropped; the sender
+		// retransmits it after the gap fills.
+	}
+	inc := r.incarnation[self]
+	if inc == 0 {
+		inc = r.opts.Epoch
+	}
+	ack := msg.LinkAck{Epoch: rl.epoch, Cum: rl.expected - 1, Inc: inc}
+	h := r.handlers[self]
+	r.mu.Unlock()
+
+	if h != nil {
+		for _, p := range deliver {
+			h.Deliver(from, p)
+		}
+	}
+	r.count(metrics.LinkAcksSent, 1)
+	r.inner.Send(self, from, ack)
+}
+
+// receiveAck drops acknowledged frames from the window and promotes queued
+// messages into the space opened.
+func (r *Reliable) receiveAck(self, from ids.SiteID, a msg.LinkAck) {
+	key := linkKey{self, from}
+	var out []msg.Message
+	r.mu.Lock()
+	sl := r.sends[key]
+	if sl == nil || r.closed {
+		r.mu.Unlock()
+		return
+	}
+	if a.Inc != 0 {
+		if a.Inc < sl.peerInc {
+			// Ack from a dead incarnation of the peer, delayed in the
+			// network: ignore it entirely.
+			r.mu.Unlock()
+			return
+		}
+		if sl.peerInc != 0 && a.Inc > sl.peerInc {
+			// The peer restarted and its LinkReset announcement was lost;
+			// the incarnation piggybacked on the ack reveals it. Reset the
+			// session just as if the LinkReset had arrived.
+			sl.peerInc = a.Inc
+			r.count(metrics.LinkResets, 1)
+			next := sl.epoch + 1
+			if inc := r.incarnation[self]; inc > next {
+				next = inc
+			}
+			r.resetSendLinkLocked(sl, next)
+			r.mu.Unlock()
+			return
+		}
+		sl.peerInc = a.Inc
+	}
+	if a.Epoch != sl.epoch {
+		r.mu.Unlock()
+		return
+	}
+	progressed := false
+	for len(sl.inflight) > 0 && sl.inflight[0].seq <= a.Cum {
+		sl.inflight = sl.inflight[1:]
+		progressed = true
+	}
+	if progressed {
+		for len(sl.pending) > 0 && len(sl.inflight) < r.opts.Window {
+			m := sl.pending[0]
+			sl.pending = sl.pending[1:]
+			seq := sl.nextSeq
+			sl.nextSeq++
+			sl.inflight = append(sl.inflight, linkFrame{seq: seq, m: m})
+			out = append(out, msg.LinkData{Epoch: sl.epoch, Seq: seq, Payload: m})
+		}
+		if len(sl.inflight) > 0 {
+			r.armLocked(sl, time.Now())
+		}
+	}
+	r.mu.Unlock()
+	for _, m := range out {
+		r.inner.Send(self, from, m)
+	}
+}
+
+// receiveReset handles a peer's restart announcement: the send session
+// toward it is dead (its receive state is gone), so open a fresh one, and
+// forget receive state so stale buffered frames cannot linger.
+func (r *Reliable) receiveReset(self, from ids.SiteID, lr msg.LinkReset) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.count(metrics.LinkResets, 1)
+	if sl := r.sends[linkKey{self, from}]; sl != nil {
+		next := sl.epoch + 1
+		if inc := r.incarnation[self]; inc > next {
+			next = inc
+		}
+		r.resetSendLinkLocked(sl, next)
+		if lr.Epoch > sl.peerInc {
+			sl.peerInc = lr.Epoch
+		}
+	}
+	delete(r.recvs, linkKey{from, self})
+	r.mu.Unlock()
+}
+
+// retransmitLoop periodically rescans links for overdue frames. All
+// in-flight frames of an overdue link are resent (the receiver deduplicates
+// ones that made it) and the link's backoff doubles up to the cap.
+func (r *Reliable) retransmitLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.opts.Tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-t.C:
+		}
+		r.retransmitDue(time.Now())
+	}
+}
+
+func (r *Reliable) retransmitDue(now time.Time) {
+	type resend struct {
+		key   linkKey
+		frame msg.Message
+	}
+	var out []resend
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	for key, sl := range r.sends {
+		if len(sl.inflight) == 0 || now.Before(sl.retryAt) {
+			continue
+		}
+		for _, f := range sl.inflight {
+			out = append(out, resend{key, msg.LinkData{Epoch: sl.epoch, Seq: f.seq, Payload: f.m}})
+		}
+		r.count(metrics.LinkRetransmits, int64(len(sl.inflight)))
+		sl.backoff *= 2
+		if sl.backoff > r.opts.RetransmitMax {
+			sl.backoff = r.opts.RetransmitMax
+		}
+		sl.retryAt = now.Add(r.jitteredLocked(sl.backoff))
+	}
+	r.mu.Unlock()
+	for _, s := range out {
+		r.inner.Send(s.key.from, s.key.to, s.frame)
+	}
+}

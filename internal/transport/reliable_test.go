@@ -1,0 +1,281 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"backtrace/internal/ids"
+	"backtrace/internal/metrics"
+	"backtrace/internal/msg"
+)
+
+// chaosReliable builds a Reliable layer over a memnet with the given fault
+// probabilities and registers collectors for sites 1..n.
+func chaosReliable(t *testing.T, opts Options, n int) (*Reliable, *Net, map[ids.SiteID]*collector, *metrics.Counters) {
+	t.Helper()
+	counters := &metrics.Counters{}
+	inner := NewNet(opts)
+	r := NewReliable(inner, ReliableOptions{
+		Seed:              7,
+		RetransmitInitial: 2 * time.Millisecond,
+		Counters:          counters,
+	})
+	t.Cleanup(r.Close)
+	cols := make(map[ids.SiteID]*collector, n)
+	for i := 1; i <= n; i++ {
+		id := ids.SiteID(i)
+		cols[id] = &collector{self: id}
+		r.Register(id, cols[id])
+	}
+	return r, inner, cols, counters
+}
+
+// settleReliable waits for every sent frame to be acknowledged and every
+// delivery (including trailing acks) to finish.
+func settleReliable(t *testing.T, r *Reliable, inner *Net) {
+	t.Helper()
+	if err := r.AwaitIdle(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.Quiesce(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReliableExactlyOnceInOrderUnderChaos is the acceptance assertion for
+// the session layer: under 30% loss plus duplication plus reordering, every
+// message reaches its handler exactly once, in per-link send order.
+func TestReliableExactlyOnceInOrderUnderChaos(t *testing.T) {
+	r, inner, cols, counters := chaosReliable(t, Options{
+		DropProb:    0.3,
+		DupProb:     0.3,
+		ReorderProb: 0.3,
+		Seed:        42,
+		Jitter:      200 * time.Microsecond,
+	}, 3)
+
+	const perLink = 400
+	// Interleave two links from site 1 so per-link order is tested with
+	// cross-link traffic in between.
+	for i := uint64(1); i <= perLink; i++ {
+		r.Send(1, 2, ping(i))
+		r.Send(1, 3, ping(i))
+	}
+	settleReliable(t, r, inner)
+
+	for _, to := range []ids.SiteID{2, 3} {
+		got := cols[to].snapshot()
+		if len(got) != perLink {
+			t.Fatalf("site %v: delivered %d messages, want exactly %d", to, len(got), perLink)
+		}
+		for i, env := range got {
+			if env.From != 1 {
+				t.Fatalf("site %v: message %d from %v, want 1", to, i, env.From)
+			}
+			if pingSeq(env.M) != uint64(i+1) {
+				t.Fatalf("site %v: out of order at %d: seq %d", to, i, pingSeq(env.M))
+			}
+		}
+	}
+	if counters.Get(metrics.LinkRetransmits) == 0 {
+		t.Error("no retransmissions recorded under 30% loss")
+	}
+	if counters.Get(metrics.LinkDupDropped) == 0 {
+		t.Error("no duplicates dropped under 30% duplication")
+	}
+	if counters.Get(metrics.LinkAcksSent) == 0 {
+		t.Error("no acks recorded")
+	}
+}
+
+// TestReliableWindowQueuesBeyondLimit: sends past the in-flight window queue
+// at the sender and still arrive, in order, as acks open the window.
+func TestReliableWindowQueuesBeyondLimit(t *testing.T) {
+	counters := &metrics.Counters{}
+	inner := NewNet(Options{})
+	r := NewReliable(inner, ReliableOptions{
+		Window:            4,
+		RetransmitInitial: 2 * time.Millisecond,
+		Counters:          counters,
+	})
+	defer r.Close()
+	c1, c2 := &collector{self: 1}, &collector{self: 2}
+	r.Register(1, c1)
+	r.Register(2, c2)
+
+	const total = 100
+	for i := uint64(1); i <= total; i++ {
+		r.Send(1, 2, ping(i))
+	}
+	settleReliable(t, r, inner)
+	got := c2.snapshot()
+	if len(got) != total {
+		t.Fatalf("delivered %d, want %d", len(got), total)
+	}
+	for i, env := range got {
+		if pingSeq(env.M) != uint64(i+1) {
+			t.Fatalf("out of order at %d: seq %d", i, pingSeq(env.M))
+		}
+	}
+}
+
+// TestReliablePassthroughUnwrapped: bare protocol messages from a peer not
+// running the session layer reach the handler unchanged.
+func TestReliablePassthroughUnwrapped(t *testing.T) {
+	inner := NewNet(Options{})
+	r := NewReliable(inner, ReliableOptions{})
+	defer r.Close()
+	c2 := &collector{self: 2}
+	r.Register(2, c2)
+
+	inner.Send(1, 2, ping(9)) // bypasses the session layer entirely
+	if err := inner.Quiesce(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := c2.snapshot()
+	if len(got) != 1 || pingSeq(got[0].M) != 9 {
+		t.Fatalf("passthrough delivery wrong: %+v", got)
+	}
+}
+
+// TestReliableRestartResetsSession: after a site restart (NotifyRestart),
+// peers open a fresh epoch, stale frames from the old session are rejected,
+// and new traffic flows exactly once.
+func TestReliableRestartResetsSession(t *testing.T) {
+	r, inner, cols, counters := chaosReliable(t, Options{}, 2)
+
+	for i := uint64(1); i <= 5; i++ {
+		r.Send(1, 2, ping(i))
+	}
+	settleReliable(t, r, inner)
+	if cols[2].count() != 5 {
+		t.Fatalf("pre-restart: delivered %d, want 5", cols[2].count())
+	}
+	oldInc := r.Incarnation(2)
+
+	// Site 2 crashes and restarts; recovery announces the new incarnation.
+	r.NotifyRestart(2, oldInc+1, []ids.SiteID{1})
+	if err := inner.Quiesce(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Incarnation(2); got != oldInc+1 {
+		t.Fatalf("incarnation = %d, want %d", got, oldInc+1)
+	}
+	if counters.Get(metrics.LinkResets) == 0 {
+		t.Fatal("no link resets recorded")
+	}
+
+	// New traffic opens a post-restart session and flows normally.
+	for i := uint64(6); i <= 10; i++ {
+		r.Send(1, 2, ping(i))
+	}
+	settleReliable(t, r, inner)
+
+	// A stale frame from site 1's pre-restart session (epoch 1) must be
+	// rejected, not delivered: the receiver's session is now at a higher
+	// epoch.
+	inner.Send(1, 2, msg.LinkData{Epoch: 1, Seq: 2, Payload: ping(99)})
+	settleReliable(t, r, inner)
+
+	got := cols[2].snapshot()
+	if len(got) != 10 {
+		t.Fatalf("delivered %d total, want 10 (stale frame must not deliver)", len(got))
+	}
+	for _, env := range got {
+		if pingSeq(env.M) == 99 {
+			t.Fatal("stale old-epoch frame was delivered after restart")
+		}
+	}
+	if counters.Get(metrics.LinkStaleDropped) == 0 {
+		t.Error("stale frame not counted as dropped")
+	}
+}
+
+// TestReliableRestartDropsQueuedTraffic: frames in flight toward a crashed
+// site are abandoned on reset (counted, not replayed into the new
+// incarnation).
+func TestReliableRestartDropsQueuedTraffic(t *testing.T) {
+	// Only site 1 is up: site 2 is "down" (unregistered), so frames toward
+	// it vanish in the inner network and sit unacknowledged in the window.
+	r, inner, _, counters := chaosReliable(t, Options{}, 1)
+
+	for i := uint64(1); i <= 7; i++ {
+		r.Send(1, 2, ping(i))
+	}
+
+	// Site 2 restarts from a checkpoint and announces it. Site 1 abandons
+	// the seven frames: they were addressed to the dead incarnation.
+	r.NotifyRestart(2, 0, []ids.SiteID{1})
+	settleReliable(t, r, inner)
+
+	if got := counters.Get(metrics.LinkResetDropped); got != 7 {
+		t.Fatalf("reset dropped %d frames, want 7", got)
+	}
+	// Traffic sent after the reset starts a new session and arrives.
+	c2 := &collector{self: 2}
+	r.Register(2, c2)
+	r.Send(1, 2, ping(100))
+	settleReliable(t, r, inner)
+	got := c2.snapshot()
+	if len(got) != 1 || pingSeq(got[0].M) != 100 {
+		t.Fatalf("post-reset delivery wrong: %+v", got)
+	}
+}
+
+// TestReliableCrashRetransmitHealsWithoutReset: a transient outage (network
+// partition, no restart) is healed purely by retransmission — nothing is
+// lost and nothing is duplicated.
+func TestReliableCrashRetransmitHealsWithoutReset(t *testing.T) {
+	r, inner, cols, _ := chaosReliable(t, Options{}, 2)
+
+	inner.Partition(1, 2)
+	for i := uint64(1); i <= 20; i++ {
+		r.Send(1, 2, ping(i))
+	}
+	time.Sleep(10 * time.Millisecond)
+	if cols[2].count() != 0 {
+		t.Fatal("partitioned link delivered")
+	}
+	inner.Heal(1, 2)
+	settleReliable(t, r, inner)
+
+	got := cols[2].snapshot()
+	if len(got) != 20 {
+		t.Fatalf("delivered %d after heal, want 20", len(got))
+	}
+	for i, env := range got {
+		if pingSeq(env.M) != uint64(i+1) {
+			t.Fatalf("out of order at %d: seq %d", i, pingSeq(env.M))
+		}
+	}
+}
+
+// TestReliableAwaitIdleReportsStuckFrames: with the link cut, AwaitIdle
+// times out and says how many frames are unacknowledged.
+func TestReliableAwaitIdleReportsStuckFrames(t *testing.T) {
+	r, inner, _, _ := chaosReliable(t, Options{}, 2)
+	inner.Partition(1, 2)
+	r.Send(1, 2, ping(1))
+	err := r.AwaitIdle(20 * time.Millisecond)
+	if err == nil {
+		t.Fatal("AwaitIdle succeeded with an unacknowledgeable frame")
+	}
+	if !strings.Contains(err.Error(), "1 frame") {
+		t.Fatalf("error %q does not mention the stuck frame", err)
+	}
+}
+
+// TestReliableCloseIsIdempotent mirrors the memnet close contract.
+func TestReliableCloseIsIdempotent(t *testing.T) {
+	inner := NewNet(Options{})
+	r := NewReliable(inner, ReliableOptions{})
+	c := &collector{self: 2}
+	r.Register(2, c)
+	r.Close()
+	r.Close() // must not panic
+	r.Send(1, 2, ping(1))
+	if c.count() != 0 {
+		t.Error("send after close was delivered")
+	}
+}

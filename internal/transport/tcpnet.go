@@ -2,13 +2,22 @@ package transport
 
 import (
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"backtrace/internal/ids"
+	"backtrace/internal/metrics"
 	"backtrace/internal/msg"
+)
+
+// Redial/queue tuning for TCPNode's per-peer senders.
+const (
+	tcpRedialInitial = 5 * time.Millisecond
+	tcpRedialMax     = 500 * time.Millisecond
+	tcpDialTimeout   = time.Second
+	tcpQueueCap      = 4096
 )
 
 // TCPNode is a Network implementation for one site running as its own OS
@@ -16,31 +25,34 @@ import (
 // listen address of every site (static membership, as in the paper's
 // setting of a fixed object store spread over sites).
 //
-// Connections are established lazily on first send and reused; each
-// incoming connection is drained by its own goroutine, which invokes the
-// handler inline so per-link FIFO order is preserved.
+// Each peer gets a dedicated sender goroutine draining a bounded pending
+// queue, so Send never blocks on the network. The sender dials lazily,
+// evicts the connection on encode failure and redials with exponential
+// backoff, keeping the failed message at the front of the queue; dial and
+// encode failures are counted under metrics.TransportSendFail. Messages
+// already written into a connection that later dies are ordinary message
+// loss, which the protocol tolerates by timeout (or which the Reliable
+// session layer repairs by retransmission). Each incoming connection is
+// drained by its own goroutine, which invokes the handler inline so
+// per-link FIFO order is preserved.
 type TCPNode struct {
 	self  ids.SiteID
 	addrs map[ids.SiteID]string
 
 	mu       sync.Mutex
 	handler  Handler
-	conns    map[ids.SiteID]*tcpConn
+	senders  map[ids.SiteID]*tcpSender
 	accepted map[net.Conn]struct{}
 	ln       net.Listener
 	closed   bool
 	obs      Observer
+	counters *metrics.Counters
 
-	wg sync.WaitGroup
+	done chan struct{}
+	wg   sync.WaitGroup
 }
 
 var _ Network = (*TCPNode)(nil)
-
-type tcpConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-}
 
 // NewTCPNode creates a node for site self that will listen on addrs[self]
 // and send to the other addresses. Call Register to install the handler,
@@ -57,9 +69,10 @@ func NewTCPNode(self ids.SiteID, addrs map[ids.SiteID]string, obs Observer) (*TC
 	return &TCPNode{
 		self:     self,
 		addrs:    copied,
-		conns:    make(map[ids.SiteID]*tcpConn),
+		senders:  make(map[ids.SiteID]*tcpSender),
 		accepted: make(map[net.Conn]struct{}),
 		obs:      obs,
+		done:     make(chan struct{}),
 	}, nil
 }
 
@@ -70,6 +83,14 @@ func (t *TCPNode) Register(site ids.SiteID, h Handler) {
 	}
 	t.mu.Lock()
 	t.handler = h
+	t.mu.Unlock()
+}
+
+// SetCounters installs a counter set; dial and encode failures are then
+// recorded under metrics.TransportSendFail.
+func (t *TCPNode) SetCounters(c *metrics.Counters) {
+	t.mu.Lock()
+	t.counters = c
 	t.mu.Unlock()
 }
 
@@ -137,8 +158,11 @@ func (t *TCPNode) readLoop(conn net.Conn) {
 	}
 }
 
-// Send implements Network. Failures (unknown site, dial or encode errors)
-// are treated as message loss, which the protocol tolerates by timeout.
+// Send implements Network. The message is queued for the peer's sender
+// goroutine; a full queue, an unknown site, or a spoofed source drops it
+// (message loss, which the protocol tolerates by timeout). The Observer
+// sees a successful send only once the message is actually written to a
+// connection.
 func (t *TCPNode) Send(from, to ids.SiteID, m msg.Message) {
 	env := msg.Envelope{From: from, To: to, M: m}
 	if from != t.self {
@@ -158,26 +182,28 @@ func (t *TCPNode) Send(from, to ids.SiteID, m msg.Message) {
 		}
 		return
 	}
-	c, err := t.connTo(to)
-	if err != nil {
-		t.observe(env, true)
-		return
-	}
-	c.mu.Lock()
-	err = c.enc.Encode(env)
-	c.mu.Unlock()
-	if err != nil {
-		// Drop the broken connection; the next send redials.
-		t.mu.Lock()
-		if t.conns[to] == c {
-			delete(t.conns, to)
-		}
+	t.mu.Lock()
+	if t.closed {
 		t.mu.Unlock()
-		c.conn.Close()
 		t.observe(env, true)
 		return
 	}
-	t.observe(env, false)
+	if _, ok := t.addrs[to]; !ok {
+		t.mu.Unlock()
+		t.observe(env, true)
+		return
+	}
+	s := t.senders[to]
+	if s == nil {
+		s = newTCPSender(t, to)
+		t.senders[to] = s
+		t.wg.Add(1)
+		go s.run()
+	}
+	t.mu.Unlock()
+	if !s.enqueue(env) {
+		t.observe(env, true)
+	}
 }
 
 func (t *TCPNode) observe(env msg.Envelope, dropped bool) {
@@ -186,47 +212,27 @@ func (t *TCPNode) observe(env msg.Envelope, dropped bool) {
 	}
 }
 
-func (t *TCPNode) connTo(to ids.SiteID) (*tcpConn, error) {
+func (t *TCPNode) countSendFail() {
 	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
-		return nil, errors.New("tcpnode: closed")
-	}
-	if c, ok := t.conns[to]; ok {
-		t.mu.Unlock()
-		return c, nil
-	}
-	addr, ok := t.addrs[to]
+	c := t.counters
 	t.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("tcpnode: unknown site %v", to)
+	if c != nil {
+		c.Inc(metrics.TransportSendFail)
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("tcpnode dial %v: %w", to, err)
-	}
-	c := &tcpConn{conn: conn, enc: gob.NewEncoder(conn)}
-	t.mu.Lock()
-	if existing, ok := t.conns[to]; ok {
-		t.mu.Unlock()
-		conn.Close()
-		return existing, nil
-	}
-	t.conns[to] = c
-	t.mu.Unlock()
-	return c, nil
 }
 
 // SetAddr updates the known address of a site (used when peers bind
-// ephemeral ports and gossip their bound addresses out of band).
+// ephemeral ports and gossip their bound addresses out of band). The peer's
+// sender picks the new address up at its next dial.
 func (t *TCPNode) SetAddr(site ids.SiteID, addr string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.addrs[site] = addr
 }
 
-// Close implements Network: it stops the listener, closes connections, and
-// waits for reader goroutines to exit.
+// Close implements Network: it stops the listener, shuts down the per-peer
+// senders (dropping whatever is still queued), closes connections, and
+// waits for all goroutines to exit.
 func (t *TCPNode) Close() {
 	t.mu.Lock()
 	if t.closed {
@@ -235,25 +241,168 @@ func (t *TCPNode) Close() {
 	}
 	t.closed = true
 	ln := t.ln
-	conns := make([]*tcpConn, 0, len(t.conns))
-	for _, c := range t.conns {
-		conns = append(conns, c)
+	senders := make([]*tcpSender, 0, len(t.senders))
+	for _, s := range t.senders {
+		senders = append(senders, s)
 	}
-	t.conns = make(map[ids.SiteID]*tcpConn)
 	inbound := make([]net.Conn, 0, len(t.accepted))
 	for c := range t.accepted {
 		inbound = append(inbound, c)
 	}
 	t.mu.Unlock()
 
+	close(t.done)
 	if ln != nil {
 		ln.Close()
 	}
-	for _, c := range conns {
-		c.conn.Close()
+	for _, s := range senders {
+		s.close()
 	}
 	for _, c := range inbound {
 		c.Close()
 	}
 	t.wg.Wait()
+}
+
+// tcpSender owns the outgoing traffic toward one peer: a bounded FIFO
+// queue, the current connection, and the redial backoff. A single goroutine
+// (run) consumes the queue, so per-link send order is preserved.
+type tcpSender struct {
+	node *TCPNode
+	to   ids.SiteID
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []msg.Envelope
+	conn   net.Conn
+	closed bool
+}
+
+func newTCPSender(node *TCPNode, to ids.SiteID) *tcpSender {
+	s := &tcpSender{node: node, to: to}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// enqueue appends env to the pending queue; it reports false when the queue
+// is full or the sender is closed.
+func (s *tcpSender) enqueue(env msg.Envelope) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || len(s.queue) >= tcpQueueCap {
+		return false
+	}
+	s.queue = append(s.queue, env)
+	s.cond.Signal()
+	return true
+}
+
+// close wakes the run loop and unblocks any in-progress encode by closing
+// the live connection out from under it.
+func (s *tcpSender) close() {
+	s.mu.Lock()
+	s.closed = true
+	conn := s.conn
+	s.conn = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+func (s *tcpSender) run() {
+	defer s.node.wg.Done()
+	var enc *gob.Encoder
+	backoff := tcpRedialInitial
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if s.closed {
+			rest := s.queue
+			s.queue = nil
+			conn := s.conn
+			s.conn = nil
+			s.mu.Unlock()
+			if conn != nil {
+				conn.Close()
+			}
+			for _, env := range rest {
+				s.node.observe(env, true)
+			}
+			return
+		}
+		env := s.queue[0]
+		connected := s.conn != nil
+		s.mu.Unlock()
+
+		if !connected {
+			conn, err := s.dial()
+			if err != nil {
+				s.node.countSendFail()
+				s.sleep(backoff)
+				backoff *= 2
+				if backoff > tcpRedialMax {
+					backoff = tcpRedialMax
+				}
+				continue
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				continue
+			}
+			s.conn = conn
+			s.mu.Unlock()
+			enc = gob.NewEncoder(conn)
+			backoff = tcpRedialInitial
+		}
+
+		if err := enc.Encode(env); err != nil {
+			// Evict the broken connection and redial; env stays at the
+			// front of the queue and is retried on the fresh connection.
+			s.node.countSendFail()
+			s.mu.Lock()
+			conn := s.conn
+			s.conn = nil
+			s.mu.Unlock()
+			if conn != nil {
+				conn.Close()
+			}
+			enc = nil
+			continue
+		}
+		// This goroutine is the only consumer, so the front is still env.
+		s.mu.Lock()
+		if len(s.queue) > 0 {
+			s.queue = s.queue[1:]
+		}
+		s.mu.Unlock()
+		s.node.observe(env, false)
+	}
+}
+
+// dial connects to the peer's current address (SetAddr may have changed it
+// since the last attempt).
+func (s *tcpSender) dial() (net.Conn, error) {
+	s.node.mu.Lock()
+	addr, ok := s.node.addrs[s.to]
+	s.node.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("tcpnode: unknown site %v", s.to)
+	}
+	return net.DialTimeout("tcp", addr, tcpDialTimeout)
+}
+
+// sleep waits for the backoff interval, returning early if the node closes.
+func (s *tcpSender) sleep(d time.Duration) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-s.node.done:
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"backtrace/internal/ids"
+	"backtrace/internal/metrics"
 	"backtrace/internal/msg"
 )
 
@@ -183,6 +184,85 @@ func TestTCPPeerRestartRedials(t *testing.T) {
 	if c2b.count() == 0 {
 		t.Fatal("no delivery to restarted peer")
 	}
+}
+
+// TestTCPListenerRestartFlushesQueue kills the peer mid-stream, keeps
+// sending until a failure is counted under transport.send_fail, restarts a
+// listener on the same address, and then — without any further Send calls —
+// the messages still queued at the sender must flush over a fresh
+// connection.
+func TestTCPListenerRestartFlushesQueue(t *testing.T) {
+	addrs := map[ids.SiteID]string{
+		1: "127.0.0.1:0",
+		2: "127.0.0.1:0",
+	}
+	n1, err := NewTCPNode(1, addrs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+	counters := &metrics.Counters{}
+	n1.SetCounters(counters)
+	n1.Register(1, &collector{self: 1})
+	a1, err := n1.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n2, err := NewTCPNode(2, addrs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := &collector{self: 2}
+	n2.Register(2, c2)
+	a2, err := n2.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1.SetAddr(2, a2)
+	n2.SetAddr(1, a1)
+
+	n1.Send(1, 2, ping(1))
+	waitFor(t, func() bool { return c2.count() == 1 }, "first delivery")
+
+	// Kill the listener mid-stream and send until a failure is counted.
+	// Messages written into the dead connection before the failure are
+	// ordinary loss; everything from the failed message on stays queued.
+	n2.Close()
+	seq := uint64(1)
+	deadline := time.Now().Add(5 * time.Second)
+	for counters.Get(metrics.TransportSendFail) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no send failure observed after peer death")
+		}
+		seq++
+		n1.Send(1, 2, ping(seq))
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Bring a replacement up on the same address.
+	n2b, err := NewTCPNode(2, map[ids.SiteID]string{1: a1, 2: a2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2b.Close()
+	c2b := &collector{self: 2}
+	n2b.Register(2, c2b)
+	if _, err := n2b.Listen(); err != nil {
+		t.Fatal(err)
+	}
+
+	// No further sends: the queue must drain on its own, through the last
+	// message enqueued before the restart.
+	last := seq
+	waitFor(t, func() bool {
+		for _, env := range c2b.snapshot() {
+			if pingSeq(env.M) == last {
+				return true
+			}
+		}
+		return false
+	}, "queued tail to flush after listener restart")
 }
 
 func TestTCPAllMessageTypesSurviveGob(t *testing.T) {

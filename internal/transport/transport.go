@@ -10,11 +10,19 @@
 //     Figures 5 and 6.
 //
 //   - TCPNode (tcpnet.go): a real TCP transport using encoding/gob, for
-//     running sites as separate OS processes (cmd/dgcnode).
+//     running sites as separate OS processes (cmd/dgcnode), with per-peer
+//     pending queues and reconnect-with-backoff.
 //
 // Both preserve FIFO delivery per (source, destination) link, matching the
 // paper's in-order delivery assumption (relation R1 in the Section 6.4
 // safety proof).
+//
+// Reliable (reliable.go) wraps either one in an ack/retransmit session
+// layer: per-link sequence numbers, cumulative acks, a bounded in-flight
+// window with exponential-backoff retransmission, receiver-side dedup and
+// reorder buffering, and incarnation epochs that reset link sessions
+// across site crashes. It upgrades a lossy, duplicating, or reordering
+// substrate to the exactly-once in-order delivery the protocol assumes.
 package transport
 
 import (
