@@ -9,6 +9,8 @@ package backtrace_test
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -20,6 +22,7 @@ import (
 	"backtrace/internal/ids"
 	"backtrace/internal/msg"
 	"backtrace/internal/refs"
+	"backtrace/internal/site"
 	"backtrace/internal/tracer"
 	"backtrace/internal/transport"
 	"backtrace/internal/workload"
@@ -439,6 +442,186 @@ func BenchmarkDistancePropagation(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				c.RunRound()
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSites (experiment C12) measures one churn+collect round
+// on a 4-site cluster under the two per-site concurrency architectures: the
+// single-mutex baseline (locked traces, serial round driver) versus the
+// pipelined architecture (mailbox executors, off-lock traces, goroutine per
+// site). Same heaps, same churn, same network — the ratio of the two ns/op
+// figures is the multi-core speedup of the refactor.
+func BenchmarkParallelSites(b *testing.B) {
+	const (
+		numSites     = 4
+		liveObjs     = 20000 // per-site live chain the trace must mark
+		churnPerSite = 500   // objects allocated and orphaned per round
+	)
+	for _, pipelined := range []bool{false, true} {
+		name := "locked-serial"
+		if pipelined {
+			name = "pipelined-parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			c := cluster.New(cluster.Options{
+				NumSites:           numSites,
+				Async:              true,
+				Parallel:           pipelined,
+				LockedTrace:        !pipelined,
+				SuspicionThreshold: 3,
+				BackThreshold:      1 << 20, // no back traces: isolate trace+churn cost
+			})
+			defer c.Close()
+
+			roots := make([]backtrace.Ref, numSites)
+			for i := 0; i < numSites; i++ {
+				s := c.Site(backtrace.SiteID(i + 1))
+				roots[i] = s.NewRootObject()
+				prev := roots[i]
+				for j := 0; j < liveObjs; j++ {
+					o := s.NewObject()
+					if err := s.AddReference(prev.Obj, o); err != nil {
+						b.Fatal(err)
+					}
+					prev = o
+				}
+			}
+			// A live cross-site ring among the roots keeps update traffic
+			// flowing through the network each round.
+			for i := range roots {
+				c.MustLink(roots[i], roots[(i+1)%numSites])
+			}
+
+			churn := func(s *site.Site, root backtrace.Ref) {
+				for j := 0; j < churnPerSite; j++ {
+					o := s.NewObject()
+					if err := s.AddReference(root.Obj, o); err != nil {
+						panic(err)
+					}
+					if err := s.RemoveReference(root.Obj, o); err != nil {
+						panic(err)
+					}
+				}
+			}
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if pipelined {
+					var wg sync.WaitGroup
+					for j := 0; j < numSites; j++ {
+						wg.Add(1)
+						go func(j int) {
+							defer wg.Done()
+							churn(c.Site(backtrace.SiteID(j+1)), roots[j])
+						}(j)
+					}
+					wg.Wait()
+				} else {
+					for j := 0; j < numSites; j++ {
+						churn(c.Site(backtrace.SiteID(j+1)), roots[j])
+					}
+				}
+				c.RunRound()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(numSites*churnPerSite), "churn-objs/op")
+		})
+	}
+}
+
+// BenchmarkOffLockTrace measures mutator latency on a site whose collector
+// is continuously tracing a large heap. With LockedTrace the mutator waits
+// out every full trace computation; with the off-lock snapshot design it
+// only waits for the short snapshot and commit critical sections. The
+// headline metric is stalled-pct — the share of mutator wall time spent in
+// operations that blocked for at least a millisecond, which in locked mode
+// means waiting out whole traces and in off-lock mode only the critical
+// sections (plus scheduler noise). max-stall-ms is the worst single
+// operation; trace-ms reports the mean tracer.Run wall time, which the
+// off-lock design takes off the mutator's critical path.
+func BenchmarkOffLockTrace(b *testing.B) {
+	const liveObjs = 20000
+	for _, locked := range []bool{true, false} {
+		name := "locked"
+		if !locked {
+			name = "offlock"
+		}
+		b.Run(name, func(b *testing.B) {
+			net := transport.NewNet(transport.Options{})
+			defer net.Close()
+			s := site.New(site.Config{
+				ID:                 1,
+				Network:            net,
+				SuspicionThreshold: 3,
+				BackThreshold:      1 << 20,
+				LockedTrace:        locked,
+			})
+			defer s.Close()
+			root := s.NewRootObject()
+			prev := root
+			for j := 0; j < liveObjs; j++ {
+				o := s.NewObject()
+				if err := s.AddReference(prev.Obj, o); err != nil {
+					b.Fatal(err)
+				}
+				prev = o
+			}
+			// The mutator toggles an extra edge to an always-live object;
+			// allocation is kept out of the op because an object is only
+			// safe from the sweep once it is linked or held.
+			target, err := s.Fields(root.Obj)
+			if err != nil || len(target) == 0 {
+				b.Fatal("root has no fields")
+			}
+
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			var traces, traceNanos int64
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					rep := s.RunLocalTrace()
+					atomic.AddInt64(&traces, 1)
+					atomic.AddInt64(&traceNanos, int64(rep.Stats.Duration))
+				}
+			}()
+
+			var maxStall, stalled, elapsed time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opStart := time.Now()
+				if err := s.AddReference(root.Obj, target[0]); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.RemoveReference(root.Obj, target[0]); err != nil {
+					b.Fatal(err)
+				}
+				d := time.Since(opStart)
+				elapsed += d
+				if d > maxStall {
+					maxStall = d
+				}
+				if d >= time.Millisecond {
+					stalled += d
+				}
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+			if elapsed > 0 {
+				b.ReportMetric(float64(stalled)/float64(elapsed)*100, "stalled-pct")
+			}
+			b.ReportMetric(float64(maxStall)/1e6, "max-stall-ms")
+			if n := atomic.LoadInt64(&traces); n > 0 {
+				b.ReportMetric(float64(traceNanos)/float64(n)/1e6, "trace-ms")
 			}
 		})
 	}

@@ -34,23 +34,24 @@ import (
 
 func main() {
 	var (
-		demo   = flag.Bool("demo", false, "run all sites in-process over TCP loopback")
-		nSites = flag.Int("sites", 3, "number of sites (demo mode)")
-		selfID = flag.Uint("site", 0, "this node's site id (node mode)")
-		peers  = flag.String("peers", "", "comma-separated id=host:port list (node mode)")
-		drive  = flag.Bool("drive", false, "this node builds the demo graph and drives rounds (node mode)")
+		demo     = flag.Bool("demo", false, "run all sites in-process over TCP loopback")
+		nSites   = flag.Int("sites", 3, "number of sites (demo mode)")
+		selfID   = flag.Uint("site", 0, "this node's site id (node mode)")
+		peers    = flag.String("peers", "", "comma-separated id=host:port list (node mode)")
+		drive    = flag.Bool("drive", false, "this node builds the demo graph and drives rounds (node mode)")
 		period   = flag.Duration("trace-every", 2*time.Second, "local trace period (node mode)")
 		run      = flag.Duration("run-for", 30*time.Second, "how long a non-driving node runs")
 		reliable = flag.Bool("reliable", false, "interpose the ack/retransmit session layer over TCP")
+		inbox    = flag.Int("inbox", 0, "mailbox executor inbox capacity (0 = apply messages on the delivery thread)")
 	)
 	flag.Parse()
 
 	var err error
 	switch {
 	case *demo || *selfID == 0:
-		err = runDemo(*nSites, *reliable)
+		err = runDemo(*nSites, *reliable, *inbox)
 	default:
-		err = runNode(ids.SiteID(*selfID), *peers, *drive, *period, *run, *reliable)
+		err = runNode(ids.SiteID(*selfID), *peers, *drive, *period, *run, *reliable, *inbox)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dgcnode:", err)
@@ -60,7 +61,7 @@ func main() {
 
 // runDemo brings up n sites over loopback TCP (optionally under the
 // reliable session layer) and collects a distributed cycle end to end.
-func runDemo(n int, reliable bool) error {
+func runDemo(n int, reliable bool, inbox int) error {
 	counters := &metrics.Counters{}
 	addrs := make(map[ids.SiteID]string, n)
 	for i := 1; i <= n; i++ {
@@ -95,6 +96,7 @@ func runDemo(n int, reliable bool) error {
 			AutoBackTrace:      true,
 			CallTimeout:        2 * time.Second,
 			ReportTimeout:      10 * time.Second,
+			InboxSize:          inbox,
 			Counters:           counters,
 		})
 		addr, err := node.Listen()
@@ -109,6 +111,11 @@ func runDemo(n int, reliable bool) error {
 		}
 	}
 	defer func() {
+		// Stop the site mailboxes first: a delivery worker blocked on a
+		// full inbox would otherwise stall the network shutdown.
+		for _, s := range sites {
+			s.Close()
+		}
 		// Closing the session layer (when present) closes its TCP node too.
 		for _, nw := range networks {
 			nw.Close()
@@ -199,7 +206,8 @@ func tcpLink(sites map[ids.SiteID]*site.Site, from, target backtrace.Ref) error 
 }
 
 // runNode runs one site as its own process.
-func runNode(self ids.SiteID, peerList string, drive bool, period, runFor time.Duration, reliable bool) error {
+func runNode(self ids.SiteID, peerList string, drive bool, period, runFor time.Duration,
+	reliable bool, inbox int) error {
 	addrs, err := parsePeers(peerList)
 	if err != nil {
 		return err
@@ -229,8 +237,10 @@ func runNode(self ids.SiteID, peerList string, drive bool, period, runFor time.D
 		AutoBackTrace:      true,
 		CallTimeout:        2 * time.Second,
 		ReportTimeout:      10 * time.Second,
+		InboxSize:          inbox,
 		Counters:           counters,
 	})
+	defer s.Close() // runs before network.Close: mailbox stops first
 	addr, err := node.Listen()
 	if err != nil {
 		return err

@@ -41,7 +41,7 @@ func TestRunDemoSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("TCP demo skipped in -short mode")
 	}
-	if err := runDemo(2, false); err != nil {
+	if err := runDemo(2, false, 4); err != nil { // small inbox: mailbox path over TCP
 		t.Fatal(err)
 	}
 }
@@ -50,7 +50,7 @@ func TestRunDemoReliableSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("TCP demo skipped in -short mode")
 	}
-	if err := runDemo(2, true); err != nil {
+	if err := runDemo(2, true, 0); err != nil {
 		t.Fatal(err)
 	}
 }

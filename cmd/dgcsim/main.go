@@ -7,6 +7,7 @@
 //	dgcsim -workload ring -sites 4
 //	dgcsim -workload hypertext -sites 6 -docs 12 -seed 7 -v
 //	dgcsim -workload random -sites 8 -objects 500 -latency 2ms -drop 0.05
+//	dgcsim -workload dense -sites 8 -parallel
 package main
 
 import (
@@ -24,34 +25,35 @@ import (
 
 func main() {
 	var (
-		kind    = flag.String("workload", "ring", "workload: ring, chain, dense, random, hypertext")
-		sites   = flag.Int("sites", 4, "number of sites")
-		objects = flag.Int("objects", 200, "objects (random workload)")
-		docs    = flag.Int("docs", 10, "documents (hypertext workload)")
-		seed    = flag.Int64("seed", 1, "workload and network seed")
-		rounds  = flag.Int("rounds", 60, "maximum collection rounds")
-		thresh  = flag.Int("threshold", 3, "suspicion threshold T")
-		backT   = flag.Int("back-threshold", 7, "back threshold T2")
-		latency = flag.Duration("latency", 0, "network latency (0 = deterministic stepped mode)")
-		jitter  = flag.Duration("jitter", 0, "network jitter")
-		drop    = flag.Float64("drop", 0, "message drop probability")
-		algo    = flag.String("outsets", "bottom-up", "outset algorithm: bottom-up or independent")
-		verbose = flag.Bool("v", false, "per-round progress")
-		events  = flag.Int("events", 0, "print the last N collector events")
-		dotPath = flag.String("dot", "", "write a Graphviz DOT snapshot of the final state to this file")
+		kind     = flag.String("workload", "ring", "workload: ring, chain, dense, random, hypertext")
+		sites    = flag.Int("sites", 4, "number of sites")
+		objects  = flag.Int("objects", 200, "objects (random workload)")
+		docs     = flag.Int("docs", 10, "documents (hypertext workload)")
+		seed     = flag.Int64("seed", 1, "workload and network seed")
+		rounds   = flag.Int("rounds", 60, "maximum collection rounds")
+		thresh   = flag.Int("threshold", 3, "suspicion threshold T")
+		backT    = flag.Int("back-threshold", 7, "back threshold T2")
+		latency  = flag.Duration("latency", 0, "network latency (0 = deterministic stepped mode)")
+		jitter   = flag.Duration("jitter", 0, "network jitter")
+		drop     = flag.Float64("drop", 0, "message drop probability")
+		algo     = flag.String("outsets", "bottom-up", "outset algorithm: bottom-up or independent")
+		parallel = flag.Bool("parallel", false, "run sites on goroutines with mailbox executors (disables stepped determinism)")
+		verbose  = flag.Bool("v", false, "per-round progress")
+		events   = flag.Int("events", 0, "print the last N collector events")
+		dotPath  = flag.String("dot", "", "write a Graphviz DOT snapshot of the final state to this file")
 	)
 	flag.Parse()
 
 	if err := run(*kind, *sites, *objects, *docs, *seed, *rounds, *thresh, *backT,
-		*latency, *jitter, *drop, *algo, *verbose, *events, *dotPath); err != nil {
+		*latency, *jitter, *drop, *algo, *parallel, *verbose, *events, *dotPath); err != nil {
 		fmt.Fprintln(os.Stderr, "dgcsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(kind string, sites, objects, docs int, seed int64, rounds, thresh, backT int,
-	latency, jitter time.Duration, drop float64, algoName string, verbose bool, eventTail int,
-	dotPath string) error {
+	latency, jitter time.Duration, drop float64, algoName string, parallel, verbose bool,
+	eventTail int, dotPath string) error {
 
 	var spec workload.Spec
 	switch kind {
@@ -91,6 +93,7 @@ func run(kind string, sites, objects, docs int, seed int64, rounds, thresh, back
 		ThresholdBump:      4,
 		OutsetAlgorithm:    algo,
 		AutoBackTrace:      true,
+		Parallel:           parallel,
 		Latency:            latency,
 		Jitter:             jitter,
 		// Loss is enabled only after the workload is built: the build

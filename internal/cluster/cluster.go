@@ -11,6 +11,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"backtrace/internal/event"
@@ -44,6 +45,19 @@ type Options struct {
 	// whatever loss, duplication, and reordering the options above inject.
 	// Retransmission is time-driven, so Reliable forces asynchronous mode.
 	Reliable bool
+	// Parallel runs collection rounds with one goroutine per site instead
+	// of stepping sites serially. It forces asynchronous delivery and,
+	// unless InboxSize says otherwise, gives every site a mailbox of
+	// DefaultInboxSize. Deterministic Figure 5/6 replays need the default
+	// serial stepped mode.
+	Parallel bool
+	// InboxSize, when positive, gives every site a bounded mailbox of this
+	// capacity (site.Config.InboxSize); it forces asynchronous delivery.
+	InboxSize int
+	// LockedTrace makes every site compute local traces under its lock
+	// (site.Config.LockedTrace) — the baseline the off-lock benchmarks
+	// compare against.
+	LockedTrace bool
 	// SuspicionThreshold, BackThreshold, ThresholdBump, OutsetAlgorithm,
 	// AutoBackTrace, AdaptiveThreshold, CallTimeout, ReportTimeout are
 	// passed to every site; zero values take the site defaults.
@@ -71,10 +85,17 @@ type Cluster struct {
 	stepped  bool
 }
 
+// DefaultInboxSize is the per-site mailbox capacity Parallel mode uses when
+// Options.InboxSize is zero.
+const DefaultInboxSize = 256
+
 // New builds a cluster with sites 1..NumSites.
 func New(opts Options) *Cluster {
 	if opts.NumSites <= 0 {
 		opts.NumSites = 2
+	}
+	if opts.Parallel && opts.InboxSize == 0 {
+		opts.InboxSize = DefaultInboxSize
 	}
 	stepped := opts.Stepped
 	if !opts.Async && !opts.Reliable && opts.Latency == 0 && opts.Jitter == 0 &&
@@ -83,6 +104,9 @@ func New(opts Options) *Cluster {
 	}
 	if opts.Reliable {
 		stepped = false // retransmission timers need real delivery
+	}
+	if opts.Parallel || opts.InboxSize > 0 {
+		stepped = false // mailbox dispatchers need real delivery
 	}
 	counters := &metrics.Counters{}
 	net := transport.NewNet(transport.Options{
@@ -127,6 +151,8 @@ func New(opts Options) *Cluster {
 			AutoBackTrace:      opts.AutoBackTrace,
 			AdaptiveThreshold:  opts.AdaptiveThreshold,
 			Piggyback:          opts.Piggyback,
+			InboxSize:          opts.InboxSize,
+			LockedTrace:        opts.LockedTrace,
 			Counters:           counters,
 			Events:             opts.Events,
 		})
@@ -135,9 +161,14 @@ func New(opts Options) *Cluster {
 	return c
 }
 
-// Close shuts the cluster's network down (the session layer, when enabled,
-// closes the memnet underneath it).
+// Close shuts the cluster down: first the site mailboxes (so a delivery
+// worker blocked on a full inbox unblocks and the network can stop its
+// workers), then the network (the session layer, when enabled, closes the
+// memnet underneath it).
 func (c *Cluster) Close() {
+	for _, id := range c.order {
+		c.sites[id].Close()
+	}
 	if c.rel != nil {
 		c.rel.Close()
 		return
@@ -170,11 +201,41 @@ func (c *Cluster) Counters() *metrics.Counters { return c.counters }
 
 // Settle delivers all in-flight messages: in stepped mode it pumps the
 // queue dry; in asynchronous mode it waits for the network to go quiet.
+// With mailboxes it additionally waits for every site inbox to drain —
+// dispatching may send fresh messages, so it loops until the network and
+// all inboxes are simultaneously idle.
 func (c *Cluster) Settle() {
 	if c.stepped {
 		c.net.DeliverAll()
 		return
 	}
+	for {
+		c.quiesceNet()
+		if c.opts.InboxSize <= 0 {
+			return
+		}
+		for _, id := range c.order {
+			if err := c.sites[id].AwaitInboxIdle(20 * time.Second); err != nil {
+				panic(fmt.Sprintf("cluster settle: %v", err))
+			}
+		}
+		c.quiesceNet()
+		idle := true
+		for _, id := range c.order {
+			if c.sites[id].InboxDepth() > 0 {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			return
+		}
+	}
+}
+
+// quiesceNet waits for the network (and, when enabled, the session layer)
+// to go quiet.
+func (c *Cluster) quiesceNet() {
 	if err := c.net.Quiesce(30 * time.Second); err != nil {
 		panic(fmt.Sprintf("cluster settle: %v", err))
 	}
@@ -191,16 +252,39 @@ func (c *Cluster) Settle() {
 	}
 }
 
-// RunRound performs one collection round: every site runs a local trace,
-// with message delivery after each, then the cluster settles. This is the
-// paper's "round" — a period in which every site completes at least one
-// local trace (Section 3).
+// RunRound performs one collection round — a period in which every site
+// completes at least one local trace (Section 3). In the default serial
+// mode each site traces in identifier order with message delivery after
+// each; in Parallel mode every site traces on its own goroutine and the
+// cluster settles once at the end. Reports are returned in site order
+// either way.
 func (c *Cluster) RunRound() []site.TraceReport {
+	if c.opts.Parallel {
+		return c.runRoundParallel()
+	}
 	reports := make([]site.TraceReport, 0, len(c.order))
 	for _, id := range c.order {
 		reports = append(reports, c.sites[id].RunLocalTrace())
 		c.Settle()
 	}
+	return reports
+}
+
+// runRoundParallel traces every site concurrently. The mailbox executors
+// absorb the cross-site message traffic the overlapping commits generate,
+// and Settle waits for network and inboxes together.
+func (c *Cluster) runRoundParallel() []site.TraceReport {
+	reports := make([]site.TraceReport, len(c.order))
+	var wg sync.WaitGroup
+	for i, id := range c.order {
+		wg.Add(1)
+		go func(i int, s *site.Site) {
+			defer wg.Done()
+			reports[i] = s.RunLocalTrace()
+		}(i, c.sites[id])
+	}
+	wg.Wait()
+	c.Settle()
 	return reports
 }
 

@@ -215,6 +215,34 @@ func (h *Heap) Install(id ids.ObjID, fields []ids.Ref, size int, root bool) erro
 	return nil
 }
 
+// Snapshot returns a deep copy of the heap: objects (with copied field
+// slices), persistent roots, application roots, and the allocation
+// high-water mark. The copy shares nothing with the original, so a local
+// trace can read it while mutators keep modifying the live heap — the
+// short-critical-section snapshot that lets tracer.Run execute outside the
+// site lock (Section 6.2).
+func (h *Heap) Snapshot() *Heap {
+	cp := &Heap{
+		site:            h.site,
+		objects:         make(map[ids.ObjID]*Object, len(h.objects)),
+		next:            h.next,
+		persistentRoots: make(map[ids.ObjID]struct{}, len(h.persistentRoots)),
+		appRoots:        make(map[ids.Ref]int, len(h.appRoots)),
+	}
+	for id, o := range h.objects {
+		fields := make([]ids.Ref, len(o.fields))
+		copy(fields, o.fields)
+		cp.objects[id] = &Object{id: o.id, fields: fields, size: o.size}
+	}
+	for o := range h.persistentRoots {
+		cp.persistentRoots[o] = struct{}{}
+	}
+	for r, n := range h.appRoots {
+		cp.appRoots[r] = n
+	}
+	return cp
+}
+
 // NextID returns the allocation high-water mark (for checkpointing).
 func (h *Heap) NextID() ids.ObjID { return h.next }
 

@@ -156,3 +156,15 @@ const (
 	BackInfoPeak        = "backinfo.peak"
 	InrefsFlagged       = "inrefs.flagged.garbage"
 )
+
+// Mailbox-executor counter names (site.Config.InboxSize > 0).
+const (
+	// MailboxEnqueued counts inbound messages accepted into a site inbox.
+	MailboxEnqueued = "mailbox.enqueued"
+	// MailboxDepthPeak is the high-water mark of inbox depth at enqueue
+	// time (recorded with Max).
+	MailboxDepthPeak = "mailbox.depth.peak"
+	// MailboxBackpressure counts enqueues that had to block because the
+	// inbox was full.
+	MailboxBackpressure = "mailbox.backpressure.waits"
+)

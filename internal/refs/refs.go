@@ -349,6 +349,44 @@ func (t *Table) Unpin(target ids.Ref) {
 	}
 }
 
+// Snapshot returns a deep copy of both tables for use by an off-lock local
+// trace. Everything the tracer reads is copied — source lists with
+// distances, barrier and garbage flags, pins, distances, back thresholds.
+// The per-trace Visited marks are deliberately NOT carried over: they
+// belong to the live table (the back-tracing engine mutates them under the
+// site lock) and the tracer never reads them.
+func (t *Table) Snapshot() *Table {
+	cp := &Table{
+		site:                 t.site,
+		inrefs:               make(map[ids.ObjID]*Inref, len(t.inrefs)),
+		outrefs:              make(map[ids.Ref]*Outref, len(t.outrefs)),
+		defaultBackThreshold: t.defaultBackThreshold,
+	}
+	for obj, in := range t.inrefs {
+		srcs := make(map[ids.SiteID]int, len(in.Sources))
+		for s, d := range in.Sources {
+			srcs[s] = d
+		}
+		cp.inrefs[obj] = &Inref{
+			Obj:           in.Obj,
+			Sources:       srcs,
+			Barrier:       in.Barrier,
+			Garbage:       in.Garbage,
+			BackThreshold: in.BackThreshold,
+		}
+	}
+	for target, o := range t.outrefs {
+		cp.outrefs[target] = &Outref{
+			Target:        o.Target,
+			Distance:      o.Distance,
+			Pins:          o.Pins,
+			Barrier:       o.Barrier,
+			BackThreshold: o.BackThreshold,
+		}
+	}
+	return cp
+}
+
 // ResetBarriers clears the transfer-barrier clean marks on every ioref;
 // the local trace calls this when it installs freshly computed distances
 // and back information (Section 6.1.1: barrier-cleaned outrefs "remain

@@ -20,10 +20,12 @@ type Audit struct {
 	InrefSources map[ids.ObjID][]ids.SiteID
 }
 
-// AuditSnapshot captures the site's state under the lock.
+// AuditSnapshot captures the site's state under the read lock, so auditors
+// can run while collectors keep working.
 func (s *Site) AuditSnapshot() Audit {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.assertOutboxFlushed()
 	a := Audit{
 		Objects:         make(map[ids.ObjID][]ids.Ref, s.heap.Len()),
 		PersistentRoots: s.heap.PersistentRoots(),

@@ -31,7 +31,7 @@ func (s *Site) handleRefTransfer(from ids.SiteID, m msg.RefTransfer) {
 
 	if o, ok := s.table.Outref(z); ok {
 		// Cases 2 and 3: an outref exists. If it is suspected, clean it.
-		if !o.IsClean(s.cfg.SuspicionThreshold) {
+		if !o.IsClean(s.threshold) {
 			s.cleanOutref(z)
 		}
 		s.sendReleasePin(m.Pinner, z)
@@ -111,7 +111,7 @@ func (s *Site) applyTransferBarrierInref(obj ids.ObjID) {
 	if !ok || in.Garbage {
 		return
 	}
-	if in.IsClean(s.cfg.SuspicionThreshold) && !in.Barrier {
+	if in.IsClean(s.threshold) && !in.Barrier {
 		// Already clean by distance; outrefs in its outset are clean by
 		// the auxiliary invariant, so there is nothing to do.
 		return
@@ -122,7 +122,7 @@ func (s *Site) applyTransferBarrierInref(obj ids.ObjID) {
 	for _, target := range s.back.Outset(obj) {
 		s.cleanOutref(target)
 	}
-	if s.pending != nil {
+	if s.tracing {
 		s.pendingBarrierInrefs = append(s.pendingBarrierInrefs, obj)
 	}
 }
@@ -145,7 +145,7 @@ func (s *Site) cleanOutref(target ids.Ref) {
 // outref so its clean mark survives the commit of an in-flight local trace
 // (Section 6.2).
 func (s *Site) notePendingBarrierOutref(target ids.Ref) {
-	if s.pending != nil {
+	if s.tracing {
 		s.pendingBarrierOutrefs = append(s.pendingBarrierOutrefs, target)
 	}
 }

@@ -45,17 +45,68 @@ func (s *Site) RunLocalTrace() TraceReport {
 // any of it. Back traces arriving before the commit keep using the old
 // copy; transfer barriers applied before the commit are recorded and
 // replayed onto the new copy (Section 6.2).
+//
+// The computation itself runs OUTSIDE the site lock, on a snapshot of the
+// heap and ioref tables taken under a short critical section. This is
+// exactly what Section 6.2's double buffering buys: the live state may
+// keep changing during the computation, because back traces still use the
+// old back information, garbage stays garbage (no root or message can name
+// an unreachable object), and barriers that fire meanwhile are recorded
+// (s.tracing) and replayed at commit. Config.LockedTrace restores the old
+// whole-computation-under-the-lock behaviour for baseline measurements.
 func (s *Site) BeginLocalTrace() {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+
+	if s.cfg.LockedTrace {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.startTraceLocked()
+		s.installPendingLocked(tracer.Run(s.heap, s.table, s.threshold, s.cfg.OutsetAlgorithm))
+		return
+	}
+
+	s.mu.Lock()
+	h := s.heap.Snapshot()
+	tbl := s.table.Snapshot()
+	threshold := s.threshold
+	epoch := s.traceEpoch
+	s.startTraceLocked()
+	s.mu.Unlock()
+
+	res := tracer.Run(h, tbl, threshold, s.cfg.OutsetAlgorithm)
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.pending = tracer.Run(s.heap, s.table, s.cfg.SuspicionThreshold, s.cfg.OutsetAlgorithm)
+	if s.traceEpoch != epoch || !s.tracing {
+		// The state this result was computed from was replaced wholesale
+		// (e.g. a checkpoint restore) while we traced: drop the result
+		// rather than install conclusions about a heap that no longer
+		// exists. traceMu makes this unreachable for ordinary
+		// Begin/Commit interleavings.
+		return
+	}
+	s.installPendingLocked(res)
+}
+
+// startTraceLocked opens the trace window: barriers applied from here to
+// the commit are recorded for replay onto the new back information.
+func (s *Site) startTraceLocked() {
+	s.tracing = true
+	s.pending = nil
 	s.pendingBarrierInrefs = nil
 	s.pendingBarrierOutrefs = nil
+}
+
+// installPendingLocked stages a computed trace result for commit and
+// records its cost.
+func (s *Site) installPendingLocked(res *tracer.Result) {
+	s.pending = res
 	s.cfg.Counters.Inc(metrics.LocalTraces)
-	s.cfg.Counters.Add(metrics.ObjectsTraced, s.pending.Stats.ObjectsTraced)
-	s.cfg.Counters.Add(metrics.ObjectsRetraced, s.pending.Stats.OutsetRetraced)
-	s.cfg.Counters.Add(metrics.OutsetUnions, s.pending.Stats.Unions)
-	s.cfg.Counters.Add(metrics.OutsetUnionsMemoHit, s.pending.Stats.MemoHits)
+	s.cfg.Counters.Add(metrics.ObjectsTraced, res.Stats.ObjectsTraced)
+	s.cfg.Counters.Add(metrics.ObjectsRetraced, res.Stats.OutsetRetraced)
+	s.cfg.Counters.Add(metrics.OutsetUnions, res.Stats.Unions)
+	s.cfg.Counters.Add(metrics.OutsetUnionsMemoHit, res.Stats.MemoHits)
 }
 
 // CommitLocalTrace atomically installs the most recent BeginLocalTrace:
@@ -64,9 +115,13 @@ func (s *Site) BeginLocalTrace() {
 // during the trace, sends update messages, and (optionally) triggers back
 // traces.
 func (s *Site) CommitLocalTrace() TraceReport {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
 	s.mu.Lock()
 	res := s.pending
 	s.pending = nil
+	s.tracing = false
+	s.traceEpoch++
 	if res == nil {
 		s.mu.Unlock()
 		return TraceReport{}
@@ -91,9 +146,9 @@ func (s *Site) CommitLocalTrace() TraceReport {
 		if !ok {
 			continue
 		}
-		wasClean := o.IsClean(s.cfg.SuspicionThreshold)
+		wasClean := o.IsClean(s.threshold)
 		o.Distance = dist
-		if !wasClean && o.IsClean(s.cfg.SuspicionThreshold) {
+		if !wasClean && o.IsClean(s.threshold) {
 			s.engine.NotifyCleanedOutref(target)
 		}
 	}
@@ -266,9 +321,9 @@ func (s *Site) handleUpdate(from ids.SiteID, m msg.Update) {
 		if !ok {
 			continue
 		}
-		wasClean := in.IsClean(s.cfg.SuspicionThreshold)
+		wasClean := in.IsClean(s.threshold)
 		s.table.SetSourceDistance(du.Obj, from, du.Distance)
-		if !wasClean && in.IsClean(s.cfg.SuspicionThreshold) {
+		if !wasClean && in.IsClean(s.threshold) {
 			s.engine.NotifyCleanedInref(du.Obj)
 		}
 	}
@@ -314,8 +369,9 @@ func (s *Site) StartBackTrace(target ids.Ref) (ids.TraceID, bool) {
 // GarbageFlaggedInrefs returns the local objects whose inrefs a completed
 // back trace has flagged as garbage.
 func (s *Site) GarbageFlaggedInrefs() []ids.ObjID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.assertOutboxFlushed()
 	var out []ids.ObjID
 	for _, in := range s.table.Inrefs() {
 		if in.Garbage {
@@ -328,8 +384,9 @@ func (s *Site) GarbageFlaggedInrefs() []ids.ObjID {
 // InrefDistance returns the current distance of the inref for obj, or
 // refs.DistInfinity if there is none.
 func (s *Site) InrefDistance(obj ids.ObjID) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.assertOutboxFlushed()
 	if in, ok := s.table.Inref(obj); ok {
 		return in.Distance()
 	}
@@ -339,8 +396,9 @@ func (s *Site) InrefDistance(obj ids.ObjID) int {
 // OutrefDistance returns the current distance of the outref for target, or
 // refs.DistInfinity if there is none.
 func (s *Site) OutrefDistance(target ids.Ref) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.assertOutboxFlushed()
 	if o, ok := s.table.Outref(target); ok {
 		return o.Distance
 	}

@@ -1,0 +1,139 @@
+package site
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"backtrace/internal/ids"
+	"backtrace/internal/metrics"
+	"backtrace/internal/msg"
+)
+
+// inbound is one queued inbox entry: the sending site and its message.
+type inbound struct {
+	from ids.SiteID
+	m    msg.Message
+}
+
+// mailbox is a site's bounded inbox plus its dispatch goroutine. Transport
+// threads append with enqueue (blocking while the queue is at capacity —
+// backpressure that pushes queueing back into the network rather than
+// growing without bound), and a single dispatcher applies messages to the
+// site in arrival order. One dispatcher per site preserves the per-link
+// FIFO delivery the protocol assumes (R1): the transport already delivers
+// each link in order, and a single consumer cannot reorder what it dequeues.
+type mailbox struct {
+	s        *Site
+	capacity int
+
+	mu       sync.Mutex
+	notEmpty *sync.Cond // a message arrived, or the mailbox closed
+	notFull  *sync.Cond // a slot freed for a blocked producer
+	queue    []inbound
+	busy     int // queued messages plus any message being dispatched
+	closed   bool
+	done     chan struct{} // closed when the dispatcher exits
+}
+
+func newMailbox(s *Site, capacity int) *mailbox {
+	mb := &mailbox{s: s, capacity: capacity, done: make(chan struct{})}
+	mb.notEmpty = sync.NewCond(&mb.mu)
+	mb.notFull = sync.NewCond(&mb.mu)
+	go mb.run()
+	return mb
+}
+
+// enqueue appends a message, blocking while the queue is at capacity.
+// Messages offered after stop are dropped — indistinguishable from loss in
+// flight, which the protocol tolerates.
+func (mb *mailbox) enqueue(from ids.SiteID, m msg.Message) {
+	mb.mu.Lock()
+	waited := false
+	for len(mb.queue) >= mb.capacity && !mb.closed {
+		waited = true
+		mb.notFull.Wait()
+	}
+	if mb.closed {
+		mb.mu.Unlock()
+		return
+	}
+	mb.queue = append(mb.queue, inbound{from: from, m: m})
+	mb.busy++
+	depth := len(mb.queue)
+	mb.notEmpty.Signal()
+	mb.mu.Unlock()
+
+	c := mb.s.cfg.Counters
+	c.Inc(metrics.MailboxEnqueued)
+	c.Max(metrics.MailboxDepthPeak, int64(depth))
+	if waited {
+		c.Inc(metrics.MailboxBackpressure)
+	}
+}
+
+// run is the dispatch loop: dequeue one message, apply it to the site
+// (taking the site lock outside the mailbox lock), repeat until stopped.
+func (mb *mailbox) run() {
+	defer close(mb.done)
+	for {
+		mb.mu.Lock()
+		for len(mb.queue) == 0 && !mb.closed {
+			mb.notEmpty.Wait()
+		}
+		if mb.closed {
+			mb.busy -= len(mb.queue)
+			mb.queue = nil
+			mb.notFull.Broadcast()
+			mb.mu.Unlock()
+			return
+		}
+		in := mb.queue[0]
+		mb.queue = mb.queue[1:]
+		mb.notFull.Signal()
+		mb.mu.Unlock()
+
+		mb.s.deliverNow(in.from, in.m)
+
+		mb.mu.Lock()
+		mb.busy--
+		mb.mu.Unlock()
+	}
+}
+
+// depth returns queued messages plus any message mid-dispatch, so depth()==0
+// means the site has fully absorbed everything enqueued so far.
+func (mb *mailbox) depth() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return mb.busy
+}
+
+// awaitIdle polls until depth reaches zero or the timeout elapses. Polling
+// (rather than a cond wait) mirrors transport quiescence checks and keeps
+// the dispatcher's hot path signal-free.
+func (mb *mailbox) awaitIdle(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if mb.depth() == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("site %v: inbox not idle after %v (depth %d)", mb.s.cfg.ID, timeout, mb.depth())
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// stop shuts the dispatcher down, abandoning queued messages, and waits for
+// it to exit. Safe to call repeatedly.
+func (mb *mailbox) stop() {
+	mb.mu.Lock()
+	if !mb.closed {
+		mb.closed = true
+		mb.notEmpty.Broadcast()
+		mb.notFull.Broadcast()
+	}
+	mb.mu.Unlock()
+	<-mb.done
+}

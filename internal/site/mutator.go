@@ -74,7 +74,7 @@ func (s *Site) AddReference(container ids.ObjID, target ids.Ref) error {
 			// received: a protocol violation in the caller.
 			return fmt.Errorf("site %v: add reference: no outref for %v (reference was never transferred here)", s.cfg.ID, target)
 		}
-		if !o.IsClean(s.cfg.SuspicionThreshold) {
+		if !o.IsClean(s.threshold) {
 			s.cleanOutref(target)
 		}
 	} else {
@@ -98,8 +98,9 @@ func (s *Site) RemoveReference(container ids.ObjID, target ids.Ref) error {
 
 // Fields returns the reference fields of a local object.
 func (s *Site) Fields(obj ids.ObjID) ([]ids.Ref, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.assertOutboxFlushed()
 	o, ok := s.heap.Get(obj)
 	if !ok {
 		return nil, fmt.Errorf("site %v: fields: no object %v", s.cfg.ID, obj)

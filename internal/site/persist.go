@@ -77,14 +77,15 @@ type snapshotRec struct {
 }
 
 // WriteCheckpoint serializes the site's durable state. It takes the site
-// lock, so the checkpoint is a consistent cut of local state.
+// read lock, so the checkpoint is a consistent cut of local state that
+// does not stall concurrent introspection.
 func (s *Site) WriteCheckpoint(w io.Writer) error {
-	s.mu.Lock()
+	s.mu.RLock()
 	rec := snapshotRec{
 		Version:       snapshotVersion,
 		Site:          s.cfg.ID,
 		NextObj:       s.heap.NextID(),
-		SuspThreshold: s.cfg.SuspicionThreshold,
+		SuspThreshold: s.threshold,
 	}
 	if sn, ok := s.cfg.Network.(transport.SessionNetwork); ok {
 		rec.Incarnation = sn.Incarnation(s.cfg.ID)
@@ -112,7 +113,7 @@ func (s *Site) WriteCheckpoint(w io.Writer) error {
 			BackThreshold: o.BackThreshold,
 		})
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 
 	if err := gob.NewEncoder(w).Encode(rec); err != nil {
 		return fmt.Errorf("site %v: encode checkpoint: %w", s.cfg.ID, err)
@@ -192,6 +193,13 @@ func Restore(cfg Config, r io.Reader) (*Site, error) {
 			o.Distance = orc.Distance
 			o.BackThreshold = orc.BackThreshold
 			o.Barrier = true // conservatively clean until the first trace
+		}
+		// Adopt the checkpointed suspicion threshold when AdaptiveThreshold
+		// had raised it beyond the configured value, so a restart does not
+		// forget the tuning.
+		if rec.SuspThreshold > s.threshold {
+			s.threshold = rec.SuspThreshold
+			s.engine.SetThreshold(s.threshold)
 		}
 		s.emit(event.Event{Kind: event.SiteRestored})
 		return nil

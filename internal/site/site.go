@@ -9,12 +9,32 @@
 // in back traces (Section 4), and applies the transfer and insert barriers
 // that keep everything safe under concurrent mutation (Section 6).
 //
-// All state is guarded by one mutex; message handlers, mutator operations,
-// and collector phases are short critical sections, matching the paper's
-// concurrency model.
+// # Per-site concurrency architecture
+//
+// Mutable collector state is guarded by one RWMutex, but — unlike the
+// original single-mutex design — the heavy phases no longer run inside it:
+//
+//   - Mutator operations and message handlers remain short critical
+//     sections under the write lock, matching the paper's model.
+//   - The local trace computation (tracer.Run: forward mark + outset
+//     computation) runs entirely OUTSIDE the lock, on a snapshot of the
+//     heap and ioref tables taken under a short critical section. The
+//     Section 6.2 double-buffered back information makes this safe: back
+//     traces keep using the old copy, and transfer barriers that fire
+//     during the computation are recorded and replayed onto the new copy
+//     at commit. Config.LockedTrace restores the old
+//     whole-trace-under-the-lock behaviour for baseline benchmarks.
+//   - Introspection (Inrefs, Outrefs, counters, heap size, audits) takes
+//     only the read lock, so tools and experiments never stall collectors.
+//   - With Config.InboxSize > 0 the site runs a mailbox executor: network
+//     threads enqueue inbound messages into a bounded inbox (blocking when
+//     full — backpressure) and a single dispatch goroutine applies them in
+//     arrival order, preserving per-link FIFO (the paper's R1) while
+//     keeping transport threads off the site lock.
 package site
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -66,6 +86,17 @@ type Config struct {
 	// into one Batch envelope per destination — the piggybacking the
 	// paper suggests for the small back-trace messages (Section 4.6).
 	Piggyback bool
+	// InboxSize, when positive, runs the site as a mailbox executor:
+	// Deliver enqueues into a bounded inbox of this capacity (blocking
+	// when full) and a dispatch goroutine applies messages in arrival
+	// order. Zero keeps the synchronous model, where Deliver applies the
+	// message on the caller's thread — required for the deterministic
+	// stepped replays. Sites with an inbox must be Close()d.
+	InboxSize int
+	// LockedTrace, when true, computes local traces entirely under the
+	// site lock (the pre-mailbox design). It exists as the baseline for
+	// the off-lock benchmarks; leave it false otherwise.
+	LockedTrace bool
 	// Counters receives metrics; may be nil (a fresh set is created).
 	Counters *metrics.Counters
 	// Events, if non-nil, receives structured observability events
@@ -96,22 +127,46 @@ func (c Config) withDefaults() Config {
 type Site struct {
 	cfg Config
 
-	mu     sync.Mutex
+	// traceMu serializes local-trace lifecycles (Begin through Commit) so
+	// at most one trace computation is in flight per site. It is always
+	// acquired before mu, never while holding it.
+	traceMu sync.Mutex
+
+	// mu guards everything below. Writers (mutator operations, message
+	// handlers, trace commits) take the write lock; introspection takes
+	// the read lock.
+	mu     sync.RWMutex
 	heap   *heap.Heap
 	table  *refs.Table
 	engine *core.Engine
 	back   *tracer.BackInfo
 
+	// threshold is the current suspicion threshold T. It starts at
+	// Config.SuspicionThreshold and may be raised by AdaptiveThreshold;
+	// it lives here rather than in cfg so Config stays a copyable value.
+	threshold int
+
+	// tracing is true from a local trace's snapshot until its commit (or
+	// abandonment); transfer barriers record their applications while it
+	// is set so the commit can replay them onto the new back information.
+	tracing bool
+	// traceEpoch counts trace commits and wholesale state replacements; a
+	// Begin records it at snapshot time and discards its result if the
+	// epoch moved before installation.
+	traceEpoch uint64
 	// pending holds a computed-but-uncommitted local trace (Section 6.2:
 	// the "new copy" being prepared while back traces still use the old).
 	pending *tracer.Result
 	// pendingBarrierInrefs / pendingBarrierOutrefs record transfer-barrier
-	// applications that arrived while pending != nil; their cleaning is
+	// applications that arrived while tracing; their cleaning is
 	// re-applied to the new copy at commit.
 	pendingBarrierInrefs  []ids.ObjID
 	pendingBarrierOutrefs []ids.Ref
 
 	liveStreak int // consecutive Live outcomes, for AdaptiveThreshold
+
+	// inbox is the bounded mailbox (nil when InboxSize == 0).
+	inbox *mailbox
 
 	// outbox holds messages coalesced per destination while a protocol
 	// step runs (Piggyback mode); outboxOrder keeps flushing
@@ -146,13 +201,14 @@ func New(cfg Config) *Site {
 		heap:           heap.New(cfg.ID),
 		table:          refs.NewTable(cfg.ID, cfg.BackThreshold),
 		back:           tracer.EmptyBackInfo(),
+		threshold:      cfg.SuspicionThreshold,
 		pendingInserts: make(map[ids.Ref]msg.Insert),
 		farewell:       make(map[ids.SiteID]int),
 		outbox:         make(map[ids.SiteID][]msg.Message),
 	}
 	s.engine = core.NewEngine(core.Config{
 		Site:          cfg.ID,
-		Threshold:     cfg.SuspicionThreshold,
+		Threshold:     s.threshold,
 		ThresholdBump: cfg.ThresholdBump,
 		CallTimeout:   cfg.CallTimeout,
 		ReportTimeout: cfg.ReportTimeout,
@@ -168,8 +224,39 @@ func New(cfg Config) *Site {
 			s.emit(event.Event{Kind: event.TimeoutAssumedLive, Trace: t})
 		},
 	})
+	if cfg.InboxSize > 0 {
+		s.inbox = newMailbox(s, cfg.InboxSize)
+	}
 	cfg.Network.Register(cfg.ID, s)
 	return s
+}
+
+// Close stops the mailbox dispatch goroutine, discarding any queued
+// messages (the protocol tolerates message loss). It is a no-op for sites
+// without an inbox and is safe to call more than once.
+func (s *Site) Close() {
+	if s.inbox != nil {
+		s.inbox.stop()
+	}
+}
+
+// InboxDepth returns the number of inbound messages queued or being
+// dispatched; zero for sites without an inbox.
+func (s *Site) InboxDepth() int {
+	if s.inbox == nil {
+		return 0
+	}
+	return s.inbox.depth()
+}
+
+// AwaitInboxIdle blocks until the inbox is empty and no message is being
+// dispatched, or the timeout elapses. It returns immediately for sites
+// without an inbox.
+func (s *Site) AwaitInboxIdle(timeout time.Duration) error {
+	if s.inbox == nil {
+		return nil
+	}
+	return s.inbox.awaitIdle(timeout)
 }
 
 // ID returns the site's identifier.
@@ -232,8 +319,8 @@ func (s *Site) onTraceCompleted(t ids.TraceID, outcome msg.Verdict, participants
 		s.liveStreak++
 		if s.liveStreak >= 3 {
 			// Too many live suspects: raise T (Section 3).
-			s.cfg.SuspicionThreshold++
-			s.engine.SetThreshold(s.cfg.SuspicionThreshold)
+			s.threshold++
+			s.engine.SetThreshold(s.threshold)
 			s.liveStreak = 0
 		}
 	} else {
@@ -242,18 +329,33 @@ func (s *Site) onTraceCompleted(t ids.TraceID, outcome msg.Verdict, participants
 }
 
 // Completions drains and returns the outcomes of back traces initiated by
-// this site since the previous call.
+// this site since the previous call. Draining is a write, and engine
+// callbacks may have queued piggybacked messages, so it flushes the outbox
+// like every other write entry point.
 func (s *Site) Completions() []TraceOutcome {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.flushOutbox()
 	out := s.completions
 	s.completions = nil
 	return out
 }
 
 // Deliver implements transport.Handler: it dispatches one inbound message.
-// The transport invokes it serially per site.
+// With an inbox configured it only enqueues (blocking while the inbox is
+// full); otherwise it applies the message on the caller's thread. The
+// transport invokes it serially per link, so enqueue order preserves R1.
 func (s *Site) Deliver(from ids.SiteID, m msg.Message) {
+	if s.inbox != nil {
+		s.inbox.enqueue(from, m)
+		return
+	}
+	s.deliverNow(from, m)
+}
+
+// deliverNow applies one inbound message under the site lock. It is the
+// synchronous half of Deliver and the mailbox dispatcher's workhorse.
+func (s *Site) deliverNow(from ids.SiteID, m msg.Message) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.flushOutbox()
@@ -296,41 +398,56 @@ func (s *Site) CheckTimeouts() {
 	s.engine.CheckTimeouts()
 }
 
+// assertOutboxFlushed panics if a write entry point left piggybacked
+// messages stranded in the outbox. Read-only entry points hold only the
+// read lock and so cannot flush; they assert instead, turning a stranded
+// Batch into a loud failure rather than a silent protocol stall.
+func (s *Site) assertOutboxFlushed() {
+	if len(s.outboxOrder) != 0 {
+		panic(fmt.Sprintf("site %v: %d destination(s) stranded in piggyback outbox", s.cfg.ID, len(s.outboxOrder)))
+	}
+}
+
 // SuspicionThreshold returns the site's current suspicion threshold T
 // (which AdaptiveThreshold may have raised).
 func (s *Site) SuspicionThreshold() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.cfg.SuspicionThreshold
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.assertOutboxFlushed()
+	return s.threshold
 }
 
 // --- introspection for tests, tools, and experiments ---------------------
 
 // NumObjects returns the number of objects in the heap.
 func (s *Site) NumObjects() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.assertOutboxFlushed()
 	return s.heap.Len()
 }
 
 // ContainsObject reports whether the heap holds the object.
 func (s *Site) ContainsObject(obj ids.ObjID) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.assertOutboxFlushed()
 	return s.heap.Contains(obj)
 }
 
 // NumInrefs and NumOutrefs report table sizes.
 func (s *Site) NumInrefs() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.assertOutboxFlushed()
 	return s.table.NumInrefs()
 }
 
 // NumOutrefs reports the outref table size.
 func (s *Site) NumOutrefs() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.assertOutboxFlushed()
 	return s.table.NumOutrefs()
 }
 
@@ -345,15 +462,16 @@ type InrefInfo struct {
 
 // Inrefs returns a snapshot of the inref table.
 func (s *Site) Inrefs() []InrefInfo {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.assertOutboxFlushed()
 	out := make([]InrefInfo, 0, s.table.NumInrefs())
 	for _, in := range s.table.Inrefs() {
 		out = append(out, InrefInfo{
 			Obj:      in.Obj,
 			Distance: in.Distance(),
 			Sources:  in.SourceSites(),
-			Clean:    in.IsClean(s.cfg.SuspicionThreshold),
+			Clean:    in.IsClean(s.threshold),
 			Garbage:  in.Garbage,
 		})
 	}
@@ -372,14 +490,15 @@ type OutrefInfo struct {
 
 // Outrefs returns a snapshot of the outref table.
 func (s *Site) Outrefs() []OutrefInfo {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.assertOutboxFlushed()
 	out := make([]OutrefInfo, 0, s.table.NumOutrefs())
 	for _, o := range s.table.Outrefs() {
 		out = append(out, OutrefInfo{
 			Target:        o.Target,
 			Distance:      o.Distance,
-			Clean:         o.IsClean(s.cfg.SuspicionThreshold),
+			Clean:         o.IsClean(s.threshold),
 			Pinned:        o.Pins > 0,
 			BackThreshold: o.BackThreshold,
 			Inset:         s.back.Inset(o.Target),
@@ -391,14 +510,16 @@ func (s *Site) Outrefs() []OutrefInfo {
 // BackInfoEntries returns the current number of (inref, outref) pairs in
 // the installed back information — the paper's O(ni·no)-bounded quantity.
 func (s *Site) BackInfoEntries() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.assertOutboxFlushed()
 	return s.back.Entries()
 }
 
 // ActiveFrames exposes the engine's live activation-frame count.
 func (s *Site) ActiveFrames() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.assertOutboxFlushed()
 	return s.engine.ActiveFrames()
 }

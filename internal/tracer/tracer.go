@@ -3,6 +3,7 @@ package tracer
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"backtrace/internal/heap"
 	"backtrace/internal/ids"
@@ -51,6 +52,10 @@ type Stats struct {
 	// this trace (ni and no in the paper's space bound).
 	SuspectedInrefs  int
 	SuspectedOutrefs int
+	// Duration is the wall-clock time of the trace computation (forward
+	// mark + outset computation), used to report trace latency when the
+	// computation runs off the site lock.
+	Duration time.Duration
 }
 
 // Result is the outcome of one local trace, computed without mutating the
@@ -99,8 +104,11 @@ func (r *Result) IsLiveObj(obj ids.ObjID) bool {
 // Run performs a local trace of the heap at the given suspicion threshold:
 // the distance-ordered forward mark of Sections 2–3 followed by the
 // Section 5 computation of back information with the selected algorithm.
-// It does not modify the heap or the tables.
+// It does not modify the heap or the tables, so it may run on a Snapshot
+// of both while the live site state keeps changing — the off-lock local
+// trace enabled by the Section 6.2 double buffering.
 func Run(h *heap.Heap, tbl *refs.Table, threshold int, algo OutsetAlgorithm) *Result {
+	start := time.Now()
 	mr := forwardMark(h, tbl)
 
 	env := &outsetEnv{h: h, tbl: tbl, mr: mr, threshold: threshold}
@@ -147,5 +155,6 @@ func Run(h *heap.Heap, tbl *refs.Table, threshold int, algo OutsetAlgorithm) *Re
 		}
 	}
 	sort.Slice(res.Untraced, func(i, j int) bool { return res.Untraced[i].Less(res.Untraced[j]) })
+	res.Stats.Duration = time.Since(start)
 	return res
 }

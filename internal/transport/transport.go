@@ -31,10 +31,13 @@ import (
 )
 
 // Handler receives messages delivered to a site. Deliver is invoked
-// serially per destination site: a site never handles two network messages
-// concurrently, which keeps the protocol's critical sections short and
-// simple (the site still synchronizes internally against local traces and
-// mutators running on other goroutines).
+// serially per destination site, so a handler observes each link's
+// messages in send order (the protocol's R1 assumption). A handler may
+// apply the message on the calling thread or merely enqueue it for its own
+// dispatcher (the site mailbox executor does the latter); either way it
+// must preserve the arrival order it was handed. Deliver may block briefly
+// when the handler's queue is full — that backpressure stalls only the
+// one destination's delivery worker.
 type Handler interface {
 	Deliver(from ids.SiteID, m msg.Message)
 }
