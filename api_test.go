@@ -2,6 +2,9 @@ package backtrace_test
 
 import (
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"backtrace"
@@ -64,6 +67,90 @@ func TestPublicAPISurface(t *testing.T) {
 	// Counters are visible.
 	if c.Counters().Get("backtrace.started") == 0 {
 		t.Fatal("no back traces recorded")
+	}
+}
+
+// TestPublicTelemetryAPI exercises the redesigned observability surface
+// through the facade: Observer wiring, span collection, typed metrics
+// snapshots, and the debug HTTP handler.
+func TestPublicTelemetryAPI(t *testing.T) {
+	events := backtrace.NewEventLog(256)
+	extra := backtrace.NewSpanCollector(backtrace.SpanCollectorOptions{})
+	c := backtrace.NewCluster(backtrace.ClusterOptions{
+		NumSites:      3,
+		AutoBackTrace: true,
+		Events:        events,
+		Observer:      backtrace.TeeObservers(nil, extra),
+	})
+	defer c.Close()
+
+	c.BuildRing()
+	if _, collected := c.CollectUntilStable(40); collected != 3 {
+		t.Fatalf("collected %d, want 3", collected)
+	}
+
+	// The cluster's built-in collector assembled complete span trees, and
+	// the user-supplied observer saw the same spans.
+	trees := c.Spans().Trees()
+	if len(trees) == 0 {
+		t.Fatal("no span trees collected")
+	}
+	var garbage *backtrace.SpanTree
+	for _, tree := range trees {
+		if tree.Root != nil && tree.Root.Verdict == 0 /* garbage */ {
+			garbage = tree
+		}
+	}
+	if garbage == nil {
+		t.Fatalf("no garbage-verdict tree among %d trees", len(trees))
+	}
+	if !garbage.Complete() {
+		t.Fatalf("garbage tree incomplete: %+v", garbage)
+	}
+	if len(garbage.Root.Participants) != 3 || len(garbage.Participants) != 3 {
+		t.Fatalf("want all 3 sites in tree, got root=%v spans=%d",
+			garbage.Root.Participants, len(garbage.Participants))
+	}
+	if len(extra.Trees()) != len(trees) {
+		t.Fatalf("teed observer saw %d trees, cluster %d", len(extra.Trees()), len(trees))
+	}
+
+	// Typed snapshots agree with the legacy counter facade, and the span
+	// kinds render.
+	snap := c.Metrics()
+	if snap.Get("backtrace.started") != c.Counters().Get("backtrace.started") {
+		t.Fatal("typed snapshot disagrees with legacy counters")
+	}
+	if snap.Get("backtrace.started") != c.Site(1).Metrics().Get("backtrace.started") {
+		t.Fatal("site snapshot disagrees with cluster snapshot")
+	}
+	if rtt := snap.Histograms["backtrace.rtt_seconds"]; rtt.Count == 0 {
+		t.Fatal("no back-trace RTT observations")
+	}
+	if lt := snap.Histograms["localtrace.duration_seconds"]; lt.Count == 0 {
+		t.Fatal("no local-trace duration observations")
+	}
+	for _, k := range []backtrace.SpanKind{
+		backtrace.SpanBackTrace, backtrace.SpanParticipant,
+		backtrace.SpanLocalTrace, backtrace.SpanReport,
+	} {
+		if k.String() == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+
+	// The debug handler serves the registry and the collector.
+	srv := httptest.NewServer(backtrace.NewDebugHandler(c.Registry(), c.Spans(), nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 1<<20)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if !strings.Contains(string(body[:n]), "backtrace_rtt_seconds_count") {
+		t.Fatalf("/metrics missing RTT histogram:\n%s", body[:n])
 	}
 }
 

@@ -44,9 +44,13 @@
 package backtrace
 
 import (
+	"net/http"
+
 	"backtrace/internal/cluster"
+	"backtrace/internal/event"
 	"backtrace/internal/ids"
 	"backtrace/internal/metrics"
+	"backtrace/internal/obs"
 	"backtrace/internal/site"
 	"backtrace/internal/tracer"
 	"backtrace/internal/transport"
@@ -111,7 +115,102 @@ const (
 type OutsetAlgorithm = tracer.OutsetAlgorithm
 
 // Counters is the thread-safe metrics sink shared by sites and transports.
+//
+// Deprecated: Counters is the legacy stringly-named facade; it now fronts
+// a typed MetricsRegistry. Read values through Cluster.Metrics /
+// Site.Metrics and declare new instruments on Cluster.Registry instead.
 type Counters = metrics.Counters
+
+// --- telemetry API ---------------------------------------------------------
+//
+// The stable observability surface: wire an Observer into ClusterOptions
+// (or SiteConfig) to receive structured events and completed spans; read
+// typed instruments through Cluster.Metrics / Site.Metrics; serve them with
+// NewDebugHandler. The internal/metrics and internal/obs packages are
+// implementation details — everything needed is re-exported here.
+
+// Observer receives structured observability output: every event a site
+// logs and every completed span (back-trace roots, per-site participant
+// engagements, local traces, report phases). Implementations MUST NOT call
+// back into the Site or Cluster — callbacks run under site locks. Combine
+// several with TeeObservers.
+type Observer = obs.Observer
+
+// TeeObservers fans observability output out to several observers (nils
+// are skipped).
+func TeeObservers(os ...Observer) Observer { return obs.Tee(os...) }
+
+// Span is one timed interval of collector activity, correlated across
+// sites by TraceID.
+type Span = obs.Span
+
+// SpanKind discriminates Span variants.
+type SpanKind = obs.SpanKind
+
+// Span kinds.
+const (
+	// SpanBackTrace is the root span of one back trace, emitted by the
+	// initiator when the verdict lands; it carries the participant set.
+	SpanBackTrace = obs.SpanBackTrace
+	// SpanParticipant covers one site's engagement in a back trace (frames
+	// live at that site), with the number of BackCalls handled and the
+	// mailbox queueing delay attributed to the trace.
+	SpanParticipant = obs.SpanParticipant
+	// SpanLocalTrace covers one local trace, begin through commit.
+	SpanLocalTrace = obs.SpanLocalTrace
+	// SpanReport covers a participant's report-phase processing.
+	SpanReport = obs.SpanReport
+)
+
+// SpanCollector assembles the spans of a distributed back trace into one
+// tree per TraceID. Every Cluster runs one internally (Cluster.Spans);
+// standalone deployments can wire their own into SiteConfig.Observer.
+type SpanCollector = obs.Collector
+
+// SpanCollectorOptions bounds a SpanCollector's retention.
+type SpanCollectorOptions = obs.CollectorOptions
+
+// NewSpanCollector creates a span collector.
+func NewSpanCollector(opts SpanCollectorOptions) *SpanCollector {
+	return obs.NewCollector(opts)
+}
+
+// SpanTree is one assembled back trace: root span, per-site participant
+// spans, and report spans.
+type SpanTree = obs.Tree
+
+// MetricsRegistry is the typed instrument registry: declared counters,
+// gauges, and latency histograms, readable as a MetricsSnapshot and
+// exposable in Prometheus text format.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is a point-in-time copy of every instrument in a
+// registry.
+type MetricsSnapshot = obs.Snapshot
+
+// NewMetricsRegistry creates an empty typed registry (clusters create one
+// for you; see Cluster.Registry).
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewDebugHandler serves /metrics (Prometheus text format), /healthz, and
+// /spans (JSON trace trees) for a registry and span collector; either may
+// be nil. See cmd/dgcnode -debug-addr for the ready-made server.
+func NewDebugHandler(reg *MetricsRegistry, spans *SpanCollector, health func() error) http.Handler {
+	return obs.DebugHandler(reg, spans, health)
+}
+
+// Event is one structured observability event.
+type Event = event.Event
+
+// EventKind discriminates events.
+type EventKind = event.Kind
+
+// EventLog is a bounded in-memory event ring; it counts evictions
+// (Dropped), which cluster metrics snapshots expose as a gauge.
+type EventLog = event.Log
+
+// NewEventLog creates an event ring holding up to capacity events.
+func NewEventLog(capacity int) *EventLog { return event.NewLog(capacity) }
 
 // Network is the transport abstraction connecting sites.
 type Network = transport.Network

@@ -12,6 +12,7 @@
 //	dgcbench -exp locality      # C7: locality with a crashed site
 //	dgcbench -exp baselines     # C8: comparison with related-work schemes
 //	dgcbench -exp overlap       # C9: concurrent back traces on one cycle
+//	dgcbench -exp telemetry     # C13: 2E+P re-verified via the typed registry
 //	dgcbench -exp hypertext     # intro workload end to end
 package main
 
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, messages, distance, insets, space, threshold, timeline, locality, baselines, overlap, hypertext)")
+	exp := flag.String("exp", "all", "experiment to run (all, messages, distance, insets, space, threshold, timeline, locality, baselines, overlap, telemetry, hypertext)")
 	scale := flag.Int("scale", 20, "size multiplier for the inset experiment")
 	format := flag.String("format", "text", "output format: text or json")
 	flag.Parse()
@@ -144,6 +145,19 @@ func run(exp string, scale int) ([]*experiments.Table, error) {
 		ran = true
 		rows := experiments.Overlap([]int{2, 4, 8})
 		tables = append(tables, experiments.OverlapTable(rows))
+	}
+
+	if all || exp == "telemetry" {
+		ran = true
+		var rows []experiments.TelemetryRow
+		for _, sites := range []int{3, 6, 12} {
+			row, err := experiments.TelemetryComplexity(sites)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+		tables = append(tables, experiments.TelemetryTable(rows))
 	}
 
 	if all || exp == "hypertext" {

@@ -21,6 +21,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -28,6 +30,7 @@ import (
 	"backtrace"
 	"backtrace/internal/ids"
 	"backtrace/internal/metrics"
+	"backtrace/internal/obs"
 	"backtrace/internal/site"
 	"backtrace/internal/transport"
 )
@@ -43,15 +46,17 @@ func main() {
 		run      = flag.Duration("run-for", 30*time.Second, "how long a non-driving node runs")
 		reliable = flag.Bool("reliable", false, "interpose the ack/retransmit session layer over TCP")
 		inbox    = flag.Int("inbox", 0, "mailbox executor inbox capacity (0 = apply messages on the delivery thread)")
+		debug    = flag.String("debug-addr", "", "serve /metrics (Prometheus), /healthz, and /spans on this address (empty = off)")
+		linger   = flag.Duration("linger", 0, "keep the debug endpoint up this long after the demo completes (demo mode)")
 	)
 	flag.Parse()
 
 	var err error
 	switch {
 	case *demo || *selfID == 0:
-		err = runDemo(*nSites, *reliable, *inbox)
+		err = runDemo(*nSites, *reliable, *inbox, *debug, *linger)
 	default:
-		err = runNode(ids.SiteID(*selfID), *peers, *drive, *period, *run, *reliable, *inbox)
+		err = runNode(ids.SiteID(*selfID), *peers, *drive, *period, *run, *reliable, *inbox, *debug)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dgcnode:", err)
@@ -59,10 +64,31 @@ func main() {
 	}
 }
 
+// startDebugServer serves the observability endpoints on addr and returns
+// the bound address and a stop function.
+func startDebugServer(addr string, reg *obs.Registry, spans *obs.Collector) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("debug listener: %w", err)
+	}
+	srv := &http.Server{Handler: backtrace.NewDebugHandler(reg, spans, nil)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
 // runDemo brings up n sites over loopback TCP (optionally under the
 // reliable session layer) and collects a distributed cycle end to end.
-func runDemo(n int, reliable bool, inbox int) error {
+func runDemo(n int, reliable bool, inbox int, debugAddr string, linger time.Duration) error {
 	counters := &metrics.Counters{}
+	spans := backtrace.NewSpanCollector(backtrace.SpanCollectorOptions{})
+	if debugAddr != "" {
+		bound, stop, err := startDebugServer(debugAddr, counters.Registry(), spans)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Printf("debug endpoint on http://%s (/metrics, /healthz, /spans)\n", bound)
+	}
 	addrs := make(map[ids.SiteID]string, n)
 	for i := 1; i <= n; i++ {
 		addrs[ids.SiteID(i)] = "127.0.0.1:0"
@@ -98,6 +124,7 @@ func runDemo(n int, reliable bool, inbox int) error {
 			ReportTimeout:      10 * time.Second,
 			InboxSize:          inbox,
 			Counters:           counters,
+			Observer:           spans,
 		})
 		addr, err := node.Listen()
 		if err != nil {
@@ -181,6 +208,13 @@ func runDemo(n int, reliable bool, inbox int) error {
 	fmt.Printf("\ncycle collected over TCP in %d rounds; live objects intact\n", round)
 	fmt.Printf("back traces: %d (garbage %d); messages: %d\n",
 		snap["backtrace.started"], snap["backtrace.outcome.garbage"], snap["msg.total"])
+	if trees := spans.Trees(); len(trees) > 0 {
+		fmt.Printf("span trees assembled: %d (view with -debug-addr and GET /spans)\n", len(trees))
+	}
+	if debugAddr != "" && linger > 0 {
+		fmt.Printf("debug endpoint stays up for %v (-linger)\n", linger)
+		time.Sleep(linger)
+	}
 	return nil
 }
 
@@ -207,7 +241,7 @@ func tcpLink(sites map[ids.SiteID]*site.Site, from, target backtrace.Ref) error 
 
 // runNode runs one site as its own process.
 func runNode(self ids.SiteID, peerList string, drive bool, period, runFor time.Duration,
-	reliable bool, inbox int) error {
+	reliable bool, inbox int, debugAddr string) error {
 	addrs, err := parsePeers(peerList)
 	if err != nil {
 		return err
@@ -216,6 +250,15 @@ func runNode(self ids.SiteID, peerList string, drive bool, period, runFor time.D
 		return fmt.Errorf("site %v missing from -peers", self)
 	}
 	counters := &metrics.Counters{}
+	spans := backtrace.NewSpanCollector(backtrace.SpanCollectorOptions{})
+	if debugAddr != "" {
+		bound, stop, err := startDebugServer(debugAddr, counters.Registry(), spans)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Printf("site %v debug endpoint on http://%s\n", self, bound)
+	}
 	node, err := backtrace.NewTCPNode(self, addrs, counters.ObserveMessage)
 	if err != nil {
 		return err
@@ -239,6 +282,7 @@ func runNode(self ids.SiteID, peerList string, drive bool, period, runFor time.D
 		ReportTimeout:      10 * time.Second,
 		InboxSize:          inbox,
 		Counters:           counters,
+		Observer:           spans,
 	})
 	defer s.Close() // runs before network.Close: mailbox stops first
 	addr, err := node.Listen()

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"io"
+	"net/http"
+	"strings"
 	"testing"
 
 	"backtrace/internal/ids"
+	"backtrace/internal/metrics"
+	"backtrace/internal/obs"
 )
 
 func TestParsePeers(t *testing.T) {
@@ -41,7 +46,7 @@ func TestRunDemoSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("TCP demo skipped in -short mode")
 	}
-	if err := runDemo(2, false, 4); err != nil { // small inbox: mailbox path over TCP
+	if err := runDemo(2, false, 4, "", 0); err != nil { // small inbox: mailbox path over TCP
 		t.Fatal(err)
 	}
 }
@@ -50,7 +55,41 @@ func TestRunDemoReliableSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("TCP demo skipped in -short mode")
 	}
-	if err := runDemo(2, true, 0); err != nil {
+	if err := runDemo(2, true, 0, "", 0); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestDebugServerServesMetrics(t *testing.T) {
+	counters := &metrics.Counters{}
+	counters.Inc("msg.total")
+	counters.Registry().Histogram(obs.MetricBackTraceRTT, "rtt", nil).Observe(0.002)
+	counters.Registry().Gauge(obs.MetricMailboxDepth, "depth").Set(3)
+
+	addr, stop, err := startDebugServer("127.0.0.1:0",
+		counters.Registry(), obs.NewCollector(obs.CollectorOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"msg_total 1",
+		"backtrace_rtt_seconds_count 1",
+		"mailbox_depth 3",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	if resp, err = http.Get("http://" + addr + "/healthz"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("/healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
 }

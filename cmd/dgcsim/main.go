@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"backtrace"
@@ -41,11 +42,12 @@ func main() {
 		verbose  = flag.Bool("v", false, "per-round progress")
 		events   = flag.Int("events", 0, "print the last N collector events")
 		dotPath  = flag.String("dot", "", "write a Graphviz DOT snapshot of the final state to this file")
+		traceOut = flag.String("trace-out", "", "write the assembled back-trace span trees to this file (JSON when the name ends in .json, rendered text otherwise)")
 	)
 	flag.Parse()
 
 	if err := run(*kind, *sites, *objects, *docs, *seed, *rounds, *thresh, *backT,
-		*latency, *jitter, *drop, *algo, *parallel, *verbose, *events, *dotPath); err != nil {
+		*latency, *jitter, *drop, *algo, *parallel, *verbose, *events, *dotPath, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "dgcsim:", err)
 		os.Exit(1)
 	}
@@ -53,7 +55,7 @@ func main() {
 
 func run(kind string, sites, objects, docs int, seed int64, rounds, thresh, backT int,
 	latency, jitter time.Duration, drop float64, algoName string, parallel, verbose bool,
-	eventTail int, dotPath string) error {
+	eventTail int, dotPath, traceOut string) error {
 
 	var spec workload.Spec
 	switch kind {
@@ -161,6 +163,13 @@ func run(kind string, sites, objects, docs int, seed int64, rounds, thresh, back
 		fmt.Printf("\nDOT snapshot written to %s (render with: dot -Tsvg %s)\n", dotPath, dotPath)
 	}
 
+	if traceOut != "" {
+		if err := writeTraceOut(traceOut, c); err != nil {
+			return err
+		}
+		fmt.Printf("\nspan trees written to %s\n", traceOut)
+	}
+
 	if log != nil {
 		all := log.Snapshot()
 		if len(all) > eventTail {
@@ -170,6 +179,26 @@ func run(kind string, sites, objects, docs int, seed int64, rounds, thresh, back
 		for _, e := range all {
 			fmt.Println(" ", e)
 		}
+	}
+	return nil
+}
+
+// writeTraceOut dumps the cluster's assembled span trees: JSON for .json
+// paths, the human-readable tree rendering otherwise.
+func writeTraceOut(path string, c *cluster.Cluster) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		if err := c.Spans().WriteJSON(f); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		return nil
+	}
+	if _, err := f.WriteString(c.Spans().RenderTrees()); err != nil {
+		return fmt.Errorf("trace-out: %w", err)
 	}
 	return nil
 }

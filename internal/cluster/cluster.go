@@ -17,6 +17,7 @@ import (
 	"backtrace/internal/event"
 	"backtrace/internal/ids"
 	"backtrace/internal/metrics"
+	"backtrace/internal/obs"
 	"backtrace/internal/site"
 	"backtrace/internal/tracer"
 	"backtrace/internal/transport"
@@ -72,6 +73,13 @@ type Options struct {
 	ReportTimeout      time.Duration
 	// Events, if non-nil, receives every site's observability events.
 	Events *event.Log
+	// Observer, if non-nil, receives every site's events and spans in
+	// addition to the cluster's built-in span collector. Callbacks run
+	// under site locks and must not call back into sites or the cluster.
+	Observer obs.Observer
+	// SpanCollector overrides the built-in span collector's limits; zero
+	// values take obs.CollectorOptions defaults.
+	SpanCollector obs.CollectorOptions
 }
 
 // Cluster is a set of sites joined by one network.
@@ -82,6 +90,7 @@ type Cluster struct {
 	sites    map[ids.SiteID]*site.Site
 	order    []ids.SiteID
 	counters *metrics.Counters
+	spans    *obs.Collector
 	stepped  bool
 }
 
@@ -135,8 +144,10 @@ func New(opts Options) *Cluster {
 		rel:      rel,
 		sites:    make(map[ids.SiteID]*site.Site, opts.NumSites),
 		counters: counters,
+		spans:    obs.NewCollector(opts.SpanCollector),
 		stepped:  stepped,
 	}
+	observer := obs.Tee(c.spans, opts.Observer)
 	for i := 1; i <= opts.NumSites; i++ {
 		id := ids.SiteID(i)
 		c.sites[id] = site.New(site.Config{
@@ -155,6 +166,7 @@ func New(opts Options) *Cluster {
 			LockedTrace:        opts.LockedTrace,
 			Counters:           counters,
 			Events:             opts.Events,
+			Observer:           observer,
 		})
 		c.order = append(c.order, id)
 	}
@@ -197,7 +209,30 @@ func (c *Cluster) ReliableLayer() *transport.Reliable { return c.rel }
 
 // Counters returns the cluster-wide metrics counters (shared by all sites
 // and the network observer).
+//
+// Deprecated: use Metrics for a typed snapshot, or Registry on the
+// returned value to declare new instruments.
 func (c *Cluster) Counters() *metrics.Counters { return c.counters }
+
+// Metrics returns a point-in-time snapshot of every typed instrument in
+// the cluster-wide registry, refreshing the event-drop gauge first so the
+// snapshot reflects the event log's current loss count.
+func (c *Cluster) Metrics() obs.Snapshot {
+	reg := c.counters.Registry()
+	if c.opts.Events != nil {
+		reg.Gauge(obs.MetricEventsDropped,
+			"events evicted from the bounded event log").Set(int64(c.opts.Events.Dropped()))
+	}
+	return reg.Snapshot()
+}
+
+// Registry returns the cluster-wide typed metrics registry (shared by all
+// sites, the network observer, and the Prometheus exposition).
+func (c *Cluster) Registry() *obs.Registry { return c.counters.Registry() }
+
+// Spans returns the cluster's built-in span collector, which assembles the
+// spans every site emits into per-trace trees.
+func (c *Cluster) Spans() *obs.Collector { return c.spans }
 
 // Settle delivers all in-flight messages: in stepped mode it pumps the
 // queue dry; in asynchronous mode it waits for the network to go quiet.

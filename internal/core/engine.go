@@ -84,6 +84,17 @@ type Config struct {
 	// OnTimeout, if non-nil, is invoked when a back-trace wait expires
 	// and is conservatively resolved as Live (observability hook).
 	OnTimeout func(t ids.TraceID)
+	// OnParticipantStart, if non-nil, is invoked when this site becomes
+	// active in a back trace: the first call handled (or locally started)
+	// for that trace while no activity was recorded. The site layer turns
+	// the start/end pair into a participant span.
+	OnParticipantStart func(t ids.TraceID)
+	// OnParticipantEnd, if non-nil, is invoked when the site's last
+	// activation frame for a trace completes (or a call was answered
+	// without creating any frame); hops is the number of BackCall messages
+	// handled during the active period. A trace that revisits the site
+	// later produces a fresh start/end pair.
+	OnParticipantEnd func(t ids.TraceID, hops int)
 }
 
 // frame is an activation frame (Section 4.4): "A frame contains the
@@ -117,6 +128,14 @@ type traceMarks struct {
 	expiry  time.Time
 }
 
+// traceActivity tracks one trace's live engagement at this site for the
+// participant-span observability hooks: how many activation frames exist
+// and how many BackCall messages were handled since the activity began.
+type traceActivity struct {
+	frames int
+	hops   int
+}
+
 // Engine is one site's back-tracing engine.
 type Engine struct {
 	cfg Config
@@ -129,6 +148,9 @@ type Engine struct {
 	byInref  map[ids.ObjID]map[ids.FrameID]struct{}
 	byOutref map[ids.Ref]map[ids.FrameID]struct{}
 	marks    map[ids.TraceID]*traceMarks
+	// activity tracks the traces currently active at this site, for the
+	// participant-span hooks.
+	activity map[ids.TraceID]*traceActivity
 }
 
 // NewEngine creates an engine for a site.
@@ -142,6 +164,37 @@ func NewEngine(cfg Config) *Engine {
 		byInref:  make(map[ids.ObjID]map[ids.FrameID]struct{}),
 		byOutref: make(map[ids.Ref]map[ids.FrameID]struct{}),
 		marks:    make(map[ids.TraceID]*traceMarks),
+		activity: make(map[ids.TraceID]*traceActivity),
+	}
+}
+
+// --- participant-activity tracking (observability) -------------------------
+
+// ensureActivity opens (or returns) the trace's activity record, firing
+// OnParticipantStart on the opening edge.
+func (e *Engine) ensureActivity(t ids.TraceID) *traceActivity {
+	a, ok := e.activity[t]
+	if !ok {
+		a = &traceActivity{}
+		e.activity[t] = a
+		if e.cfg.OnParticipantStart != nil {
+			e.cfg.OnParticipantStart(t)
+		}
+	}
+	return a
+}
+
+// maybeEndActivity fires OnParticipantEnd once the trace has no live
+// frames left at this site. Safe to call repeatedly; the activity record
+// is removed on the closing edge.
+func (e *Engine) maybeEndActivity(t ids.TraceID) {
+	a, ok := e.activity[t]
+	if !ok || a.frames > 0 {
+		return
+	}
+	delete(e.activity, t)
+	if e.cfg.OnParticipantEnd != nil {
+		e.cfg.OnParticipantEnd(t, a.hops)
 	}
 }
 
@@ -194,8 +247,12 @@ func (e *Engine) StartTrace(target ids.Ref) (ids.TraceID, bool) {
 	e.nextTrace++
 	t := ids.TraceID{Initiator: e.cfg.Site, Seq: e.nextTrace}
 	e.count(metrics.BackTracesStarted)
+	// The initiator is itself a participant: open its activity before the
+	// outermost call so even a synchronous completion emits a span pair.
+	e.ensureActivity(t)
 	// The outermost call: caller is the nil frame on this site.
 	e.stepLocal(t, e.cfg.Site, ids.NilFrame, e.cfg.Site, target)
+	e.maybeEndActivity(t)
 	return t, true
 }
 
@@ -204,12 +261,16 @@ func (e *Engine) StartTrace(target ids.Ref) (ids.TraceID, bool) {
 // HandleBackCall processes a BackCall message from another site.
 func (e *Engine) HandleBackCall(from ids.SiteID, c msg.BackCall) {
 	e.count(metrics.BackTraceCalls)
+	// Open (or extend) this trace's activity even when the call is answered
+	// without creating a frame, so every engagement yields a span pair.
+	e.ensureActivity(c.Trace).hops++
 	switch c.Kind {
 	case msg.StepLocal:
 		e.stepLocal(c.Trace, c.Initiator, c.Caller, from, c.Outref)
 	case msg.StepRemote:
 		e.stepRemote(c.Trace, c.Initiator, c.Caller, from, c.Inref)
 	}
+	e.maybeEndActivity(c.Trace)
 }
 
 // HandleBackReply processes a BackReply from another site.
@@ -365,6 +426,7 @@ func (e *Engine) newFrame(t ids.TraceID, initiator ids.SiteID, caller ids.FrameI
 		f.deadline = e.cfg.Now().Add(e.cfg.CallTimeout)
 	}
 	e.frames[f.id] = f
+	e.ensureActivity(t).frames++
 	return f
 }
 
@@ -433,6 +495,10 @@ func (e *Engine) applyReply(fid ids.FrameID, result msg.Verdict, participants []
 func (e *Engine) completeFrame(f *frame, verdict msg.Verdict) {
 	delete(e.frames, f.id)
 	e.unindexFrame(f)
+	if a, ok := e.activity[f.trace]; ok {
+		a.frames--
+	}
+	defer e.maybeEndActivity(f.trace)
 	parts := make([]ids.SiteID, 0, len(f.participants))
 	for p := range f.participants {
 		parts = append(parts, p)

@@ -212,3 +212,29 @@ func TestHypertextRuns(t *testing.T) {
 	}
 	_ = HypertextTable([]HypertextRow{row}).String()
 }
+
+func TestTelemetryComplexityMatchesPaperFormula(t *testing.T) {
+	row, err := TelemetryComplexity(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6-site ring: E = 6, P = 6 → 6 calls, 6 replies, 5 reports, 17 total.
+	if row.BackCalls != 6 || row.BackReplies != 6 || row.Reports != 5 {
+		t.Errorf("counts = calls %d replies %d reports %d, want 6/6/5",
+			row.BackCalls, row.BackReplies, row.Reports)
+	}
+	if row.Total != row.Predicted || row.Total != 17 {
+		t.Errorf("total = %d, predicted %d, want 17", row.Total, row.Predicted)
+	}
+	// The span tree independently reports the same participant set.
+	if row.Participants != row.Sites {
+		t.Errorf("span tree has %d participants, workload touches %d sites",
+			row.Participants, row.Sites)
+	}
+	if row.RTTSamples < 1 {
+		t.Errorf("rtt samples = %d, want >= 1", row.RTTSamples)
+	}
+	if tbl := TelemetryTable([]TelemetryRow{row}); !strings.Contains(tbl.String(), "registry") {
+		t.Error("table missing title")
+	}
+}

@@ -1,9 +1,16 @@
-// Package metrics provides thread-safe counters used by the experiment
-// harness to measure the quantities the paper reasons about analytically:
-// messages by type (for the 2E+P message-complexity claim), objects traced
-// per local trace (for the Section 5 cost comparison), back-trace outcomes
-// (for the back-threshold tuning claim), and space occupied by back
-// information (for the O(ni·no) bound).
+// Package metrics provides the legacy stringly-named counter API used by
+// the experiment harness to measure the quantities the paper reasons about
+// analytically: messages by type (for the 2E+P message-complexity claim),
+// objects traced per local trace (for the Section 5 cost comparison),
+// back-trace outcomes (for the back-threshold tuning claim), and space
+// occupied by back information (for the O(ni·no) bound).
+//
+// Deprecated surface: Counters is now a compatibility shim over the typed
+// obs.Registry — every Add lands in a declared obs.Counter and every Max in
+// an obs.Gauge, so the same numbers back the legacy Snapshot map, the
+// typed Site.Metrics()/Cluster.Metrics() snapshots, and the Prometheus
+// /metrics endpoint. New code should use obs.Registry directly (reach it
+// with Counters.Registry()).
 package metrics
 
 import (
@@ -13,64 +20,79 @@ import (
 	"sync"
 
 	"backtrace/internal/msg"
+	"backtrace/internal/obs"
 )
 
-// Counters accumulates named integer counters. The zero value is ready to
-// use.
+// Counters is the legacy named-counter facade. The zero value is ready to
+// use (it creates its own registry on first write); NewCounters shares an
+// existing registry instead.
+//
+// Deprecated: new call sites should declare typed instruments on the
+// obs.Registry (see Registry) rather than accumulate by string name.
 type Counters struct {
-	mu sync.Mutex
-	m  map[string]int64
+	mu  sync.Mutex
+	reg *obs.Registry
+}
+
+// NewCounters creates a Counters facade over an existing registry, so the
+// legacy API and typed instruments share one instrument set.
+func NewCounters(reg *obs.Registry) *Counters {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Counters{reg: reg}
+}
+
+// Registry returns the typed registry backing this facade, creating it on
+// first use. This is the migration path away from stringly-typed names.
+func (c *Counters) Registry() *obs.Registry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.reg == nil {
+		c.reg = obs.NewRegistry()
+	}
+	return c.reg
 }
 
 // Add increments a named counter by delta.
 func (c *Counters) Add(name string, delta int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.m == nil {
-		c.m = make(map[string]int64)
-	}
-	c.m[name] += delta
+	c.Registry().Counter(name, "").Add(delta)
 }
 
 // Inc increments a named counter by one.
 func (c *Counters) Inc(name string) { c.Add(name, 1) }
 
-// Get returns the value of a named counter (zero if never incremented).
+// Get returns the value of a named counter or high-water mark (zero if
+// never recorded).
 func (c *Counters) Get(name string) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.m[name]
+	v, _ := c.Registry().Value(name)
+	return v
 }
 
-// Max raises a named counter to v if v is larger (for high-water marks such
-// as peak back-information size).
+// Max raises a named high-water mark to v if v is larger (peaks such as
+// back-information size are gauges in the registry).
 func (c *Counters) Max(name string, v int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.m == nil {
-		c.m = make(map[string]int64)
-	}
-	if v > c.m[name] {
-		c.m[name] = v
-	}
+	c.Registry().Gauge(name, "").Max(v)
 }
 
-// Snapshot returns a copy of all counters.
+// Snapshot returns a copy of all counters and high-water marks as one flat
+// name → value map (histograms are only in the typed obs.Snapshot).
 func (c *Counters) Snapshot() map[string]int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]int64, len(c.m))
-	for k, v := range c.m {
+	snap := c.Registry().Snapshot()
+	out := make(map[string]int64, len(snap.Counters)+len(snap.Gauges))
+	for k, v := range snap.Counters {
+		out[k] = v
+	}
+	for k, v := range snap.Gauges {
 		out[k] = v
 	}
 	return out
 }
 
-// Reset zeroes every counter.
+// Reset zeroes every instrument in the backing registry (declarations are
+// kept).
 func (c *Counters) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.m = make(map[string]int64)
+	c.Registry().Reset()
 }
 
 // String renders the counters sorted by name, one per line.

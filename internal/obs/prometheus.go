@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PromName converts a dotted instrument name to a valid Prometheus metric
+// name: every character outside [a-zA-Z0-9_:] becomes an underscore, and a
+// leading digit is prefixed.
+func PromName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4), instruments in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range r.order {
+		pn := PromName(name)
+		if c, ok := r.counts[name]; ok {
+			writeHeader(w, pn, c.help, "counter")
+			fmt.Fprintf(w, "%s %d\n", pn, c.Value())
+			continue
+		}
+		if g, ok := r.gauges[name]; ok {
+			writeHeader(w, pn, g.help, "gauge")
+			fmt.Fprintf(w, "%s %d\n", pn, g.Value())
+			continue
+		}
+		if h, ok := r.hists[name]; ok {
+			writeHeader(w, pn, h.help, "histogram")
+			snap := h.snapshot()
+			for i, bound := range snap.Bounds {
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, formatBound(bound), snap.Buckets[i])
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, snap.Count)
+			fmt.Fprintf(w, "%s_sum %g\n", pn, snap.Sum)
+			fmt.Fprintf(w, "%s_count %d\n", pn, snap.Count)
+		}
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, name, help, kind string) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, strings.ReplaceAll(help, "\n", " "))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+}
+
+func formatBound(b float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", b), "0"), ".")
+}

@@ -2,11 +2,13 @@ package site
 
 import (
 	"sort"
+	"time"
 
 	"backtrace/internal/event"
 	"backtrace/internal/ids"
 	"backtrace/internal/metrics"
 	"backtrace/internal/msg"
+	"backtrace/internal/obs"
 	"backtrace/internal/refs"
 	"backtrace/internal/tracer"
 )
@@ -57,6 +59,7 @@ func (s *Site) RunLocalTrace() TraceReport {
 func (s *Site) BeginLocalTrace() {
 	s.traceMu.Lock()
 	defer s.traceMu.Unlock()
+	s.localTraceT0 = time.Now()
 
 	if s.cfg.LockedTrace {
 		s.mu.Lock()
@@ -117,6 +120,8 @@ func (s *Site) installPendingLocked(res *tracer.Result) {
 func (s *Site) CommitLocalTrace() TraceReport {
 	s.traceMu.Lock()
 	defer s.traceMu.Unlock()
+	t0 := s.localTraceT0
+	s.localTraceT0 = time.Time{}
 	s.mu.Lock()
 	res := s.pending
 	s.pending = nil
@@ -284,6 +289,18 @@ func (s *Site) CommitLocalTrace() TraceReport {
 	// their back threshold (Section 4.3).
 	if s.cfg.AutoBackTrace {
 		rep.BackTracesStarted = s.triggerBackTracesLocked()
+	}
+
+	// Close the local-trace span (begin through commit).
+	if !t0.IsZero() {
+		now := time.Now()
+		s.histLocalDur.Observe(now.Sub(t0).Seconds())
+		s.emitSpan(obs.Span{
+			Kind:      obs.SpanLocalTrace,
+			Start:     t0,
+			End:       now,
+			Collected: rep.Collected,
+		})
 	}
 	s.flushOutbox()
 	s.mu.Unlock()

@@ -10,10 +10,12 @@ import (
 	"backtrace/internal/msg"
 )
 
-// inbound is one queued inbox entry: the sending site and its message.
+// inbound is one queued inbox entry: the sending site, its message, and
+// when it was enqueued (for the queue-delay histogram).
 type inbound struct {
 	from ids.SiteID
 	m    msg.Message
+	at   time.Time
 }
 
 // mailbox is a site's bounded inbox plus its dispatch goroutine. Transport
@@ -58,7 +60,7 @@ func (mb *mailbox) enqueue(from ids.SiteID, m msg.Message) {
 		mb.mu.Unlock()
 		return
 	}
-	mb.queue = append(mb.queue, inbound{from: from, m: m})
+	mb.queue = append(mb.queue, inbound{from: from, m: m, at: time.Now()})
 	mb.busy++
 	depth := len(mb.queue)
 	mb.notEmpty.Signal()
@@ -67,6 +69,7 @@ func (mb *mailbox) enqueue(from ids.SiteID, m msg.Message) {
 	c := mb.s.cfg.Counters
 	c.Inc(metrics.MailboxEnqueued)
 	c.Max(metrics.MailboxDepthPeak, int64(depth))
+	mb.s.gaugeDepth.Set(int64(depth))
 	if waited {
 		c.Inc(metrics.MailboxBackpressure)
 	}
@@ -93,7 +96,7 @@ func (mb *mailbox) run() {
 		mb.notFull.Signal()
 		mb.mu.Unlock()
 
-		mb.s.deliverNow(in.from, in.m)
+		mb.s.deliverQueued(in.from, in.m, time.Since(in.at))
 
 		mb.mu.Lock()
 		mb.busy--

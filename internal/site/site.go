@@ -44,6 +44,7 @@ import (
 	"backtrace/internal/ids"
 	"backtrace/internal/metrics"
 	"backtrace/internal/msg"
+	"backtrace/internal/obs"
 	"backtrace/internal/refs"
 	"backtrace/internal/tracer"
 	"backtrace/internal/transport"
@@ -98,10 +99,20 @@ type Config struct {
 	// the off-lock benchmarks; leave it false otherwise.
 	LockedTrace bool
 	// Counters receives metrics; may be nil (a fresh set is created).
+	//
+	// Deprecated: Counters is the legacy stringly-named facade. Prefer
+	// reading the typed registry via Site.Metrics(); this field remains so
+	// several sites can share one instrument set.
 	Counters *metrics.Counters
 	// Events, if non-nil, receives structured observability events
 	// (trace lifecycle, barriers, sweeps, timeouts).
 	Events *event.Log
+	// Observer, if non-nil, receives every observability event and every
+	// completed span (back-trace roots, participant engagements, local
+	// traces, report phases). Callbacks run under the site lock and MUST
+	// NOT call back into the Site; use obs.Tee to fan out to several
+	// observers.
+	Observer obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -182,6 +193,31 @@ type Site struct {
 	farewell map[ids.SiteID]int
 
 	completions []TraceOutcome
+
+	// --- observability state (guarded by mu, like everything above) ---
+
+	// partStart records when this site became active in each back trace;
+	// the participant-end hook turns the pair into a SpanParticipant.
+	// For traces this site initiated the entry also anchors the root span
+	// (the outermost frame lives exactly as long as the trace).
+	partStart map[ids.TraceID]time.Time
+	// traceQueueWait accumulates, per active trace, the mailbox queueing
+	// delay of the messages consumed on its behalf.
+	traceQueueWait map[ids.TraceID]time.Duration
+	// curQueueWait is the queue delay of the message currently being
+	// dispatched; the first trace-carrying message in the delivery (one
+	// Batch can carry several) consumes and zeroes it.
+	curQueueWait time.Duration
+	// localTraceT0 is the wall-clock start of the local trace between
+	// BeginLocalTrace and CommitLocalTrace (guarded by traceMu).
+	localTraceT0 time.Time
+
+	// Typed instruments, declared once at construction on the shared
+	// registry so the hot paths never take the registry lock.
+	histRTT      *obs.Histogram
+	histLocalDur *obs.Histogram
+	histQueue    *obs.Histogram
+	gaugeDepth   *obs.Gauge
 }
 
 // TraceOutcome records one completed back trace initiated by this site.
@@ -205,7 +241,18 @@ func New(cfg Config) *Site {
 		pendingInserts: make(map[ids.Ref]msg.Insert),
 		farewell:       make(map[ids.SiteID]int),
 		outbox:         make(map[ids.SiteID][]msg.Message),
+		partStart:      make(map[ids.TraceID]time.Time),
+		traceQueueWait: make(map[ids.TraceID]time.Duration),
 	}
+	reg := cfg.Counters.Registry()
+	s.histRTT = reg.Histogram(obs.MetricBackTraceRTT,
+		"wall-clock duration of back traces initiated by this site", nil)
+	s.histLocalDur = reg.Histogram(obs.MetricLocalTraceDuration,
+		"wall-clock duration of local traces (begin through commit)", nil)
+	s.histQueue = reg.Histogram(obs.MetricMailboxQueueDelay,
+		"time inbound messages spent queued in a site mailbox", nil)
+	s.gaugeDepth = reg.Gauge(obs.MetricMailboxDepth,
+		"inbox depth observed at the most recent enqueue")
 	s.engine = core.NewEngine(core.Config{
 		Site:          cfg.ID,
 		Threshold:     s.threshold,
@@ -223,6 +270,8 @@ func New(cfg Config) *Site {
 		OnTimeout: func(t ids.TraceID) {
 			s.emit(event.Event{Kind: event.TimeoutAssumedLive, Trace: t})
 		},
+		OnParticipantStart: s.onParticipantStart,
+		OnParticipantEnd:   s.onParticipantEnd,
 	})
 	if cfg.InboxSize > 0 {
 		s.inbox = newMailbox(s, cfg.InboxSize)
@@ -263,7 +312,15 @@ func (s *Site) AwaitInboxIdle(timeout time.Duration) error {
 func (s *Site) ID() ids.SiteID { return s.cfg.ID }
 
 // Counters returns the site's metrics counters.
+//
+// Deprecated: use Metrics for a typed snapshot, or Registry on the
+// returned value for declaring new instruments.
 func (s *Site) Counters() *metrics.Counters { return s.cfg.Counters }
+
+// Metrics returns a point-in-time snapshot of every typed instrument
+// backing this site's metrics (counters, gauges, and latency histograms).
+// Sites created with a shared Counters set report the shared values.
+func (s *Site) Metrics() obs.Snapshot { return s.cfg.Counters.Registry().Snapshot() }
 
 // send transmits (or, in Piggyback mode, queues) one protocol message. It
 // is called with the site lock held; flushOutbox runs before the lock is
@@ -299,11 +356,62 @@ func (s *Site) flushOutbox() {
 	s.outboxOrder = s.outboxOrder[:0]
 }
 
-// emit appends an observability event if a log is configured.
+// emit appends an observability event if a log is configured, and forwards
+// it to the configured observer.
 func (s *Site) emit(e event.Event) {
+	e.Site = s.cfg.ID
 	if s.cfg.Events != nil {
-		e.Site = s.cfg.ID
 		s.cfg.Events.Append(e)
+	}
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.OnEvent(e)
+	}
+}
+
+// emitSpan stamps the site onto a finished span and forwards it to the
+// configured observer. Called with the site lock held (or, for local-trace
+// spans, under traceMu), which is why Observer callbacks must not call back
+// into the Site.
+func (s *Site) emitSpan(sp obs.Span) {
+	if s.cfg.Observer == nil {
+		return
+	}
+	sp.Site = s.cfg.ID
+	s.cfg.Observer.OnSpan(sp)
+}
+
+// onParticipantStart runs (with the lock held) when the engine first
+// engages this site in a back trace.
+func (s *Site) onParticipantStart(t ids.TraceID) {
+	s.partStart[t] = time.Now()
+}
+
+// onParticipantEnd runs (with the lock held) when the last activation
+// frame for a trace completes here; it closes the participant span and
+// releases the trace's queue-wait accumulator.
+func (s *Site) onParticipantEnd(t ids.TraceID, hops int) {
+	start := s.partStart[t]
+	delete(s.partStart, t)
+	wait := s.traceQueueWait[t]
+	delete(s.traceQueueWait, t)
+	s.emitSpan(obs.Span{
+		Trace:     t,
+		Kind:      obs.SpanParticipant,
+		Start:     start,
+		End:       time.Now(),
+		Hops:      hops,
+		QueueWait: wait,
+	})
+}
+
+// noteTraceQueueWait attributes the queue delay of the message being
+// dispatched to the trace it belongs to. The first trace-carrying message
+// of a delivery consumes the delay; later items of the same Batch add
+// nothing.
+func (s *Site) noteTraceQueueWait(t ids.TraceID) {
+	if s.curQueueWait > 0 {
+		s.traceQueueWait[t] += s.curQueueWait
+		s.curQueueWait = 0
 	}
 }
 
@@ -312,6 +420,24 @@ func (s *Site) emit(e event.Event) {
 func (s *Site) onTraceCompleted(t ids.TraceID, outcome msg.Verdict, participants []ids.SiteID) {
 	s.completions = append(s.completions, TraceOutcome{Trace: t, Outcome: outcome, Participants: participants})
 	s.emit(event.Event{Kind: event.TraceCompleted, Trace: t, Verdict: outcome, N: len(participants)})
+	// Close the root span. The initiator's activity opened with the trace
+	// and its outermost frame is still live here, so partStart[t] is the
+	// trace's start; the participant span itself closes just after this
+	// callback returns.
+	now := time.Now()
+	start := s.partStart[t]
+	if start.IsZero() {
+		start = now
+	}
+	s.histRTT.Observe(now.Sub(start).Seconds())
+	s.emitSpan(obs.Span{
+		Trace:        t,
+		Kind:         obs.SpanBackTrace,
+		Start:        start,
+		End:          now,
+		Verdict:      outcome,
+		Participants: participants,
+	})
 	if !s.cfg.AdaptiveThreshold {
 		return
 	}
@@ -354,12 +480,25 @@ func (s *Site) Deliver(from ids.SiteID, m msg.Message) {
 }
 
 // deliverNow applies one inbound message under the site lock. It is the
-// synchronous half of Deliver and the mailbox dispatcher's workhorse.
+// synchronous half of Deliver.
 func (s *Site) deliverNow(from ids.SiteID, m msg.Message) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.flushOutbox()
 	s.deliverLocked(from, m)
+}
+
+// deliverQueued is the mailbox dispatcher's entry point: like deliverNow,
+// but it records how long the message waited in the inbox so the delay can
+// be attributed to the back trace it belongs to.
+func (s *Site) deliverQueued(from ids.SiteID, m msg.Message, wait time.Duration) {
+	s.histQueue.Observe(wait.Seconds())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.flushOutbox()
+	s.curQueueWait = wait
+	s.deliverLocked(from, m)
+	s.curQueueWait = 0
 }
 
 func (s *Site) deliverLocked(from ids.SiteID, m msg.Message) {
@@ -377,11 +516,25 @@ func (s *Site) deliverLocked(from ids.SiteID, m msg.Message) {
 	case msg.Update:
 		s.handleUpdate(from, mm)
 	case msg.BackCall:
+		s.noteTraceQueueWait(mm.Trace)
 		s.engine.HandleBackCall(from, mm)
 	case msg.BackReply:
+		// A late reply (frame already closed by timeout or short-circuit)
+		// must not re-open the trace's wait accumulator.
+		if _, active := s.partStart[mm.Trace]; active {
+			s.noteTraceQueueWait(mm.Trace)
+		}
 		s.engine.HandleBackReply(from, mm)
 	case msg.Report:
+		t0 := time.Now()
 		s.engine.HandleReport(from, mm)
+		s.emitSpan(obs.Span{
+			Trace:   mm.Trace,
+			Kind:    obs.SpanReport,
+			Start:   t0,
+			End:     time.Now(),
+			Verdict: mm.Outcome,
+		})
 	case msg.Batch:
 		for _, item := range mm.Items {
 			s.deliverLocked(from, item)
