@@ -1,6 +1,8 @@
 // Command dgcsim runs the back-tracing collector over a chosen workload on
 // a simulated multi-site cluster and prints per-round progress and final
-// statistics.
+// statistics. It is also the front end of the deterministic model checker
+// (internal/sim): -explore sweeps seeds and shrinks any oracle failure to a
+// minimal schedule; -replay re-executes a recorded schedule exactly.
 //
 // Usage:
 //
@@ -8,6 +10,10 @@
 //	dgcsim -workload hypertext -sites 6 -docs 12 -seed 7 -v
 //	dgcsim -workload random -sites 8 -objects 500 -latency 2ms -drop 0.05
 //	dgcsim -workload dense -sites 8 -parallel
+//	dgcsim -explore -seeds 200
+//	dgcsim -explore -seeds 50 -faults "crash@150:2,restart@300:2"
+//	dgcsim -explore -seeds 50 -skip-transfer-barrier -schedule-out failure.json
+//	dgcsim -replay failure.json
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"backtrace"
 	"backtrace/internal/cluster"
 	"backtrace/internal/event"
+	"backtrace/internal/sim"
 	"backtrace/internal/viz"
 	"backtrace/internal/workload"
 )
@@ -43,8 +50,38 @@ func main() {
 		events   = flag.Int("events", 0, "print the last N collector events")
 		dotPath  = flag.String("dot", "", "write a Graphviz DOT snapshot of the final state to this file")
 		traceOut = flag.String("trace-out", "", "write the assembled back-trace span trees to this file (JSON when the name ends in .json, rendered text otherwise)")
+
+		// Model-checker mode (internal/sim).
+		explore     = flag.Bool("explore", false, "model-check: sweep -seeds seeds of the deterministic simulation")
+		seeds       = flag.Int("seeds", 200, "number of seeds to explore")
+		simSteps    = flag.Int("sim-steps", 0, "scheduler events per simulated run (0 = default)")
+		simSites    = flag.Int("sim-sites", 0, "sites per simulated run (0 = default)")
+		faults      = flag.String("faults", "", `fault schedule, e.g. "crash@150:2,restart@300:2,partition@200:1-3"`)
+		skipBarrier = flag.Bool("skip-transfer-barrier", false, "UNSAFE: disable the Section 6.1.1 transfer barrier (regression-injection demo)")
+		scheduleOut = flag.String("schedule-out", "failure.json", "where -explore writes the shrunk schedule of the first failure")
+		replay      = flag.String("replay", "", "replay a recorded schedule file instead of running a workload")
 	)
 	flag.Parse()
+
+	if *explore || *replay != "" {
+		cfg := sim.Config{
+			Seed:                *seed,
+			Steps:               *simSteps,
+			Sites:               *simSites,
+			Faults:              *faults,
+			SkipTransferBarrier: *skipBarrier,
+		}
+		var err error
+		if *replay != "" {
+			err = runReplay(*replay, *verbose)
+		} else {
+			err = runExplore(cfg, *seeds, *scheduleOut, *verbose)
+		}
+		if err != nil {
+			die(err)
+		}
+		return
+	}
 
 	if err := run(*kind, *sites, *objects, *docs, *seed, *rounds, *thresh, *backT,
 		*latency, *jitter, *drop, *algo, *parallel, *verbose, *events, *dotPath, *traceOut); err != nil {

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"backtrace/internal/clock"
 	"backtrace/internal/event"
 	"backtrace/internal/ids"
 	"backtrace/internal/metrics"
@@ -71,6 +72,14 @@ type Options struct {
 	Piggyback          bool
 	CallTimeout        time.Duration
 	ReportTimeout      time.Duration
+	// Clock is the time source handed to the network, the session layer,
+	// and every site. Nil means the wall clock; the deterministic
+	// simulation injects a virtual clock.
+	Clock clock.Clock
+	// SkipTransferBarrierUnsafe passes the fault-injection knob of the same
+	// name to every site (see site.Config); only the simulation model
+	// checker should ever set it.
+	SkipTransferBarrierUnsafe bool
 	// Events, if non-nil, receives every site's observability events.
 	Events *event.Log
 	// Observer, if non-nil, receives every site's events and spans in
@@ -126,6 +135,7 @@ func New(opts Options) *Cluster {
 		ReorderProb: opts.ReorderProb,
 		Seed:        opts.Seed,
 		Stepped:     stepped,
+		Clock:       opts.Clock,
 		Observer:    counters.ObserveMessage,
 	})
 	var network transport.Network = net
@@ -134,6 +144,7 @@ func New(opts Options) *Cluster {
 		rel = transport.NewReliable(net, transport.ReliableOptions{
 			RetransmitInitial: 3 * time.Millisecond,
 			Seed:              opts.Seed,
+			Clock:             opts.Clock,
 			Counters:          counters,
 		})
 		network = rel
@@ -151,22 +162,24 @@ func New(opts Options) *Cluster {
 	for i := 1; i <= opts.NumSites; i++ {
 		id := ids.SiteID(i)
 		c.sites[id] = site.New(site.Config{
-			ID:                 id,
-			Network:            network,
-			SuspicionThreshold: opts.SuspicionThreshold,
-			BackThreshold:      opts.BackThreshold,
-			ThresholdBump:      opts.ThresholdBump,
-			OutsetAlgorithm:    opts.OutsetAlgorithm,
-			CallTimeout:        opts.CallTimeout,
-			ReportTimeout:      opts.ReportTimeout,
-			AutoBackTrace:      opts.AutoBackTrace,
-			AdaptiveThreshold:  opts.AdaptiveThreshold,
-			Piggyback:          opts.Piggyback,
-			InboxSize:          opts.InboxSize,
-			LockedTrace:        opts.LockedTrace,
-			Counters:           counters,
-			Events:             opts.Events,
-			Observer:           observer,
+			ID:                        id,
+			Network:                   network,
+			SuspicionThreshold:        opts.SuspicionThreshold,
+			BackThreshold:             opts.BackThreshold,
+			ThresholdBump:             opts.ThresholdBump,
+			OutsetAlgorithm:           opts.OutsetAlgorithm,
+			CallTimeout:               opts.CallTimeout,
+			ReportTimeout:             opts.ReportTimeout,
+			AutoBackTrace:             opts.AutoBackTrace,
+			AdaptiveThreshold:         opts.AdaptiveThreshold,
+			Piggyback:                 opts.Piggyback,
+			InboxSize:                 opts.InboxSize,
+			LockedTrace:               opts.LockedTrace,
+			Clock:                     opts.Clock,
+			SkipTransferBarrierUnsafe: opts.SkipTransferBarrierUnsafe,
+			Counters:                  counters,
+			Events:                    opts.Events,
+			Observer:                  observer,
 		})
 		c.order = append(c.order, id)
 	}
@@ -190,6 +203,24 @@ func (c *Cluster) Close() {
 
 // Site returns the site with the given identifier.
 func (c *Cluster) Site(id ids.SiteID) *site.Site { return c.sites[id] }
+
+// ReplaceSite swaps in a new Site object for an existing identifier — the
+// crash-recovery path: the caller builds the replacement via site.Restore
+// (which re-registers it on the network) and hands it to the cluster so
+// Settle, audits, and rounds address the new incarnation. The old Site is
+// Close()d and discarded.
+func (c *Cluster) ReplaceSite(id ids.SiteID, s *site.Site) {
+	if old, ok := c.sites[id]; ok && old != s {
+		old.Close()
+	}
+	c.sites[id] = s
+}
+
+// Observer returns the observer every site was built with: the cluster's
+// span collector teed with Options.Observer. Crash recovery passes it to
+// the restored site's Config so the new incarnation's spans keep landing in
+// the same collector.
+func (c *Cluster) Observer() obs.Observer { return obs.Tee(c.spans, c.opts.Observer) }
 
 // Sites returns the sites in identifier order.
 func (c *Cluster) Sites() []*site.Site {

@@ -213,6 +213,21 @@ func (e *Engine) ActiveFrames() int { return len(e.frames) }
 // still holds.
 func (e *Engine) PendingMarks() int { return len(e.marks) }
 
+// TraceSeq returns the last trace sequence number this engine assigned.
+// Checkpointing persists it so a restored incarnation never reissues a
+// trace id: visit marks for the dead incarnation's traces survive in PEER
+// ioref tables, and a reissued id would read them as "already visited" —
+// turning a live structure into a false Garbage verdict.
+func (e *Engine) TraceSeq() uint64 { return e.nextTrace }
+
+// SeedTraceSeq advances the trace sequence counter to at least n. Used on
+// restore; it never moves the counter backwards.
+func (e *Engine) SeedTraceSeq(n uint64) {
+	if n > e.nextTrace {
+		e.nextTrace = n
+	}
+}
+
 func (e *Engine) count(name string) {
 	if e.cfg.Counters != nil {
 		e.cfg.Counters.Inc(name)

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestReplayCorpus replays every schedule under testdata/schedules/ and
+// enforces its Expect annotation: "safety" schedules are caught-regression
+// witnesses that must trip the safety oracle; "clean" (or unannotated)
+// schedules must pass both oracles. Each schedule replays twice and must
+// produce the identical digest — the corpus doubles as a determinism
+// regression suite.
+func TestReplayCorpus(t *testing.T) {
+	files, err := filepath.Glob("testdata/schedules/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no schedules in testdata/schedules/")
+	}
+	results := make(map[string]*Result)
+	for _, path := range files {
+		name := filepath.Base(path)
+		t.Run(name, func(t *testing.T) {
+			sched, err := ReadScheduleFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := Replay(sched.Config, sched.Events)
+			results[name] = res
+			switch sched.Expect {
+			case ExpectSafety:
+				if len(res.SafetyViolations) == 0 {
+					t.Fatal("expected a safety violation, run was clean")
+				}
+			case ExpectClean, "":
+				if res.Failed() {
+					t.Fatalf("expected a clean run, got: %v", res.Violations())
+				}
+				if res.Skipped != 0 {
+					t.Fatalf("clean corpus schedule skipped %d events", res.Skipped)
+				}
+			default:
+				t.Fatalf("unknown expect annotation %q", sched.Expect)
+			}
+			again := Replay(sched.Config, sched.Events)
+			if again.Digest != res.Digest {
+				t.Fatalf("replaying twice gave different digests:\n  %s\n  %s", res.Digest, again.Digest)
+			}
+		})
+	}
+
+	// The named fault schedules must actually race a fault against collector
+	// activity — that is what they are in the corpus for.
+	t.Run("crash-during-back-trace races an active trace", func(t *testing.T) {
+		res, ok := results["crash-during-back-trace.json"]
+		if !ok {
+			t.Fatal("corpus is missing crash-during-back-trace.json")
+		}
+		found := false
+		for _, fc := range res.FaultCtx {
+			if fc.Kind == EvCrash && fc.ActiveFrames > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no crash hit an active back trace; contexts: %+v", res.FaultCtx)
+		}
+	})
+	t.Run("partition-during-report cuts an in-flight report", func(t *testing.T) {
+		res, ok := results["partition-during-report.json"]
+		if !ok {
+			t.Fatal("corpus is missing partition-during-report.json")
+		}
+		found := false
+		for _, fc := range res.FaultCtx {
+			if fc.Kind == EvPartition && fc.ReportsInFlight > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no partition cut an in-flight report; contexts: %+v", res.FaultCtx)
+		}
+	})
+}
+
+// TestScheduleRoundTrip: WriteFile/ReadScheduleFile preserve a schedule
+// exactly, and the version check rejects foreign files.
+func TestScheduleRoundTrip(t *testing.T) {
+	res, err := Run(Config{Seed: 9, Steps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sched.json")
+	s := Schedule{Config: res.Config, Expect: ExpectClean, Events: res.Events}
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScheduleFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != ScheduleVersion || got.Expect != ExpectClean {
+		t.Fatalf("round trip lost metadata: %+v", got)
+	}
+	if len(got.Events) != len(res.Events) {
+		t.Fatalf("round trip lost events: %d -> %d", len(res.Events), len(got.Events))
+	}
+	replayed := Replay(got.Config, got.Events)
+	if replayed.Digest != res.Digest {
+		t.Fatal("round-tripped schedule replays to a different digest")
+	}
+}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// ExploreReport aggregates one seed sweep.
+type ExploreReport struct {
+	// Seeds is how many seeds ran; Failures how many tripped an oracle.
+	Seeds    int
+	Failures int
+	// DistinctDigests counts distinct interleavings observed (same-digest
+	// runs exercised the identical schedule).
+	DistinctDigests int
+	// Events and Delivered total across all runs; Elapsed is wall time.
+	Events    int
+	Delivered int
+	Elapsed   time.Duration
+	// FirstFailure is the first failing run, if any — the natural shrink
+	// target.
+	FirstFailure *Result
+	// FailedSeeds lists every failing seed.
+	FailedSeeds []int64
+}
+
+// EventsPerSec is the sweep's throughput (scheduler events per wall second).
+func (e ExploreReport) EventsPerSec() float64 {
+	if e.Elapsed <= 0 {
+		return 0
+	}
+	return float64(e.Events) / e.Elapsed.Seconds()
+}
+
+// String summarizes the sweep.
+func (e ExploreReport) String() string {
+	return fmt.Sprintf("seeds=%d failures=%d distinct=%d events=%d delivered=%d elapsed=%s events/sec=%.0f",
+		e.Seeds, e.Failures, e.DistinctDigests, e.Events, e.Delivered,
+		e.Elapsed.Round(time.Millisecond), e.EventsPerSec())
+}
+
+// Explore sweeps seeds cfg.Seed, cfg.Seed+1, …, cfg.Seed+seeds-1, running
+// one full simulation per seed. onResult, when non-nil, sees every run as it
+// finishes (progress reporting, failure collection). Exploration does not
+// stop at the first failure: the report counts them all.
+func Explore(cfg Config, seeds int, onResult func(seed int64, res *Result)) (ExploreReport, error) {
+	start := time.Now()
+	report := ExploreReport{Seeds: seeds}
+	digests := make(map[string]struct{})
+	for i := 0; i < seeds; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		res, err := Run(c)
+		if err != nil {
+			return report, err
+		}
+		digests[res.Digest] = struct{}{}
+		report.Events += len(res.Events)
+		report.Delivered += res.Delivered
+		if res.Failed() {
+			report.Failures++
+			report.FailedSeeds = append(report.FailedSeeds, c.Seed)
+			if report.FirstFailure == nil {
+				report.FirstFailure = res
+			}
+		}
+		if onResult != nil {
+			onResult(c.Seed, res)
+		}
+	}
+	report.DistinctDigests = len(digests)
+	report.Elapsed = time.Since(start)
+	return report, nil
+}

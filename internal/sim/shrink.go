@@ -1,0 +1,89 @@
+package sim
+
+// Shrink minimizes a failing event sequence with delta debugging (ddmin):
+// it repeatedly replays subsequences and keeps the smallest one that still
+// trips the same oracle class as the original. The result is 1-minimal —
+// removing any single remaining chunk of the final granularity makes the
+// failure vanish — and, being a plain event list, writes straight into a
+// replayable schedule file.
+//
+// Replay skips events whose preconditions no longer hold, so arbitrary
+// subsequences stay legal: dropping an alloc simply voids the later events
+// that named its object.
+func Shrink(cfg Config, events []Event) []Event {
+	orig := Replay(cfg, events)
+	var fails func([]Event) bool
+	switch {
+	case len(orig.SafetyViolations) > 0:
+		// Shrink against safety specifically: tiny subsequences could fail
+		// completeness for unrelated reasons and hijack the search.
+		fails = func(sub []Event) bool {
+			return len(Replay(cfg, sub).SafetyViolations) > 0
+		}
+	case orig.Failed():
+		fails = func(sub []Event) bool { return Replay(cfg, sub).Failed() }
+	default:
+		// Not reproducible from the recorded events; nothing to shrink.
+		return events
+	}
+	// Iterate to a fixpoint: ddmin leaves a 1-minimal subsequence of the
+	// input, but replaying it may still skip events (their preconditions
+	// vanished with earlier removals). The applied subset is an equivalent,
+	// shorter schedule — minimize again from there until nothing shrinks.
+	for {
+		events = ddmin(events, fails)
+		applied := Replay(cfg, events)
+		if applied.Skipped == 0 || len(applied.Events) >= len(events) || !fails(applied.Events) {
+			return events
+		}
+		events = applied.Events
+	}
+}
+
+// ddmin is the classic Zeller/Hildebrandt delta-debugging minimization.
+func ddmin(events []Event, fails func([]Event) bool) []Event {
+	n := 2
+	for len(events) >= 2 {
+		chunk := len(events) / n
+		reduced := false
+		// Try each complement (the sequence minus one chunk).
+		for i := 0; i < n; i++ {
+			lo := i * chunk
+			hi := lo + chunk
+			if i == n-1 {
+				hi = len(events)
+			}
+			complement := make([]Event, 0, len(events)-(hi-lo))
+			complement = append(complement, events[:lo]...)
+			complement = append(complement, events[hi:]...)
+			if len(complement) > 0 && fails(complement) {
+				events = complement
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+		if n >= len(events) {
+			break
+		}
+		n = min(n*2, len(events))
+	}
+	return events
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

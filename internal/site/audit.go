@@ -18,6 +18,11 @@ type Audit struct {
 	Outrefs map[ids.Ref]struct{}
 	// InrefSources maps each inref to its source sites.
 	InrefSources map[ids.ObjID][]ids.SiteID
+	// GarbageFlagged lists local objects whose inref carries the garbage
+	// flag (a Garbage back-trace verdict awaiting the sweep). The safety
+	// oracle cross-checks these against global reachability: a flagged
+	// object that is globally live is a safety violation.
+	GarbageFlagged []ids.ObjID
 }
 
 // AuditSnapshot captures the site's state under the read lock, so auditors
@@ -42,6 +47,9 @@ func (s *Site) AuditSnapshot() Audit {
 	}
 	for _, in := range s.table.Inrefs() {
 		a.InrefSources[in.Obj] = in.SourceSites()
+		if in.Garbage {
+			a.GarbageFlagged = append(a.GarbageFlagged, in.Obj)
+		}
 	}
 	return a
 }

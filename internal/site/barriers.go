@@ -31,7 +31,7 @@ func (s *Site) handleRefTransfer(from ids.SiteID, m msg.RefTransfer) {
 
 	if o, ok := s.table.Outref(z); ok {
 		// Cases 2 and 3: an outref exists. If it is suspected, clean it.
-		if !o.IsClean(s.threshold) {
+		if !o.IsClean(s.threshold) && !s.cfg.SkipTransferBarrierUnsafe {
 			s.cleanOutref(z)
 		}
 		s.sendReleasePin(m.Pinner, z)
@@ -53,6 +53,19 @@ func (s *Site) handleRefTransfer(from ids.SiteID, m msg.RefTransfer) {
 // holder in the inref's source list, apply the transfer barrier to the
 // inref (Section 6.1.2, case 4), acknowledge the holder, and release the
 // original sender's pin.
+//
+// The pin is released only when the insert actually adds a new source.
+// Inserts are retransmitted at every local trace until acknowledged, so
+// the owner can legitimately see the same insert twice; the pin is a
+// counted retention, and a second release would not be absorbed — it
+// would eat into an unrelated hold on the same reference, such as the
+// sending mutator's own variable. (Found by the simulation model checker:
+// two commits at the holder before the owner drained its link queued a
+// retransmit behind the original, the double release destroyed the
+// allocating agent's app root, and the owner collected a live object.)
+// FIFO links make the source test sound: any Removal that could revive
+// "newness" for a later insert of the same holder is ordered after the
+// retransmits that precede it.
 func (s *Site) handleInsert(from ids.SiteID, m msg.Insert) {
 	if m.Target.Site != s.cfg.ID {
 		return // misrouted
@@ -60,14 +73,24 @@ func (s *Site) handleInsert(from ids.SiteID, m msg.Insert) {
 	if !s.heap.Contains(m.Target.Obj) {
 		// The object is gone: the reference was to garbage already
 		// collected (possible only if the sender's retention lapsed,
-		// e.g. after message loss). Nothing to record.
+		// e.g. after message loss). Nothing to record, but still
+		// acknowledge so the holder stops retransmitting — each
+		// retransmit would otherwise trigger another release below.
+		s.send(m.Holder, msg.InsertAck{Target: m.Target})
 		s.sendReleasePin(m.Pinner, m.Target)
 		return
+	}
+	isNewSource := true
+	if in, ok := s.table.Inref(m.Target.Obj); ok {
+		_, had := in.Sources[m.Holder]
+		isNewSource = !had
 	}
 	s.table.AddSource(m.Target.Obj, m.Holder)
 	s.applyTransferBarrierInref(m.Target.Obj)
 	s.send(m.Holder, msg.InsertAck{Target: m.Target})
-	s.sendReleasePin(m.Pinner, m.Target)
+	if isNewSource {
+		s.sendReleasePin(m.Pinner, m.Target)
+	}
 }
 
 // handleReleasePin releases the retention this site took when it sent the
@@ -107,15 +130,24 @@ func (s *Site) sendReleasePin(pinner ids.SiteID, target ids.Ref) {
 // between computation and commit, the application is recorded and replayed
 // against the new back information at commit (Section 6.2).
 func (s *Site) applyTransferBarrierInref(obj ids.ObjID) {
+	if s.cfg.SkipTransferBarrierUnsafe {
+		// Fault injection for the simulation model checker: pretend the
+		// implementation forgot the Section 6.1.1 barrier.
+		return
+	}
 	in, ok := s.table.Inref(obj)
 	if !ok || in.Garbage {
 		return
 	}
-	if in.IsClean(s.threshold) && !in.Barrier {
-		// Already clean by distance; outrefs in its outset are clean by
-		// the auxiliary invariant, so there is nothing to do.
-		return
-	}
+	// The barrier must be set even when the inref is currently clean by
+	// distance: distance cleanliness is revocable before the next local
+	// trace — a farewell Removal or a distance update from a source can
+	// raise the estimate past the threshold while the transferred
+	// reference sits only in a mutator variable the committed back
+	// information knows nothing about. (Found by the simulation model
+	// checker: a two-hop transfer whose intermediary discards its outref
+	// re-dirties the inref and a back trace flags the live target.) The
+	// barrier is cheap — the next local trace commit clears it.
 	in.Barrier = true
 	s.emit(event.Event{Kind: event.TransferBarrier, Obj: obj})
 	s.engine.NotifyCleanedInref(obj)

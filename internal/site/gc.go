@@ -59,7 +59,7 @@ func (s *Site) RunLocalTrace() TraceReport {
 func (s *Site) BeginLocalTrace() {
 	s.traceMu.Lock()
 	defer s.traceMu.Unlock()
-	s.localTraceT0 = time.Now()
+	s.localTraceT0 = s.clk.Now()
 
 	if s.cfg.LockedTrace {
 		s.mu.Lock()
@@ -146,7 +146,16 @@ func (s *Site) CommitLocalTrace() TraceReport {
 	s.cfg.Counters.Add(metrics.ObjectsCollected, int64(rep.Collected))
 
 	// 2. New outref distances. Transitions to clean fire the clean rule.
-	for target, dist := range res.OutrefDist {
+	// Sorted iteration keeps the clean-rule notifications (which can send
+	// messages) in a deterministic order — a requirement of the replayable
+	// simulation harness.
+	distTargets := make([]ids.Ref, 0, len(res.OutrefDist))
+	for target := range res.OutrefDist {
+		distTargets = append(distTargets, target)
+	}
+	sort.Slice(distTargets, func(i, j int) bool { return distTargets[i].Less(distTargets[j]) })
+	for _, target := range distTargets {
+		dist := res.OutrefDist[target]
 		o, ok := s.table.Outref(target)
 		if !ok {
 			continue
@@ -269,13 +278,19 @@ func (s *Site) CommitLocalTrace() TraceReport {
 		}
 	}
 
-	// 5b. Retransmit unacknowledged inserts for outrefs that still exist.
-	for target, ins := range s.pendingInserts {
+	// 5b. Retransmit unacknowledged inserts for outrefs that still exist,
+	// in sorted order so retransmission traffic replays deterministically.
+	insTargets := make([]ids.Ref, 0, len(s.pendingInserts))
+	for target := range s.pendingInserts {
+		insTargets = append(insTargets, target)
+	}
+	sort.Slice(insTargets, func(i, j int) bool { return insTargets[i].Less(insTargets[j]) })
+	for _, target := range insTargets {
 		if _, ok := s.table.Outref(target); !ok {
 			delete(s.pendingInserts, target)
 			continue
 		}
-		s.send(target.Site, ins)
+		s.send(target.Site, s.pendingInserts[target])
 	}
 
 	if rep.Collected > 0 {
@@ -293,7 +308,7 @@ func (s *Site) CommitLocalTrace() TraceReport {
 
 	// Close the local-trace span (begin through commit).
 	if !t0.IsZero() {
-		now := time.Now()
+		now := s.clk.Now()
 		s.histLocalDur.Observe(now.Sub(t0).Seconds())
 		s.emitSpan(obs.Span{
 			Kind:      obs.SpanLocalTrace,

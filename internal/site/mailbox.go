@@ -35,6 +35,7 @@ type mailbox struct {
 	queue    []inbound
 	busy     int // queued messages plus any message being dispatched
 	closed   bool
+	idle     chan struct{} // non-nil while a waiter needs a busy==0 signal
 	done     chan struct{} // closed when the dispatcher exits
 }
 
@@ -60,7 +61,7 @@ func (mb *mailbox) enqueue(from ids.SiteID, m msg.Message) {
 		mb.mu.Unlock()
 		return
 	}
-	mb.queue = append(mb.queue, inbound{from: from, m: m, at: time.Now()})
+	mb.queue = append(mb.queue, inbound{from: from, m: m, at: mb.s.clk.Now()})
 	mb.busy++
 	depth := len(mb.queue)
 	mb.notEmpty.Signal()
@@ -88,6 +89,7 @@ func (mb *mailbox) run() {
 			mb.busy -= len(mb.queue)
 			mb.queue = nil
 			mb.notFull.Broadcast()
+			mb.noteIdleLocked()
 			mb.mu.Unlock()
 			return
 		}
@@ -96,11 +98,21 @@ func (mb *mailbox) run() {
 		mb.notFull.Signal()
 		mb.mu.Unlock()
 
-		mb.s.deliverQueued(in.from, in.m, time.Since(in.at))
+		mb.s.deliverQueued(in.from, in.m, mb.s.clk.Now().Sub(in.at))
 
 		mb.mu.Lock()
 		mb.busy--
+		mb.noteIdleLocked()
 		mb.mu.Unlock()
+	}
+}
+
+// noteIdleLocked wakes any awaitIdle waiter once the last in-flight message
+// has been fully dispatched. Called with mb.mu held.
+func (mb *mailbox) noteIdleLocked() {
+	if mb.busy == 0 && mb.idle != nil {
+		close(mb.idle)
+		mb.idle = nil
 	}
 }
 
@@ -112,19 +124,36 @@ func (mb *mailbox) depth() int {
 	return mb.busy
 }
 
-// awaitIdle polls until depth reaches zero or the timeout elapses. Polling
-// (rather than a cond wait) mirrors transport quiescence checks and keeps
-// the dispatcher's hot path signal-free.
+// awaitIdle blocks until depth reaches zero or the timeout elapses. The
+// dispatcher closes the idle channel when the last in-flight message has
+// been applied, so waiters sleep instead of polling; the timeout runs on the
+// site clock, so virtual-time harnesses control it like every other timer.
 func (mb *mailbox) awaitIdle(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	clk := mb.s.clk
+	deadline := clk.Now().Add(timeout)
 	for {
-		if mb.depth() == 0 {
+		mb.mu.Lock()
+		if mb.busy == 0 {
+			mb.mu.Unlock()
 			return nil
 		}
-		if time.Now().After(deadline) {
-			return fmt.Errorf("site %v: inbox not idle after %v (depth %d)", mb.s.cfg.ID, timeout, mb.depth())
+		if mb.idle == nil {
+			mb.idle = make(chan struct{})
 		}
-		time.Sleep(50 * time.Microsecond)
+		idle := mb.idle
+		depth := mb.busy
+		mb.mu.Unlock()
+
+		remaining := deadline.Sub(clk.Now())
+		if remaining <= 0 {
+			return fmt.Errorf("site %v: inbox not idle after %v (depth %d)", mb.s.cfg.ID, timeout, depth)
+		}
+		select {
+		case <-idle:
+		case <-clk.After(remaining):
+			// Deadline reached; the next loop iteration reports the error
+			// (or success, if the inbox drained at the last instant).
+		}
 	}
 }
 

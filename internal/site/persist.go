@@ -74,7 +74,23 @@ type snapshotRec struct {
 	// replaying stale traffic into the new lifetime. Gob tolerates the
 	// field's absence in old checkpoints, so the version stays unchanged.
 	Incarnation uint64
+	// NextTrace is the back-trace sequence counter at checkpoint time.
+	// Restore seeds the new incarnation's counter past it (see
+	// traceSeqRestartSkip): trace ids must stay unique across incarnations
+	// because peers keep per-trace visit marks — a reissued id would make a
+	// fresh trace read the dead incarnation's marks as its own visits and
+	// flag live structures Garbage. Gob tolerates absence in old
+	// checkpoints.
+	NextTrace uint64
 }
+
+// traceSeqRestartSkip is how far past the checkpointed trace counter a
+// restored incarnation starts. A checkpoint can predate the crash (the
+// production Checkpoint API is periodic), so the dead incarnation may have
+// issued ids beyond the recorded counter; skipping a generous block keeps
+// the new incarnation out of any sequence range the old one could
+// plausibly have consumed.
+const traceSeqRestartSkip = 1 << 20
 
 // WriteCheckpoint serializes the site's durable state. It takes the site
 // read lock, so the checkpoint is a consistent cut of local state that
@@ -90,6 +106,7 @@ func (s *Site) WriteCheckpoint(w io.Writer) error {
 	if sn, ok := s.cfg.Network.(transport.SessionNetwork); ok {
 		rec.Incarnation = sn.Incarnation(s.cfg.ID)
 	}
+	rec.NextTrace = s.engine.TraceSeq()
 	for _, obj := range s.heap.Objects() {
 		o, _ := s.heap.Get(obj)
 		rec.Objects = append(rec.Objects, objectRec{
@@ -201,6 +218,9 @@ func Restore(cfg Config, r io.Reader) (*Site, error) {
 			s.threshold = rec.SuspThreshold
 			s.engine.SetThreshold(s.threshold)
 		}
+		// Keep trace ids unique across incarnations (Section 4.7's "unique
+		// id" must hold for the site's whole lifetime, crashes included).
+		s.engine.SeedTraceSeq(rec.NextTrace + traceSeqRestartSkip)
 		s.emit(event.Event{Kind: event.SiteRestored})
 		return nil
 	}(); err != nil {
@@ -235,6 +255,50 @@ func checkpointPeers(rec snapshotRec) []ids.SiteID {
 	}
 	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
 	return peers
+}
+
+// DecodeCheckpointAudit decodes a checkpoint into the Audit view of the
+// durable state it captured, without constructing a Site. The simulation's
+// safety oracle uses it to include crashed sites in global reachability:
+// a crashed site's persistent objects are still part of the store and its
+// checkpoint is exactly what a future recovery will resurrect.
+//
+// Volatile state is absent by construction: AppRoots is empty (mutator
+// variables die with the crash), and GarbageFlagged reflects the flags at
+// checkpoint time.
+func DecodeCheckpointAudit(r io.Reader) (ids.SiteID, Audit, error) {
+	var rec snapshotRec
+	if err := gob.NewDecoder(r).Decode(&rec); err != nil {
+		return ids.NoSite, Audit{}, fmt.Errorf("decode checkpoint audit: %w", err)
+	}
+	if rec.Version != snapshotVersion {
+		return ids.NoSite, Audit{}, fmt.Errorf("decode checkpoint audit: unsupported version %d", rec.Version)
+	}
+	a := Audit{
+		Objects:      make(map[ids.ObjID][]ids.Ref, len(rec.Objects)),
+		Outrefs:      make(map[ids.Ref]struct{}, len(rec.Outrefs)),
+		InrefSources: make(map[ids.ObjID][]ids.SiteID, len(rec.Inrefs)),
+	}
+	for _, o := range rec.Objects {
+		a.Objects[o.ID] = append([]ids.Ref(nil), o.Fields...)
+		if o.Root {
+			a.PersistentRoots = append(a.PersistentRoots, o.ID)
+		}
+	}
+	for _, orc := range rec.Outrefs {
+		a.Outrefs[orc.Target] = struct{}{}
+	}
+	for _, ir := range rec.Inrefs {
+		srcs := make([]ids.SiteID, 0, len(ir.Sources))
+		for _, src := range ir.Sources {
+			srcs = append(srcs, src.Site)
+		}
+		a.InrefSources[ir.Obj] = srcs
+		if ir.Garbage {
+			a.GarbageFlagged = append(a.GarbageFlagged, ir.Obj)
+		}
+	}
+	return rec.Site, a, nil
 }
 
 // RestoreFile is Restore reading from a checkpoint file.

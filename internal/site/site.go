@@ -38,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"backtrace/internal/clock"
 	"backtrace/internal/core"
 	"backtrace/internal/event"
 	"backtrace/internal/heap"
@@ -98,6 +99,17 @@ type Config struct {
 	// site lock (the pre-mailbox design). It exists as the baseline for
 	// the off-lock benchmarks; leave it false otherwise.
 	LockedTrace bool
+	// Clock supplies every timestamp the site takes: span start/end times,
+	// mailbox queue-delay accounting, and the engine's timeout deadlines.
+	// Nil means the wall clock; the deterministic simulation injects a
+	// virtual clock so the same schedule reproduces identical span trees.
+	Clock clock.Clock
+	// SkipTransferBarrierUnsafe disables the Section 6.1.1 transfer
+	// barrier. It exists ONLY as fault injection for the simulation model
+	// checker (internal/sim), which must demonstrate that a collector
+	// missing the barrier produces detectable safety violations. Never
+	// enable it outside that harness.
+	SkipTransferBarrierUnsafe bool
 	// Counters receives metrics; may be nil (a fresh set is created).
 	//
 	// Deprecated: Counters is the legacy stringly-named facade. Prefer
@@ -137,6 +149,9 @@ func (c Config) withDefaults() Config {
 // Site is one node of the distributed store.
 type Site struct {
 	cfg Config
+	// clk is Config.Clock with the wall-clock default applied; every
+	// timestamp the site takes goes through it.
+	clk clock.Clock
 
 	// traceMu serializes local-trace lifecycles (Begin through Commit) so
 	// at most one trace computation is in flight per site. It is always
@@ -234,6 +249,7 @@ func New(cfg Config) *Site {
 	cfg = cfg.withDefaults()
 	s := &Site{
 		cfg:            cfg,
+		clk:            clock.OrWall(cfg.Clock),
 		heap:           heap.New(cfg.ID),
 		table:          refs.NewTable(cfg.ID, cfg.BackThreshold),
 		back:           tracer.EmptyBackInfo(),
@@ -259,6 +275,7 @@ func New(cfg Config) *Site {
 		ThresholdBump: cfg.ThresholdBump,
 		CallTimeout:   cfg.CallTimeout,
 		ReportTimeout: cfg.ReportTimeout,
+		Now:           s.clk.Now,
 		Send:          s.send,
 		Table:         s.table,
 		Inset:         func(target ids.Ref) []ids.ObjID { return s.back.Inset(target) },
@@ -383,7 +400,7 @@ func (s *Site) emitSpan(sp obs.Span) {
 // onParticipantStart runs (with the lock held) when the engine first
 // engages this site in a back trace.
 func (s *Site) onParticipantStart(t ids.TraceID) {
-	s.partStart[t] = time.Now()
+	s.partStart[t] = s.clk.Now()
 }
 
 // onParticipantEnd runs (with the lock held) when the last activation
@@ -398,7 +415,7 @@ func (s *Site) onParticipantEnd(t ids.TraceID, hops int) {
 		Trace:     t,
 		Kind:      obs.SpanParticipant,
 		Start:     start,
-		End:       time.Now(),
+		End:       s.clk.Now(),
 		Hops:      hops,
 		QueueWait: wait,
 	})
@@ -424,7 +441,7 @@ func (s *Site) onTraceCompleted(t ids.TraceID, outcome msg.Verdict, participants
 	// and its outermost frame is still live here, so partStart[t] is the
 	// trace's start; the participant span itself closes just after this
 	// callback returns.
-	now := time.Now()
+	now := s.clk.Now()
 	start := s.partStart[t]
 	if start.IsZero() {
 		start = now
@@ -526,13 +543,13 @@ func (s *Site) deliverLocked(from ids.SiteID, m msg.Message) {
 		}
 		s.engine.HandleBackReply(from, mm)
 	case msg.Report:
-		t0 := time.Now()
+		t0 := s.clk.Now()
 		s.engine.HandleReport(from, mm)
 		s.emitSpan(obs.Span{
 			Trace:   mm.Trace,
 			Kind:    obs.SpanReport,
 			Start:   t0,
-			End:     time.Now(),
+			End:     s.clk.Now(),
 			Verdict: mm.Outcome,
 		})
 	case msg.Batch:

@@ -3,15 +3,21 @@ package transport
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
+	"backtrace/internal/clock"
 	"backtrace/internal/ids"
 	"backtrace/internal/msg"
 )
 
 // Options configures an in-memory network.
 type Options struct {
+	// Clock supplies timestamps for latency scheduling and quiesce
+	// deadlines. Nil means the wall clock; the deterministic simulation
+	// injects a virtual clock.
+	Clock clock.Clock
 	// Latency is the base one-way delivery delay. Zero means immediate.
 	Latency time.Duration
 	// Jitter adds a uniformly random extra delay in [0, Jitter) per
@@ -49,6 +55,7 @@ type Options struct {
 // workers and the test controls delivery.
 type Net struct {
 	opts Options
+	clk  clock.Clock
 
 	mu       sync.Mutex
 	handlers map[ids.SiteID]Handler
@@ -58,6 +65,7 @@ type Net struct {
 	rng      *rand.Rand
 	pending  []delivery // stepped mode only
 	inflight int
+	quiet    chan struct{} // non-nil while a Quiesce waits; closed at inflight==0
 	closed   bool
 }
 
@@ -78,6 +86,7 @@ func NewNet(opts Options) *Net {
 	}
 	n := &Net{
 		opts:     opts,
+		clk:      clock.OrWall(opts.Clock),
 		handlers: make(map[ids.SiteID]Handler),
 		workers:  make(map[ids.SiteID]*memWorker),
 		crashed:  make(map[ids.SiteID]bool),
@@ -139,7 +148,7 @@ func (n *Net) Send(from, to ids.SiteID, m msg.Message) {
 	}
 	dup := n.opts.DupProb > 0 && n.rng.Float64() < n.opts.DupProb
 	swap := n.opts.ReorderProb > 0 && n.rng.Float64() < n.opts.ReorderProb
-	d := delivery{env: env, ready: time.Now().Add(n.opts.Latency + extra), swap: swap}
+	d := delivery{env: env, ready: n.clk.Now().Add(n.opts.Latency + extra), swap: swap}
 	n.inflight++
 	if dup {
 		n.inflight++
@@ -179,7 +188,17 @@ func (n *Net) insertPending(d delivery) {
 func (n *Net) finishDelivery() {
 	n.mu.Lock()
 	n.inflight--
+	n.noteQuietLocked()
 	n.mu.Unlock()
+}
+
+// noteQuietLocked wakes a pending Quiesce once nothing is in flight. The
+// caller holds n.mu.
+func (n *Net) noteQuietLocked() {
+	if n.inflight == 0 && n.quiet != nil {
+		close(n.quiet)
+		n.quiet = nil
+	}
 }
 
 // dispatch invokes the destination handler for one delivery and accounts
@@ -250,21 +269,32 @@ func (n *Net) Heal(a, b ids.SiteID) {
 // Quiesce blocks until no messages are in flight or queued, or until the
 // timeout elapses. It returns an error on timeout. Quiesce is only
 // meaningful in asynchronous mode; in stepped mode use DeliverAll.
+//
+// The wait is event-driven: delivery completion signals a waiter channel
+// (no polling), and the timeout comes from the injected Clock, so a virtual
+// clock can expire it deterministically.
 func (n *Net) Quiesce(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for {
-		n.mu.Lock()
-		in := n.inflight
-		closed := n.closed
-		n.mu.Unlock()
-		if in == 0 || closed {
-			return nil
+	deadline := n.clk.Now().Add(timeout)
+	n.mu.Lock()
+	for n.inflight > 0 && !n.closed {
+		if n.quiet == nil {
+			n.quiet = make(chan struct{})
 		}
-		if time.Now().After(deadline) {
+		quiet := n.quiet
+		in := n.inflight
+		n.mu.Unlock()
+		remaining := deadline.Sub(n.clk.Now())
+		if remaining <= 0 {
 			return fmt.Errorf("network quiesce: %d messages still in flight after %v", in, timeout)
 		}
-		time.Sleep(200 * time.Microsecond)
+		select {
+		case <-quiet:
+		case <-n.clk.After(remaining):
+		}
+		n.mu.Lock()
 	}
+	n.mu.Unlock()
+	return nil
 }
 
 // Close implements Network. It stops delivery workers; queued messages are
@@ -278,6 +308,7 @@ func (n *Net) Close() {
 	n.closed = true
 	n.inflight = 0
 	n.pending = nil
+	n.noteQuietLocked()
 	workers := make([]*memWorker, 0, len(n.workers))
 	for _, w := range n.workers {
 		workers = append(workers, w)
@@ -397,7 +428,102 @@ func (n *Net) DropMatching(pred func(msg.Envelope) bool) int {
 		kept = append(kept, d)
 	}
 	n.pending = kept
+	n.noteQuietLocked()
 	return count
+}
+
+// PendingLinks returns the distinct (from, to) pairs that currently have
+// pending messages in stepped mode, sorted by (from, to). The simulation
+// scheduler enumerates them to pick a link whose head to deliver, which
+// explores every cross-link interleaving while preserving the per-link FIFO
+// order the protocol assumes (R1).
+func (n *Net) PendingLinks() [][2]ids.SiteID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	seen := make(map[[2]ids.SiteID]struct{})
+	out := make([][2]ids.SiteID, 0, 8)
+	for _, d := range n.pending {
+		key := [2]ids.SiteID{d.env.From, d.env.To}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, key)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// linkHeadLocked returns the index of the oldest pending message on the
+// (from, to) link, or -1. Caller holds n.mu.
+func (n *Net) linkHeadLocked(from, to ids.SiteID) int {
+	for i, d := range n.pending {
+		if d.env.From == from && d.env.To == to {
+			return i
+		}
+	}
+	return -1
+}
+
+// DeliverLinkHead delivers the oldest pending message on the (from, to)
+// link synchronously, preserving that link's FIFO order. It reports whether
+// such a message existed.
+func (n *Net) DeliverLinkHead(from, to ids.SiteID) bool {
+	n.mu.Lock()
+	i := n.linkHeadLocked(from, to)
+	if i < 0 {
+		n.mu.Unlock()
+		return false
+	}
+	d := n.pending[i]
+	n.pending = append(n.pending[:i], n.pending[i+1:]...)
+	n.mu.Unlock()
+	n.dispatch(d)
+	return true
+}
+
+// DropLinkHead discards the oldest pending message on the (from, to) link —
+// targeted loss injection for the simulation's fault schedules. It reports
+// whether a message was dropped.
+func (n *Net) DropLinkHead(from, to ids.SiteID) bool {
+	n.mu.Lock()
+	i := n.linkHeadLocked(from, to)
+	if i < 0 {
+		n.mu.Unlock()
+		return false
+	}
+	env := n.pending[i].env
+	n.pending = append(n.pending[:i], n.pending[i+1:]...)
+	n.inflight--
+	n.noteQuietLocked()
+	obs := n.opts.Observer
+	n.mu.Unlock()
+	if obs != nil {
+		// Count the injected loss like any other drop.
+		obs(env, true)
+	}
+	return true
+}
+
+// DupLinkHead appends a duplicate of the oldest pending message on the
+// (from, to) link to the back of the pending queue — duplication injection
+// for the simulation's fault schedules. It reports whether a message was
+// duplicated.
+func (n *Net) DupLinkHead(from, to ids.SiteID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	i := n.linkHeadLocked(from, to)
+	if i < 0 {
+		return false
+	}
+	n.pending = append(n.pending, delivery{env: n.pending[i].env, ready: n.pending[i].ready})
+	n.inflight++
+	return true
 }
 
 // --- asynchronous delivery worker --------------------------------------
@@ -459,8 +585,8 @@ func (w *memWorker) run() {
 		w.queue = w.queue[1:]
 		w.mu.Unlock()
 
-		if wait := time.Until(d.ready); wait > 0 {
-			time.Sleep(wait)
+		if wait := d.ready.Sub(w.net.clk.Now()); wait > 0 {
+			w.net.clk.Sleep(wait)
 		}
 		w.net.dispatch(d)
 	}

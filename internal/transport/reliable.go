@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"backtrace/internal/clock"
 	"backtrace/internal/ids"
 	"backtrace/internal/metrics"
 	"backtrace/internal/msg"
@@ -60,6 +61,9 @@ type ReliableOptions struct {
 	// Defaults to 1. After a crash, pass the persisted incarnation + 1 via
 	// NotifyRestart instead.
 	Epoch uint64
+	// Clock supplies retransmission deadlines and the scan cadence. Nil
+	// means the wall clock.
+	Clock clock.Clock
 	// Counters, if non-nil, receives the link.* metrics.
 	Counters *metrics.Counters
 	// Observer, if non-nil, is called once per logical Send (not per
@@ -148,6 +152,7 @@ type recvLink struct {
 type Reliable struct {
 	inner Network
 	opts  ReliableOptions
+	clk   clock.Clock
 
 	mu          sync.Mutex
 	incarnation map[ids.SiteID]uint64
@@ -155,6 +160,8 @@ type Reliable struct {
 	recvs       map[linkKey]*recvLink
 	handlers    map[ids.SiteID]Handler
 	rng         *rand.Rand
+	outstanding int           // frames in flight or queued across all links
+	idle        chan struct{} // non-nil while an AwaitIdle waits; closed at zero
 	closed      bool
 
 	done chan struct{}
@@ -174,6 +181,7 @@ func NewReliable(inner Network, opts ReliableOptions) *Reliable {
 	r := &Reliable{
 		inner:       inner,
 		opts:        opts,
+		clk:         clock.OrWall(opts.Clock),
 		incarnation: make(map[ids.SiteID]uint64),
 		sends:       make(map[linkKey]*sendLink),
 		recvs:       make(map[linkKey]*recvLink),
@@ -215,13 +223,14 @@ func (r *Reliable) Send(from, to ids.SiteID, m msg.Message) {
 		return
 	}
 	sl := r.sendLinkLocked(from, to)
+	r.outstanding++
 	var frame msg.Message
 	if len(sl.inflight) < r.opts.Window {
 		seq := sl.nextSeq
 		sl.nextSeq++
 		sl.inflight = append(sl.inflight, linkFrame{seq: seq, m: m})
 		if len(sl.inflight) == 1 {
-			r.armLocked(sl, time.Now())
+			r.armLocked(sl, r.clk.Now())
 		}
 		frame = msg.LinkData{Epoch: sl.epoch, Seq: seq, Payload: m}
 	} else {
@@ -243,10 +252,23 @@ func (r *Reliable) Close() {
 		return
 	}
 	r.closed = true
+	if r.idle != nil {
+		close(r.idle) // wake any AwaitIdle so it can observe the close
+		r.idle = nil
+	}
 	r.mu.Unlock()
 	close(r.done)
 	r.wg.Wait()
 	r.inner.Close()
+}
+
+// noteIdleLocked wakes a pending AwaitIdle once nothing is outstanding. The
+// caller holds r.mu.
+func (r *Reliable) noteIdleLocked() {
+	if r.outstanding == 0 && r.idle != nil {
+		close(r.idle)
+		r.idle = nil
+	}
 }
 
 // Incarnation implements SessionNetwork.
@@ -296,25 +318,31 @@ func (r *Reliable) NotifyRestart(site ids.SiteID, incarnation uint64, peers []id
 }
 
 // AwaitIdle blocks until every send link has no in-flight or queued frames
-// (everything sent has been acknowledged), or the timeout elapses.
+// (everything sent has been acknowledged), or the timeout elapses. The wait
+// is event-driven — ack processing signals a waiter channel when the last
+// outstanding frame drains — and the timeout comes from the injected Clock.
 func (r *Reliable) AwaitIdle(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for {
-		r.mu.Lock()
-		n := 0
-		for _, sl := range r.sends {
-			n += len(sl.inflight) + len(sl.pending)
+	deadline := r.clk.Now().Add(timeout)
+	r.mu.Lock()
+	for r.outstanding > 0 && !r.closed {
+		if r.idle == nil {
+			r.idle = make(chan struct{})
 		}
-		closed := r.closed
+		idle := r.idle
+		n := r.outstanding
 		r.mu.Unlock()
-		if n == 0 || closed {
-			return nil
-		}
-		if time.Now().After(deadline) {
+		remaining := deadline.Sub(r.clk.Now())
+		if remaining <= 0 {
 			return fmt.Errorf("reliable: %d frames unacknowledged after %v", n, timeout)
 		}
-		time.Sleep(500 * time.Microsecond)
+		select {
+		case <-idle:
+		case <-r.clk.After(remaining):
+		}
+		r.mu.Lock()
 	}
+	r.mu.Unlock()
+	return nil
 }
 
 // --- internals ----------------------------------------------------------
@@ -351,6 +379,8 @@ func (r *Reliable) sendLinkLocked(from, to ids.SiteID) *sendLink {
 func (r *Reliable) resetSendLinkLocked(sl *sendLink, epoch uint64) {
 	if n := len(sl.inflight) + len(sl.pending); n > 0 {
 		r.count(metrics.LinkResetDropped, int64(n))
+		r.outstanding -= n
+		r.noteIdleLocked()
 	}
 	if epoch <= sl.epoch {
 		epoch = sl.epoch + 1
@@ -504,9 +534,11 @@ func (r *Reliable) receiveAck(self, from ids.SiteID, a msg.LinkAck) {
 	progressed := false
 	for len(sl.inflight) > 0 && sl.inflight[0].seq <= a.Cum {
 		sl.inflight = sl.inflight[1:]
+		r.outstanding--
 		progressed = true
 	}
 	if progressed {
+		r.noteIdleLocked()
 		for len(sl.pending) > 0 && len(sl.inflight) < r.opts.Window {
 			m := sl.pending[0]
 			sl.pending = sl.pending[1:]
@@ -516,7 +548,7 @@ func (r *Reliable) receiveAck(self, from ids.SiteID, a msg.LinkAck) {
 			out = append(out, msg.LinkData{Epoch: sl.epoch, Seq: seq, Payload: m})
 		}
 		if len(sl.inflight) > 0 {
-			r.armLocked(sl, time.Now())
+			r.armLocked(sl, r.clk.Now())
 		}
 	}
 	r.mu.Unlock()
@@ -554,15 +586,13 @@ func (r *Reliable) receiveReset(self, from ids.SiteID, lr msg.LinkReset) {
 // ones that made it) and the link's backoff doubles up to the cap.
 func (r *Reliable) retransmitLoop() {
 	defer r.wg.Done()
-	t := time.NewTicker(r.opts.Tick)
-	defer t.Stop()
 	for {
 		select {
 		case <-r.done:
 			return
-		case <-t.C:
+		case <-r.clk.After(r.opts.Tick):
 		}
-		r.retransmitDue(time.Now())
+		r.retransmitDue(r.clk.Now())
 	}
 }
 
