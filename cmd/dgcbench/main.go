@@ -14,6 +14,11 @@
 //	dgcbench -exp overlap       # C9: concurrent back traces on one cycle
 //	dgcbench -exp telemetry     # C13: 2E+P re-verified via the typed registry
 //	dgcbench -exp hypertext     # intro workload end to end
+//	dgcbench -exp trace         # C15: incremental local tracing cost
+//
+// -json FILE additionally writes the tables as JSON to FILE; -check (with
+// -exp trace or all) exits nonzero if the idle-heap incremental trace is more
+// than 10% slower than the full trace.
 package main
 
 import (
@@ -28,9 +33,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, messages, distance, insets, space, threshold, timeline, locality, baselines, overlap, telemetry, hypertext)")
+	exp := flag.String("exp", "all", "experiment to run (all, messages, distance, insets, space, threshold, timeline, locality, baselines, overlap, telemetry, hypertext, trace)")
 	scale := flag.Int("scale", 20, "size multiplier for the inset experiment")
 	format := flag.String("format", "text", "output format: text or json")
+	jsonOut := flag.String("json", "", "also write the tables as JSON to this file")
+	check := flag.Bool("check", false, "with -exp trace: fail if incremental idle tracing regresses past full by >10%")
 	flag.Parse()
 
 	var err error
@@ -38,14 +45,40 @@ func main() {
 		err = fmt.Errorf("unknown format %q", *format)
 	} else {
 		var tables []*experiments.Table
-		if tables, err = run(*exp, *scale); err == nil {
+		var traceRows []experiments.IncrementalRow
+		if tables, traceRows, err = run(*exp, *scale); err == nil {
 			err = render(os.Stdout, *format, tables)
+		}
+		if err == nil && *jsonOut != "" {
+			err = writeJSON(*jsonOut, tables)
+		}
+		if err == nil && *check {
+			if traceRows == nil {
+				err = fmt.Errorf("-check requires the trace experiment (-exp trace or -exp all)")
+			} else {
+				err = experiments.CheckIncremental(traceRows)
+			}
 		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dgcbench:", err)
 		os.Exit(1)
 	}
+}
+
+// writeJSON writes the tables as indented JSON to path.
+func writeJSON(path string, tables []*experiments.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tables); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // render writes the collected tables in the chosen format.
@@ -65,10 +98,11 @@ func render(w io.Writer, format string, tables []*experiments.Table) error {
 	}
 }
 
-func run(exp string, scale int) ([]*experiments.Table, error) {
+func run(exp string, scale int) ([]*experiments.Table, []experiments.IncrementalRow, error) {
 	all := exp == "all"
 	ran := false
 	var tables []*experiments.Table
+	var traceRows []experiments.IncrementalRow
 
 	if all || exp == "messages" {
 		ran = true
@@ -79,7 +113,7 @@ func run(exp string, scale int) ([]*experiments.Table, error) {
 		}
 		rows, err := experiments.MessagesPerTrace(specs)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		tables = append(tables, experiments.MessagesTable(rows))
 	}
@@ -104,7 +138,7 @@ func run(exp string, scale int) ([]*experiments.Table, error) {
 		}
 		rows, err := experiments.SpaceBound(specs)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		tables = append(tables, experiments.SpaceTable(rows))
 	}
@@ -119,7 +153,7 @@ func run(exp string, scale int) ([]*experiments.Table, error) {
 		ran = true
 		rows, err := experiments.LocalityUnderCrash(25)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		tables = append(tables, experiments.LocalityTable(rows))
 	}
@@ -129,7 +163,7 @@ func run(exp string, scale int) ([]*experiments.Table, error) {
 		for _, cfg := range [][2]int{{2, 2}, {4, 2}, {8, 2}} {
 			rows, err := experiments.CompareCollectors(cfg[0], cfg[1])
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			tables = append(tables, experiments.CompareTable(cfg[0], cfg[1], rows))
 		}
@@ -153,7 +187,7 @@ func run(exp string, scale int) ([]*experiments.Table, error) {
 		for _, sites := range []int{3, 6, 12} {
 			row, err := experiments.TelemetryComplexity(sites)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			rows = append(rows, row)
 		}
@@ -166,15 +200,25 @@ func run(exp string, scale int) ([]*experiments.Table, error) {
 		for _, docs := range []int{6, 12, 24} {
 			row, err := experiments.Hypertext(docs, 6, 42)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			rows = append(rows, row)
 		}
 		tables = append(tables, experiments.HypertextTable(rows))
 	}
 
-	if !ran {
-		return nil, fmt.Errorf("unknown experiment %q", exp)
+	if all || exp == "trace" {
+		ran = true
+		rows, err := experiments.IncrementalTrace(20000, 200, 20)
+		if err != nil {
+			return nil, nil, err
+		}
+		traceRows = rows
+		tables = append(tables, experiments.IncrementalTable(rows))
 	}
-	return tables, nil
+
+	if !ran {
+		return nil, nil, fmt.Errorf("unknown experiment %q", exp)
+	}
+	return tables, traceRows, nil
 }

@@ -46,6 +46,7 @@ func main() {
 		drop     = flag.Float64("drop", 0, "message drop probability")
 		algo     = flag.String("outsets", "bottom-up", "outset algorithm: bottom-up or independent")
 		parallel = flag.Bool("parallel", false, "run sites on goroutines with mailbox executors (disables stepped determinism)")
+		incr     = flag.Bool("incremental", false, "incremental local tracing: dirty-set remark over copy-on-write snapshots")
 		verbose  = flag.Bool("v", false, "per-round progress")
 		events   = flag.Int("events", 0, "print the last N collector events")
 		dotPath  = flag.String("dot", "", "write a Graphviz DOT snapshot of the final state to this file")
@@ -70,6 +71,7 @@ func main() {
 			Sites:               *simSites,
 			Faults:              *faults,
 			SkipTransferBarrier: *skipBarrier,
+			Incremental:         *incr,
 		}
 		var err error
 		if *replay != "" {
@@ -84,14 +86,14 @@ func main() {
 	}
 
 	if err := run(*kind, *sites, *objects, *docs, *seed, *rounds, *thresh, *backT,
-		*latency, *jitter, *drop, *algo, *parallel, *verbose, *events, *dotPath, *traceOut); err != nil {
+		*latency, *jitter, *drop, *algo, *parallel, *incr, *verbose, *events, *dotPath, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "dgcsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(kind string, sites, objects, docs int, seed int64, rounds, thresh, backT int,
-	latency, jitter time.Duration, drop float64, algoName string, parallel, verbose bool,
+	latency, jitter time.Duration, drop float64, algoName string, parallel, incremental, verbose bool,
 	eventTail int, dotPath, traceOut string) error {
 
 	var spec workload.Spec
@@ -133,6 +135,7 @@ func run(kind string, sites, objects, docs int, seed int64, rounds, thresh, back
 		OutsetAlgorithm:    algo,
 		AutoBackTrace:      true,
 		Parallel:           parallel,
+		Incremental:        incremental,
 		Latency:            latency,
 		Jitter:             jitter,
 		// Loss is enabled only after the workload is built: the build

@@ -60,6 +60,13 @@ type Options struct {
 	// (site.Config.LockedTrace) — the baseline the off-lock benchmarks
 	// compare against.
 	LockedTrace bool
+	// Incremental enables incremental local tracing on every site
+	// (site.Config.Incremental): write-barrier-maintained dirty deltas,
+	// copy-on-write trace snapshots, and dirty-set remarks.
+	Incremental bool
+	// MaxDirtyRatio tunes the incremental tracer's full-trace fallback
+	// (site.Config.MaxDirtyRatio); zero means the tracer default.
+	MaxDirtyRatio float64
 	// SuspicionThreshold, BackThreshold, ThresholdBump, OutsetAlgorithm,
 	// AutoBackTrace, AdaptiveThreshold, CallTimeout, ReportTimeout are
 	// passed to every site; zero values take the site defaults.
@@ -175,6 +182,8 @@ func New(opts Options) *Cluster {
 			Piggyback:                 opts.Piggyback,
 			InboxSize:                 opts.InboxSize,
 			LockedTrace:               opts.LockedTrace,
+			Incremental:               opts.Incremental,
+			MaxDirtyRatio:             opts.MaxDirtyRatio,
 			Clock:                     opts.Clock,
 			SkipTransferBarrierUnsafe: opts.SkipTransferBarrierUnsafe,
 			Counters:                  counters,

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"backtrace/internal/ids"
+)
+
+// TestIncrementalMatchesFull collects the same workload with full-snapshot
+// and incremental tracing, serial and parallel drivers: identical collection
+// outcome, no invariant violations.
+func TestIncrementalMatchesFull(t *testing.T) {
+	for _, incremental := range []bool{false, true} {
+		for _, parallel := range []bool{false, true} {
+			opts := defaultOpts(4)
+			opts.Incremental = incremental
+			opts.Parallel = parallel
+			c := New(opts)
+
+			root := c.Site(1).NewRootObject()
+			prev := root
+			for i := 2; i <= 4; i++ {
+				n := c.Site(ids.SiteID(i)).NewObject()
+				c.MustLink(prev, n)
+				prev = n
+			}
+			ring := c.BuildRing()
+
+			rounds, collected := c.CollectUntilStable(40)
+			if g := c.GarbageCount(); g != 0 {
+				t.Fatalf("incremental=%v parallel=%v: %d garbage objects remain after %d rounds",
+					incremental, parallel, g, rounds)
+			}
+			if collected != len(ring) {
+				t.Fatalf("incremental=%v parallel=%v: collected %d, want %d",
+					incremental, parallel, collected, len(ring))
+			}
+			if !c.Site(1).ContainsObject(root.Obj) || !c.Site(4).ContainsObject(prev.Obj) {
+				t.Fatalf("incremental=%v parallel=%v: live chain was collected", incremental, parallel)
+			}
+			if got := c.InvariantViolations(); len(got) != 0 {
+				t.Fatalf("incremental=%v parallel=%v: invariants: %v", incremental, parallel, got)
+			}
+			c.Close()
+		}
+	}
+}
+
+// TestIncrementalConcurrentStress is TestConcurrentStress with incremental
+// tracing on: per-site mutators fire the write barrier from many goroutines
+// while split traces snapshot and commit, all under the race detector.
+func TestIncrementalConcurrentStress(t *testing.T) {
+	opts := defaultOpts(4)
+	opts.Parallel = true
+	opts.InboxSize = 8
+	opts.Incremental = true
+	runConcurrentStress(t, opts)
+}
+
+// TestFigure6InterleavingsIncremental replays the Figure 5/6 race schedules
+// with incremental tracing enabled: the dirty-set remark and its
+// write-barrier invalidation run while back traces are active, and the
+// safety/completeness oracles must still hold on every schedule.
+func TestFigure6InterleavingsIncremental(t *testing.T) {
+	const seeds = 30
+	for seed := int64(1); seed <= seeds; seed++ {
+		func() {
+			fx := buildFigure5(t, func(o *Options) { o.Incremental = true })
+			defer fx.c.Close()
+			rng := rand.New(rand.NewSource(seed))
+			q, r, s := fx.c.Site(2), fx.c.Site(3), fx.c.Site(4)
+
+			mutatorSteps := []func(){
+				func() { _ = s.Traverse(fx.e) },
+				func() { _ = r.Traverse(fx.f) },
+				func() { _ = q.AddReference(fx.y.Obj, fx.z) },
+				func() { _ = s.RemoveReference(fx.d.Obj, fx.e) },
+				func() { r.DropAppRoot(fx.e); q.DropAppRoot(fx.f) },
+			}
+			nextMutator := 0
+			tracesStarted := 0
+
+			for step := 0; step < 200; step++ {
+				switch rng.Intn(5) {
+				case 0:
+					n := fx.c.Net().PendingCount()
+					if n > 0 {
+						fx.c.Net().DeliverIndex(rng.Intn(n))
+					}
+				case 1:
+					if nextMutator < len(mutatorSteps) {
+						mutatorSteps[nextMutator]()
+						nextMutator++
+					}
+				case 2:
+					if tracesStarted < 3 {
+						site := fx.c.Site(ids.SiteID(1 + rng.Intn(4)))
+						for _, o := range site.Outrefs() {
+							if !o.Clean {
+								site.StartBackTrace(o.Target)
+								tracesStarted++
+								break
+							}
+						}
+					}
+				case 3:
+					fx.c.Site(ids.SiteID(1 + rng.Intn(4))).RunLocalTrace()
+				case 4:
+					// Split trace: mutations land between snapshot and
+					// commit, so the next snapshot's delta covers them.
+					site := fx.c.Site(ids.SiteID(1 + rng.Intn(4)))
+					site.BeginLocalTrace()
+					if n := fx.c.Net().PendingCount(); n > 0 && rng.Intn(2) == 0 {
+						fx.c.Net().DeliverIndex(rng.Intn(n))
+					}
+					site.CommitLocalTrace()
+				}
+			}
+			for ; nextMutator < len(mutatorSteps); nextMutator++ {
+				mutatorSteps[nextMutator]()
+			}
+			fx.c.Settle()
+			rounds, _ := fx.c.CollectUntilStable(50)
+
+			for _, ref := range fx.liveAfterMutation() {
+				if !fx.c.Site(ref.Site).ContainsObject(ref.Obj) {
+					t.Fatalf("seed %d: live object %v collected (after %d rounds)", seed, ref, rounds)
+				}
+			}
+			if g := fx.c.GarbageCount(); g != 0 {
+				t.Fatalf("seed %d: %d garbage objects not collected", seed, g)
+			}
+			if got := fx.c.InvariantViolations(); len(got) != 0 {
+				t.Fatalf("seed %d: invariants: %v", seed, got)
+			}
+		}()
+	}
+}

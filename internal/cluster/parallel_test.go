@@ -56,13 +56,19 @@ func TestParallelRoundMatchesSerial(t *testing.T) {
 // collected, all garbage is reclaimed, and the cross-site tables are
 // consistent.
 func TestConcurrentStress(t *testing.T) {
+	opts := defaultOpts(4)
+	opts.Parallel = true
+	opts.InboxSize = 8 // small inbox so backpressure paths run
+	runConcurrentStress(t, opts)
+}
+
+// runConcurrentStress is the body of TestConcurrentStress, shared with the
+// incremental-mode variant.
+func runConcurrentStress(t *testing.T, opts Options) {
 	const (
 		numSites = 4
 		duration = 400 * time.Millisecond
 	)
-	opts := defaultOpts(numSites)
-	opts.Parallel = true
-	opts.InboxSize = 8 // small inbox so backpressure paths run
 	c := New(opts)
 	defer c.Close()
 

@@ -26,11 +26,14 @@ type figure5 struct {
 	d          ids.Ref // site S (4)
 }
 
-func buildFigure5(t *testing.T) *figure5 {
+func buildFigure5(t *testing.T, mod ...func(*Options)) *figure5 {
 	t.Helper()
 	opts := defaultOpts(4)
 	opts.AutoBackTrace = false
 	opts.BackThreshold = 1 << 20 // traces started manually
+	for _, m := range mod {
+		m(&opts)
+	}
 	c := New(opts)
 
 	fx := &figure5{c: c}

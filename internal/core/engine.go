@@ -314,7 +314,7 @@ func (e *Engine) finishTraceLocally(t ids.TraceID, outcome msg.Verdict) {
 		in.ClearVisited(t)
 		if outcome == msg.VerdictGarbage {
 			if !in.Garbage {
-				in.Garbage = true
+				e.cfg.Table.FlagGarbage(obj)
 				e.count(metrics.InrefsFlagged)
 				if e.cfg.OnFlagged != nil {
 					e.cfg.OnFlagged(obj)

@@ -59,6 +59,82 @@ type Heap struct {
 	// roots (Section 6.3), and remote entries keep the corresponding
 	// outrefs live and clean.
 	appRoots map[ids.Ref]int
+
+	// --- incremental-trace write barrier (see TraceSnapshot) ---
+
+	// tracking, when true, makes every mutator operation record what it
+	// touched so TraceSnapshot can produce an O(dirty) snapshot and Delta
+	// instead of an O(heap) deep copy. Off by default: the bookkeeping is
+	// pure overhead for sites that run full traces.
+	tracking bool
+	// snap is the shadow copy maintained by TraceSnapshot: a second Heap
+	// that mirrors this one as of the last snapshot. It shares no Object
+	// structs with the live heap, so a local trace may read it off-lock
+	// while mutators keep writing here.
+	snap *Heap
+	// dirtyObjs names objects whose existence or fields may differ from
+	// snap (allocated, deleted, or field-mutated since the last snapshot).
+	dirtyObjs map[ids.ObjID]struct{}
+	// dirtyPersist names objects whose persistent-root status may have
+	// changed; dirtyAppRoots names references whose application-root
+	// holding status may have changed.
+	dirtyPersist  map[ids.ObjID]struct{}
+	dirtyAppRoots map[ids.Ref]struct{}
+}
+
+// Delta describes how the heap changed between two TraceSnapshot calls, in
+// the terms the incremental tracer consumes. Classification happens at
+// snapshot time by diffing against the shadow copy, so operations that
+// cancel out (an edge added and removed again, a variable taken and
+// dropped) produce no entries at all.
+//
+// FieldsAdded lists objects that only gained fields — a monotone change the
+// incremental remark handles by rescanning the object. FieldsRemoved lists
+// objects that lost at least one field — an invalidating change that forces
+// a full trace. Root transitions are split the same way; remote roots are
+// the mutator variables holding references owned elsewhere (they seed
+// outref distances rather than object marks).
+type Delta struct {
+	// Full marks the first snapshot (or one taken after tracking was
+	// enabled mid-life): no previous state to diff against, so the caller
+	// must run a full trace.
+	Full bool
+
+	FieldsAdded   []ids.ObjID
+	FieldsRemoved []ids.ObjID
+	Allocated     []ids.ObjID
+	Deleted       []ids.ObjID
+
+	LocalRootsAdded    []ids.ObjID
+	LocalRootsRemoved  []ids.ObjID
+	RemoteRootsAdded   []ids.Ref
+	RemoteRootsRemoved []ids.Ref
+}
+
+// Empty reports whether the delta records no change at all.
+func (d *Delta) Empty() bool {
+	return !d.Full &&
+		len(d.FieldsAdded) == 0 && len(d.FieldsRemoved) == 0 &&
+		len(d.Allocated) == 0 && len(d.Deleted) == 0 &&
+		len(d.LocalRootsAdded) == 0 && len(d.LocalRootsRemoved) == 0 &&
+		len(d.RemoteRootsAdded) == 0 && len(d.RemoteRootsRemoved) == 0
+}
+
+// Invalidating reports whether the delta contains a change that can revoke
+// reachability or raise a distance — the changes the monotone incremental
+// remark cannot absorb exactly.
+func (d *Delta) Invalidating() bool {
+	return len(d.FieldsRemoved) > 0 ||
+		len(d.LocalRootsRemoved) > 0 || len(d.RemoteRootsRemoved) > 0
+}
+
+// Size returns the number of changed entities, the quantity the dirty-ratio
+// fallback knob compares against the heap size.
+func (d *Delta) Size() int {
+	return len(d.FieldsAdded) + len(d.FieldsRemoved) +
+		len(d.Allocated) + len(d.Deleted) +
+		len(d.LocalRootsAdded) + len(d.LocalRootsRemoved) +
+		len(d.RemoteRootsAdded) + len(d.RemoteRootsRemoved)
 }
 
 // New creates an empty heap for the given site.
@@ -68,6 +144,37 @@ func New(site ids.SiteID) *Heap {
 		objects:         make(map[ids.ObjID]*Object),
 		persistentRoots: make(map[ids.ObjID]struct{}),
 		appRoots:        make(map[ids.Ref]int),
+	}
+}
+
+// EnableDeltaTracking turns on the write barrier that records dirty
+// objects and roots for TraceSnapshot. Sites configured for incremental
+// tracing call this once at construction.
+func (h *Heap) EnableDeltaTracking() {
+	if h.tracking {
+		return
+	}
+	h.tracking = true
+	h.dirtyObjs = make(map[ids.ObjID]struct{})
+	h.dirtyPersist = make(map[ids.ObjID]struct{})
+	h.dirtyAppRoots = make(map[ids.Ref]struct{})
+}
+
+func (h *Heap) touchObj(obj ids.ObjID) {
+	if h.tracking {
+		h.dirtyObjs[obj] = struct{}{}
+	}
+}
+
+func (h *Heap) touchPersist(obj ids.ObjID) {
+	if h.tracking {
+		h.dirtyPersist[obj] = struct{}{}
+	}
+}
+
+func (h *Heap) touchAppRoot(r ids.Ref) {
+	if h.tracking {
+		h.dirtyAppRoots[r] = struct{}{}
 	}
 }
 
@@ -86,6 +193,7 @@ func (h *Heap) AllocSized(size int) ids.Ref {
 	h.next++
 	o := &Object{id: h.next, size: size}
 	h.objects[h.next] = o
+	h.touchObj(h.next)
 	return ids.MakeRef(h.site, h.next)
 }
 
@@ -93,6 +201,7 @@ func (h *Heap) AllocSized(size int) ids.Ref {
 func (h *Heap) AllocRoot() ids.Ref {
 	r := h.Alloc()
 	h.persistentRoots[r.Obj] = struct{}{}
+	h.touchPersist(r.Obj)
 	return r
 }
 
@@ -103,12 +212,14 @@ func (h *Heap) MarkPersistentRoot(obj ids.ObjID) error {
 		return fmt.Errorf("heap %v: mark root: no object %v", h.site, obj)
 	}
 	h.persistentRoots[obj] = struct{}{}
+	h.touchPersist(obj)
 	return nil
 }
 
 // UnmarkPersistentRoot removes root status from a local object.
 func (h *Heap) UnmarkPersistentRoot(obj ids.ObjID) {
 	delete(h.persistentRoots, obj)
+	h.touchPersist(obj)
 }
 
 // IsPersistentRoot reports whether a local object is a persistent root.
@@ -157,6 +268,7 @@ func (h *Heap) AddField(obj ids.ObjID, target ids.Ref) error {
 		return fmt.Errorf("heap %v: add field: no object %v", h.site, obj)
 	}
 	o.fields = append(o.fields, target)
+	h.touchObj(obj)
 	return nil
 }
 
@@ -170,6 +282,7 @@ func (h *Heap) RemoveField(obj ids.ObjID, target ids.Ref) (bool, error) {
 	for i, f := range o.fields {
 		if f == target {
 			o.fields = append(o.fields[:i], o.fields[i+1:]...)
+			h.touchObj(obj)
 			return true, nil
 		}
 	}
@@ -183,6 +296,7 @@ func (h *Heap) ClearFields(obj ids.ObjID) error {
 		return fmt.Errorf("heap %v: clear fields: no object %v", h.site, obj)
 	}
 	o.fields = nil
+	h.touchObj(obj)
 	return nil
 }
 
@@ -191,6 +305,8 @@ func (h *Heap) ClearFields(obj ids.ObjID) error {
 func (h *Heap) Delete(obj ids.ObjID) {
 	delete(h.objects, obj)
 	delete(h.persistentRoots, obj)
+	h.touchObj(obj)
+	h.touchPersist(obj)
 }
 
 // Install recreates an object under a specific identifier (checkpoint
@@ -206,8 +322,10 @@ func (h *Heap) Install(id ids.ObjID, fields []ids.Ref, size int, root bool) erro
 	o.fields = make([]ids.Ref, len(fields))
 	copy(o.fields, fields)
 	h.objects[id] = o
+	h.touchObj(id)
 	if root {
 		h.persistentRoots[id] = struct{}{}
+		h.touchPersist(id)
 	}
 	if id > h.next {
 		h.next = id
@@ -243,6 +361,154 @@ func (h *Heap) Snapshot() *Heap {
 	return cp
 }
 
+// TraceSnapshot returns a read-only snapshot of the heap plus the Delta of
+// changes since the previous TraceSnapshot call. The first call (and any
+// call before EnableDeltaTracking) deep-copies the whole heap and returns a
+// Full delta; subsequent calls patch the retained shadow copy in O(dirty)
+// and diff each dirty entity against its shadow state, so an idle heap
+// snapshots in O(1) regardless of size.
+//
+// The returned heap is the shadow copy itself: it shares no Object structs
+// with the live heap (an off-lock trace may read it while mutators write
+// here), but it is patched in place by the NEXT TraceSnapshot call — the
+// caller must be done with it by then. The site's trace mutex provides
+// exactly that serialization.
+func (h *Heap) TraceSnapshot() (*Heap, *Delta) {
+	if !h.tracking {
+		h.EnableDeltaTracking()
+	}
+	if h.snap == nil {
+		h.snap = h.Snapshot()
+		clear(h.dirtyObjs)
+		clear(h.dirtyPersist)
+		clear(h.dirtyAppRoots)
+		return h.snap, &Delta{Full: true}
+	}
+	d := &Delta{}
+	snap := h.snap
+	for obj := range h.dirtyObjs {
+		liveO, liveOK := h.objects[obj]
+		snapO, snapOK := snap.objects[obj]
+		switch {
+		case liveOK && !snapOK:
+			fields := make([]ids.Ref, len(liveO.fields))
+			copy(fields, liveO.fields)
+			snap.objects[obj] = &Object{id: liveO.id, fields: fields, size: liveO.size}
+			d.Allocated = append(d.Allocated, obj)
+		case !liveOK && snapOK:
+			delete(snap.objects, obj)
+			d.Deleted = append(d.Deleted, obj)
+		case liveOK && snapOK:
+			added, removed := fieldDiff(snapO.fields, liveO.fields)
+			if added || removed {
+				fields := make([]ids.Ref, len(liveO.fields))
+				copy(fields, liveO.fields)
+				snapO.fields = fields
+				if removed {
+					d.FieldsRemoved = append(d.FieldsRemoved, obj)
+				} else {
+					d.FieldsAdded = append(d.FieldsAdded, obj)
+				}
+			}
+		}
+	}
+	for obj := range h.dirtyPersist {
+		_, liveRoot := h.persistentRoots[obj]
+		_, snapRoot := snap.persistentRoots[obj]
+		switch {
+		case liveRoot && !snapRoot:
+			snap.persistentRoots[obj] = struct{}{}
+			d.LocalRootsAdded = append(d.LocalRootsAdded, obj)
+		case !liveRoot && snapRoot:
+			delete(snap.persistentRoots, obj)
+			d.LocalRootsRemoved = append(d.LocalRootsRemoved, obj)
+		}
+	}
+	for r := range h.dirtyAppRoots {
+		liveN := h.appRoots[r]
+		snapN := snap.appRoots[r]
+		if liveN > 0 {
+			snap.appRoots[r] = liveN
+		} else {
+			delete(snap.appRoots, r)
+		}
+		held, was := liveN > 0, snapN > 0
+		switch {
+		case held && !was:
+			if r.Site == h.site {
+				d.LocalRootsAdded = append(d.LocalRootsAdded, r.Obj)
+			} else {
+				d.RemoteRootsAdded = append(d.RemoteRootsAdded, r)
+			}
+		case !held && was:
+			if r.Site == h.site {
+				d.LocalRootsRemoved = append(d.LocalRootsRemoved, r.Obj)
+			} else {
+				d.RemoteRootsRemoved = append(d.RemoteRootsRemoved, r)
+			}
+		}
+	}
+	snap.next = h.next
+	clear(h.dirtyObjs)
+	clear(h.dirtyPersist)
+	clear(h.dirtyAppRoots)
+	d.sort()
+	return snap, d
+}
+
+// ResetTraceSnapshot discards the shadow copy so the next TraceSnapshot is
+// Full. Used when a trace built on the snapshot lineage was abandoned (the
+// delta it consumed is gone) and after wholesale state replacement.
+func (h *Heap) ResetTraceSnapshot() {
+	h.snap = nil
+	if h.tracking {
+		clear(h.dirtyObjs)
+		clear(h.dirtyPersist)
+		clear(h.dirtyAppRoots)
+	}
+}
+
+func (d *Delta) sort() {
+	objs := func(s []ids.ObjID) {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	refs := func(s []ids.Ref) {
+		sort.Slice(s, func(i, j int) bool { return s[i].Less(s[j]) })
+	}
+	objs(d.FieldsAdded)
+	objs(d.FieldsRemoved)
+	objs(d.Allocated)
+	objs(d.Deleted)
+	objs(d.LocalRootsAdded)
+	objs(d.LocalRootsRemoved)
+	refs(d.RemoteRootsAdded)
+	refs(d.RemoteRootsRemoved)
+}
+
+// fieldDiff compares two field multisets: added reports a reference present
+// more times in new than old, removed the reverse. An edge added and then
+// removed again between snapshots reports neither.
+func fieldDiff(old, new []ids.Ref) (added, removed bool) {
+	if len(old) == 0 || len(new) == 0 {
+		return len(new) > len(old), len(old) > len(new)
+	}
+	counts := make(map[ids.Ref]int, len(old))
+	for _, f := range old {
+		counts[f]++
+	}
+	for _, f := range new {
+		counts[f]--
+	}
+	for _, n := range counts {
+		if n > 0 {
+			removed = true
+		} else if n < 0 {
+			added = true
+		}
+	}
+	return added, removed
+}
+
 // NextID returns the allocation high-water mark (for checkpointing).
 func (h *Heap) NextID() ids.ObjID { return h.next }
 
@@ -271,6 +537,7 @@ func (h *Heap) Adopt(fields []ids.Ref, size int) ids.Ref {
 // reference (local or remote). Multiple holds are counted.
 func (h *Heap) AddAppRoot(r ids.Ref) {
 	h.appRoots[r]++
+	h.touchAppRoot(r)
 }
 
 // RemoveAppRoot releases one mutator-variable hold on the reference. It
@@ -285,6 +552,7 @@ func (h *Heap) RemoveAppRoot(r ids.Ref) bool {
 	} else {
 		h.appRoots[r] = n - 1
 	}
+	h.touchAppRoot(r)
 	return true
 }
 

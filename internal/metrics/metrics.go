@@ -179,6 +179,21 @@ const (
 	InrefsFlagged       = "inrefs.flagged.garbage"
 )
 
+// Incremental-tracing counter names (site.Config.Incremental).
+const (
+	// IncrementalRemarks counts local traces that took the dirty-set remark
+	// path instead of a full forward mark.
+	IncrementalRemarks = "localtrace.incremental.remarks"
+	// IncrementalFallbacks counts incremental-mode traces that fell back to
+	// a full trace (first trace, invalidating mutation, dirty ratio, ...).
+	IncrementalFallbacks = "localtrace.incremental.fallbacks"
+	// IncrementalOutsetsReused counts remarks that carried the previous back
+	// information over verbatim instead of recomputing outsets.
+	IncrementalOutsetsReused = "localtrace.incremental.outsets_reused"
+	// IncrementalDirtySeeds totals the changed entities remarks relaxed from.
+	IncrementalDirtySeeds = "localtrace.incremental.dirty_seeds"
+)
+
 // Mailbox-executor counter names (site.Config.InboxSize > 0).
 const (
 	// MailboxEnqueued counts inbound messages accepted into a site inbox.

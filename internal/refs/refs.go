@@ -175,6 +175,64 @@ type Table struct {
 	// defaultBackThreshold initializes the BackThreshold of new iorefs
 	// (the paper's T2, Section 4.3).
 	defaultBackThreshold int
+
+	// sorted caches the Inrefs() ordering; it is invalidated only when
+	// table membership changes (insert or remove), not on distance or flag
+	// updates, so the per-trace suspected-inref scan stops re-sorting an
+	// unchanged table every round.
+	sorted      []*Inref
+	sortedValid bool
+
+	// --- incremental-trace write barrier (see TraceSnapshot) ---
+
+	tracking bool
+	snap     *Table
+	// dirtyIn names objects whose inref existence, source distances, or
+	// garbage flag may differ from snap; dirtyOut names targets whose
+	// outref existence may differ. Tracer-invisible fields (Barrier, Pins,
+	// outref Distance, BackThreshold, Visited) are not tracked.
+	dirtyIn  map[ids.ObjID]struct{}
+	dirtyOut map[ids.Ref]struct{}
+}
+
+// Delta describes how the tracer-visible table state changed between two
+// TraceSnapshot calls. Like heap.Delta, classification happens at snapshot
+// time against the shadow copy, so changes that cancel out produce no
+// entries.
+//
+// An inref is "improved" when its effective root distance decreased: a new
+// inref appeared, a source distance dropped, or the minimum over sources
+// fell. It is "worsened" when the distance rose, the inref vanished, or it
+// was flagged garbage — changes that can only be absorbed by a full trace.
+// Outref removals are likewise treated as invalidating (the missing-outref
+// check of a full trace could newly fire); additions only extend the
+// untraced scan and are monotone.
+type Delta struct {
+	Full bool
+
+	InrefsImproved []ids.ObjID
+	InrefsWorsened []ids.ObjID
+	OutrefsAdded   []ids.Ref
+	OutrefsRemoved []ids.Ref
+}
+
+// Empty reports whether the delta records no tracer-visible change.
+func (d *Delta) Empty() bool {
+	return !d.Full &&
+		len(d.InrefsImproved) == 0 && len(d.InrefsWorsened) == 0 &&
+		len(d.OutrefsAdded) == 0 && len(d.OutrefsRemoved) == 0
+}
+
+// Invalidating reports whether the delta contains a change the monotone
+// incremental remark cannot absorb exactly.
+func (d *Delta) Invalidating() bool {
+	return len(d.InrefsWorsened) > 0 || len(d.OutrefsRemoved) > 0
+}
+
+// Size returns the number of changed entries (for the dirty-ratio knob).
+func (d *Delta) Size() int {
+	return len(d.InrefsImproved) + len(d.InrefsWorsened) +
+		len(d.OutrefsAdded) + len(d.OutrefsRemoved)
 }
 
 // NewTable creates empty tables for a site. backThreshold is the initial
@@ -190,6 +248,30 @@ func NewTable(site ids.SiteID, backThreshold int) *Table {
 
 // Site returns the owning site.
 func (t *Table) Site() ids.SiteID { return t.site }
+
+// EnableDeltaTracking turns on the write barrier that records dirty
+// entries for TraceSnapshot. Sites configured for incremental tracing call
+// this once at construction.
+func (t *Table) EnableDeltaTracking() {
+	if t.tracking {
+		return
+	}
+	t.tracking = true
+	t.dirtyIn = make(map[ids.ObjID]struct{})
+	t.dirtyOut = make(map[ids.Ref]struct{})
+}
+
+func (t *Table) touchIn(obj ids.ObjID) {
+	if t.tracking {
+		t.dirtyIn[obj] = struct{}{}
+	}
+}
+
+func (t *Table) touchOut(target ids.Ref) {
+	if t.tracking {
+		t.dirtyOut[target] = struct{}{}
+	}
+}
 
 // --- inrefs --------------------------------------------------------------
 
@@ -209,6 +291,8 @@ func (t *Table) EnsureInref(obj ids.ObjID) *Inref {
 			BackThreshold: t.defaultBackThreshold,
 		}
 		t.inrefs[obj] = in
+		t.sortedValid = false
+		t.touchIn(obj)
 	}
 	return in
 }
@@ -220,6 +304,7 @@ func (t *Table) AddSource(obj ids.ObjID, src ids.SiteID) *Inref {
 	in := t.EnsureInref(obj)
 	if _, ok := in.Sources[src]; !ok {
 		in.Sources[src] = 1
+		t.touchIn(obj)
 	}
 	return in
 }
@@ -231,10 +316,11 @@ func (t *Table) SetSourceDistance(obj ids.ObjID, src ids.SiteID, dist int) {
 	if !ok {
 		return
 	}
-	if _, ok := in.Sources[src]; !ok {
+	if old, ok := in.Sources[src]; !ok || old == dist {
 		return
 	}
 	in.Sources[src] = dist
+	t.touchIn(obj)
 }
 
 // RemoveSource removes src from obj's source list (the sender trimmed its
@@ -246,9 +332,14 @@ func (t *Table) RemoveSource(obj ids.ObjID, src ids.SiteID) (removedInref bool) 
 	if !ok {
 		return false
 	}
-	delete(in.Sources, src)
+	if _, had := in.Sources[src]; had {
+		delete(in.Sources, src)
+		t.touchIn(obj)
+	}
 	if len(in.Sources) == 0 {
 		delete(t.inrefs, obj)
+		t.sortedValid = false
+		t.touchIn(obj)
 		return true
 	}
 	return false
@@ -256,17 +347,40 @@ func (t *Table) RemoveSource(obj ids.ObjID, src ids.SiteID) (removedInref bool) 
 
 // RemoveInref deletes an inref outright (collector cleanup).
 func (t *Table) RemoveInref(obj ids.ObjID) {
+	if _, ok := t.inrefs[obj]; !ok {
+		return
+	}
 	delete(t.inrefs, obj)
+	t.sortedValid = false
+	t.touchIn(obj)
 }
 
-// Inrefs returns all inrefs ordered by object identifier.
-func (t *Table) Inrefs() []*Inref {
-	out := make([]*Inref, 0, len(t.inrefs))
-	for _, in := range t.inrefs {
-		out = append(out, in)
+// FlagGarbage sets the inref's garbage flag (a back trace confirmed it
+// garbage in its report phase, Section 4.5). Routed through the table so
+// incremental tracing sees the root disappear.
+func (t *Table) FlagGarbage(obj ids.ObjID) {
+	in, ok := t.inrefs[obj]
+	if !ok || in.Garbage {
+		return
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Obj < out[j].Obj })
-	return out
+	in.Garbage = true
+	t.touchIn(obj)
+}
+
+// Inrefs returns all inrefs ordered by object identifier. The slice is a
+// cache owned by the table, rebuilt only when membership changed since the
+// last call: callers must not modify it, and it is valid until the next
+// insert or remove.
+func (t *Table) Inrefs() []*Inref {
+	if !t.sortedValid {
+		t.sorted = t.sorted[:0]
+		for _, in := range t.inrefs {
+			t.sorted = append(t.sorted, in)
+		}
+		sort.Slice(t.sorted, func(i, j int) bool { return t.sorted[i].Obj < t.sorted[j].Obj })
+		t.sortedValid = true
+	}
+	return t.sorted
 }
 
 // NumInrefs returns the number of inrefs.
@@ -307,13 +421,18 @@ func (t *Table) EnsureOutref(target ids.Ref) (o *Outref, created bool) {
 		}
 		t.outrefs[target] = o
 		created = true
+		t.touchOut(target)
 	}
 	return o, created
 }
 
 // RemoveOutref deletes an outref (trimmed after a local trace).
 func (t *Table) RemoveOutref(target ids.Ref) {
+	if _, ok := t.outrefs[target]; !ok {
+		return
+	}
 	delete(t.outrefs, target)
+	t.touchOut(target)
 }
 
 // Outrefs returns all outrefs ordered by target reference.
@@ -385,6 +504,115 @@ func (t *Table) Snapshot() *Table {
 		}
 	}
 	return cp
+}
+
+// TraceSnapshot returns a read-only snapshot of the tables plus the Delta
+// of tracer-visible changes since the previous TraceSnapshot call,
+// mirroring heap.TraceSnapshot: the first call deep-copies, later calls
+// patch the retained shadow copy in O(dirty). The snapshot is faithful only
+// for what the tracer reads — inref existence, source distances, garbage
+// flags, and outref existence; tracer-invisible fields (Barrier, Pins,
+// outref Distance) may be stale in patched entries. The returned table is
+// patched in place by the next call; the site's trace mutex serializes.
+func (t *Table) TraceSnapshot() (*Table, *Delta) {
+	if !t.tracking {
+		t.EnableDeltaTracking()
+	}
+	if t.snap == nil {
+		t.snap = t.Snapshot()
+		clear(t.dirtyIn)
+		clear(t.dirtyOut)
+		return t.snap, &Delta{Full: true}
+	}
+	d := &Delta{}
+	snap := t.snap
+	for obj := range t.dirtyIn {
+		liveIn, liveOK := t.inrefs[obj]
+		snapIn, snapOK := snap.inrefs[obj]
+		// An inref acts as a trace root iff it exists and is not flagged
+		// garbage; its root distance is the minimum over sources.
+		oldRoot := snapOK && !snapIn.Garbage
+		newRoot := liveOK && !liveIn.Garbage
+		oldDist := 0
+		if oldRoot {
+			oldDist = snapIn.Distance()
+		}
+		newDist := 0
+		if newRoot {
+			newDist = liveIn.Distance()
+		}
+		switch {
+		case newRoot && (!oldRoot || newDist < oldDist):
+			d.InrefsImproved = append(d.InrefsImproved, obj)
+		case oldRoot && (!newRoot || newDist > oldDist):
+			d.InrefsWorsened = append(d.InrefsWorsened, obj)
+		}
+		if liveOK {
+			srcs := make(map[ids.SiteID]int, len(liveIn.Sources))
+			for s, sd := range liveIn.Sources {
+				srcs[s] = sd
+			}
+			if snapOK {
+				// Patch the existing struct in place: the snapshot's sorted
+				// cache holds pointers, so replacing the struct would leave
+				// a stale entry behind without invalidating the cache.
+				snapIn.Sources = srcs
+				snapIn.Barrier = liveIn.Barrier
+				snapIn.Garbage = liveIn.Garbage
+				snapIn.BackThreshold = liveIn.BackThreshold
+			} else {
+				snap.inrefs[obj] = &Inref{
+					Obj:           liveIn.Obj,
+					Sources:       srcs,
+					Barrier:       liveIn.Barrier,
+					Garbage:       liveIn.Garbage,
+					BackThreshold: liveIn.BackThreshold,
+				}
+				snap.sortedValid = false
+			}
+		} else if snapOK {
+			delete(snap.inrefs, obj)
+			snap.sortedValid = false
+		}
+	}
+	for target := range t.dirtyOut {
+		liveO, liveOK := t.outrefs[target]
+		_, snapOK := snap.outrefs[target]
+		switch {
+		case liveOK && !snapOK:
+			d.OutrefsAdded = append(d.OutrefsAdded, target)
+		case !liveOK && snapOK:
+			d.OutrefsRemoved = append(d.OutrefsRemoved, target)
+		}
+		if liveOK {
+			snap.outrefs[target] = &Outref{
+				Target:        liveO.Target,
+				Distance:      liveO.Distance,
+				Pins:          liveO.Pins,
+				Barrier:       liveO.Barrier,
+				BackThreshold: liveO.BackThreshold,
+			}
+		} else {
+			delete(snap.outrefs, target)
+		}
+	}
+	clear(t.dirtyIn)
+	clear(t.dirtyOut)
+	sort.Slice(d.InrefsImproved, func(i, j int) bool { return d.InrefsImproved[i] < d.InrefsImproved[j] })
+	sort.Slice(d.InrefsWorsened, func(i, j int) bool { return d.InrefsWorsened[i] < d.InrefsWorsened[j] })
+	sort.Slice(d.OutrefsAdded, func(i, j int) bool { return d.OutrefsAdded[i].Less(d.OutrefsAdded[j]) })
+	sort.Slice(d.OutrefsRemoved, func(i, j int) bool { return d.OutrefsRemoved[i].Less(d.OutrefsRemoved[j]) })
+	return snap, d
+}
+
+// ResetTraceSnapshot discards the shadow copy so the next TraceSnapshot is
+// Full (used after an abandoned trace consumed the delta).
+func (t *Table) ResetTraceSnapshot() {
+	t.snap = nil
+	if t.tracking {
+		clear(t.dirtyIn)
+		clear(t.dirtyOut)
+	}
 }
 
 // ResetBarriers clears the transfer-barrier clean marks on every ioref;

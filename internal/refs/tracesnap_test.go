@@ -1,0 +1,193 @@
+package refs
+
+import (
+	"math/rand"
+	"testing"
+
+	"backtrace/internal/ids"
+)
+
+// TestInrefsSortedCache checks that Inrefs() returns a deterministic
+// ascending order, reuses its cache while membership is stable, and rebuilds
+// it on insert and remove.
+func TestInrefsSortedCache(t *testing.T) {
+	tbl := NewTable(1, 7)
+	for _, obj := range []ids.ObjID{30, 10, 20} {
+		tbl.AddSource(obj, 2)
+	}
+	first := tbl.Inrefs()
+	want := []ids.ObjID{10, 20, 30}
+	for i, in := range first {
+		if in.Obj != want[i] {
+			t.Fatalf("Inrefs()[%d].Obj = %v, want %v", i, in.Obj, want[i])
+		}
+	}
+
+	// Distance and flag updates must not rebuild (same backing array) and
+	// must keep the order.
+	tbl.SetSourceDistance(20, 2, 9)
+	tbl.FlagGarbage(30)
+	second := tbl.Inrefs()
+	if &first[0] != &second[0] {
+		t.Fatal("Inrefs() rebuilt its cache on a non-membership change")
+	}
+
+	// Insert invalidates and the new entry appears in order.
+	tbl.AddSource(15, 3)
+	third := tbl.Inrefs()
+	want = []ids.ObjID{10, 15, 20, 30}
+	if len(third) != len(want) {
+		t.Fatalf("after insert: %d inrefs, want %d", len(third), len(want))
+	}
+	for i, in := range third {
+		if in.Obj != want[i] {
+			t.Fatalf("after insert: Inrefs()[%d].Obj = %v, want %v", i, in.Obj, want[i])
+		}
+	}
+
+	// Remove invalidates too.
+	if !tbl.RemoveSource(10, 2) {
+		t.Fatal("RemoveSource(10) did not remove the inref")
+	}
+	fourth := tbl.Inrefs()
+	want = []ids.ObjID{15, 20, 30}
+	if len(fourth) != len(want) {
+		t.Fatalf("after remove: %d inrefs, want %d", len(fourth), len(want))
+	}
+	for i, in := range fourth {
+		if in.Obj != want[i] {
+			t.Fatalf("after remove: Inrefs()[%d].Obj = %v, want %v", i, in.Obj, want[i])
+		}
+	}
+}
+
+// sameTableView fails unless snap mirrors live's tracer-visible state:
+// inref set with distances and garbage flags, and outref existence.
+func sameTableView(t *testing.T, live, snap *Table) {
+	t.Helper()
+	li, si := live.Inrefs(), snap.Inrefs()
+	if len(li) != len(si) {
+		t.Fatalf("inref count: live %d snap %d", len(li), len(si))
+	}
+	for i := range li {
+		if li[i].Obj != si[i].Obj {
+			t.Fatalf("inref %d: live obj %v snap obj %v", i, li[i].Obj, si[i].Obj)
+		}
+		if li[i].Distance() != si[i].Distance() {
+			t.Fatalf("inref %v: live dist %d snap dist %d", li[i].Obj, li[i].Distance(), si[i].Distance())
+		}
+		if li[i].Garbage != si[i].Garbage {
+			t.Fatalf("inref %v: live garbage %v snap garbage %v", li[i].Obj, li[i].Garbage, si[i].Garbage)
+		}
+		if li[i] == si[i] {
+			t.Fatalf("inref %v: snapshot shares the live *Inref", li[i].Obj)
+		}
+	}
+	lo, so := live.Outrefs(), snap.Outrefs()
+	if len(lo) != len(so) {
+		t.Fatalf("outref count: live %d snap %d", len(lo), len(so))
+	}
+	for i := range lo {
+		if lo[i].Target != so[i].Target {
+			t.Fatalf("outref %d: live %v snap %v", i, lo[i].Target, so[i].Target)
+		}
+	}
+}
+
+// TestTableTraceSnapshotEquivalence drives randomized table mutations and
+// checks the patched shadow snapshot against the live view every round.
+func TestTableTraceSnapshotEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := NewTable(1, 7)
+		tbl.EnableDeltaTracking()
+		for round := 0; round < 12; round++ {
+			for step := 0; step < 25; step++ {
+				obj := ids.ObjID(rng.Intn(12) + 1)
+				src := ids.SiteID(rng.Intn(3) + 2)
+				switch rng.Intn(6) {
+				case 0:
+					tbl.AddSource(obj, src)
+				case 1:
+					tbl.SetSourceDistance(obj, src, rng.Intn(10))
+				case 2:
+					tbl.RemoveSource(obj, src)
+				case 3:
+					tbl.FlagGarbage(obj)
+				case 4:
+					tbl.EnsureOutref(ids.Ref{Site: src, Obj: obj})
+				case 5:
+					tbl.RemoveOutref(ids.Ref{Site: src, Obj: obj})
+				}
+			}
+			snap, d := tbl.TraceSnapshot()
+			if (round == 0) != d.Full {
+				t.Fatalf("seed %d round %d: Full = %v", seed, round, d.Full)
+			}
+			sameTableView(t, tbl, snap)
+		}
+	}
+}
+
+// TestTableTraceSnapshotClassification checks the delta buckets on targeted
+// mutations.
+func TestTableTraceSnapshotClassification(t *testing.T) {
+	tbl := NewTable(1, 7)
+	tbl.EnableDeltaTracking()
+	tbl.AddSource(10, 2)
+	tbl.SetSourceDistance(10, 2, 5)
+	out := ids.Ref{Site: 2, Obj: 99}
+	tbl.EnsureOutref(out)
+	if _, d := tbl.TraceSnapshot(); !d.Full {
+		t.Fatal("first delta not Full")
+	}
+
+	// Monotone changes: new inref, lowered distance, new outref.
+	tbl.AddSource(20, 3)
+	tbl.SetSourceDistance(10, 2, 3)
+	out2 := ids.Ref{Site: 3, Obj: 50}
+	tbl.EnsureOutref(out2)
+	_, d := tbl.TraceSnapshot()
+	if len(d.InrefsImproved) != 2 || d.InrefsImproved[0] != 10 || d.InrefsImproved[1] != 20 {
+		t.Fatalf("InrefsImproved = %v, want [10 20]", d.InrefsImproved)
+	}
+	if len(d.OutrefsAdded) != 1 || d.OutrefsAdded[0] != out2 {
+		t.Fatalf("OutrefsAdded = %v, want [%v]", d.OutrefsAdded, out2)
+	}
+	if d.Invalidating() {
+		t.Fatalf("monotone delta reported Invalidating: %+v", d)
+	}
+
+	// No-op distance write produces no delta at all.
+	tbl.SetSourceDistance(10, 2, 3)
+	if _, d := tbl.TraceSnapshot(); !d.Empty() {
+		t.Fatalf("no-op distance write left a delta: %+v", d)
+	}
+
+	// Invalidating changes: raised distance, garbage flag, removed inref,
+	// removed outref.
+	tbl.SetSourceDistance(10, 2, 8)
+	tbl.FlagGarbage(20)
+	tbl.RemoveOutref(out)
+	_, d = tbl.TraceSnapshot()
+	if len(d.InrefsWorsened) != 2 || d.InrefsWorsened[0] != 10 || d.InrefsWorsened[1] != 20 {
+		t.Fatalf("InrefsWorsened = %v, want [10 20]", d.InrefsWorsened)
+	}
+	if len(d.OutrefsRemoved) != 1 || d.OutrefsRemoved[0] != out {
+		t.Fatalf("OutrefsRemoved = %v, want [%v]", d.OutrefsRemoved, out)
+	}
+	if !d.Invalidating() {
+		t.Fatalf("worsening delta not Invalidating: %+v", d)
+	}
+
+	// Cancelling ops: outref added and removed again, inref source added
+	// and removed again.
+	out3 := ids.Ref{Site: 4, Obj: 1}
+	tbl.EnsureOutref(out3)
+	tbl.RemoveOutref(out3)
+	tbl.AddSource(30, 4)
+	tbl.RemoveSource(30, 4)
+	if _, d := tbl.TraceSnapshot(); !d.Empty() {
+		t.Fatalf("cancelling ops left a delta: %+v", d)
+	}
+}

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"os"
+	"testing"
+)
+
+// incrementalCorpusFile is the checked-in witness schedule for incremental
+// tracing: a clean run, generated with Config.Incremental, in which an
+// invalidating mutation (the write barrier observing an unlink or a dropped
+// variable) lands while a back trace is active, and later local traces both
+// fall back and remark.
+const incrementalCorpusFile = "testdata/schedules/incremental-invalidation-during-trace.json"
+
+// driveIncremental replays a schedule step by step, reporting whether any
+// invalidating mutation (unlink or variable drop — the events whose deltas
+// force a full-trace fallback) applied while a back trace held active
+// frames somewhere. The returned Result carries the final counters.
+func driveIncremental(cfg Config, events []Event) (overlap bool, res *Result) {
+	cfg = cfg.withDefaults()
+	w := newWorld(cfg)
+	defer w.close()
+	r := newRunner(w)
+	for _, src := range events {
+		ev := src
+		framesBefore := 0
+		if ev.Kind == EvUnlink || ev.Kind == EvVarDrop {
+			for _, s := range w.liveSites() {
+				framesBefore += w.cluster.Site(s).ActiveFrames()
+			}
+		}
+		if !r.apply(&ev) {
+			r.res.Skipped++
+			continue
+		}
+		if (ev.Kind == EvUnlink || ev.Kind == EvVarDrop) && framesBefore > 0 {
+			overlap = true
+		}
+		r.res.Events = append(r.res.Events, ev)
+		if viol := r.postEvent(ev); len(viol) > 0 {
+			r.res.SafetyViolations = viol
+			r.res.ViolationStep = len(r.res.Events) - 1
+			break
+		}
+	}
+	r.finish()
+	return overlap, r.res
+}
+
+// TestIncrementalExploreClean sweeps seeds with incremental tracing enabled,
+// across the C14 fault mixes: both oracles must stay silent on every seed,
+// and the sweep as a whole must actually exercise the remark path (the
+// whole point of running the checker in this mode).
+func TestIncrementalExploreClean(t *testing.T) {
+	mixes := []struct {
+		name   string
+		faults string
+		seeds  int
+	}{
+		{"default", "", 15},
+		{"crash-restart", "crash@150:2,restart@300:2", 5},
+		{"partition-heal", "partition@150:1-3,heal@300:1-3", 5},
+		{"drop", "drop@100:8", 5},
+		{"mixed", "crash@120:2,partition@160:1-3,restart@260:2,heal@320:1-3,drop@200:4", 5},
+	}
+	var remarks, fallbacks int64
+	for _, mix := range mixes {
+		mix := mix
+		t.Run(mix.name, func(t *testing.T) {
+			cfg := Config{Seed: 1, Incremental: true, Faults: mix.faults}
+			report, err := Explore(cfg, mix.seeds, func(seed int64, res *Result) {
+				remarks += res.Counters["localtrace.incremental.remarks"]
+				fallbacks += res.Counters["localtrace.incremental.fallbacks"]
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if report.Failures != 0 {
+				t.Fatalf("%d/%d seeds failed (first: %v)", report.Failures, report.Seeds,
+					report.FirstFailure.Violations())
+			}
+			if report.DistinctDigests != report.Seeds {
+				t.Fatalf("only %d distinct interleavings over %d seeds", report.DistinctDigests, report.Seeds)
+			}
+		})
+	}
+	if remarks == 0 {
+		t.Fatal("no run took the incremental remark path")
+	}
+	if fallbacks == 0 {
+		t.Fatal("no run exercised the full-trace fallback")
+	}
+	t.Logf("sweep totals: %d remarks, %d fallbacks", remarks, fallbacks)
+}
+
+// TestIncrementalReplayDeterminism: an incremental-mode run must replay to
+// the identical digest — the remark's trace-to-trace state is a pure
+// function of the event sequence.
+func TestIncrementalReplayDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, Incremental: true}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("seed run failed: %v", res.Violations())
+	}
+	again := Replay(res.Config, res.Events)
+	if again.Digest != res.Digest {
+		t.Fatalf("incremental replay diverged:\n  %s\n  %s", res.Digest, again.Digest)
+	}
+}
+
+// TestIncrementalCorpusWitness re-drives the checked-in incremental corpus
+// schedule and asserts it still exercises what it is in the corpus for: a
+// write-barrier invalidation landing during an active back trace, followed
+// by both fallback and remark traces, with both oracles silent.
+func TestIncrementalCorpusWitness(t *testing.T) {
+	sched, err := ReadScheduleFile(incrementalCorpusFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sched.Config.Incremental {
+		t.Fatal("corpus schedule does not enable incremental tracing")
+	}
+	overlap, res := driveIncremental(sched.Config, sched.Events)
+	if res.Failed() {
+		t.Fatalf("corpus schedule failed: %v", res.Violations())
+	}
+	if res.Skipped != 0 {
+		t.Fatalf("corpus schedule skipped %d events", res.Skipped)
+	}
+	if !overlap {
+		t.Fatal("no invalidating mutation applied while a back trace was active")
+	}
+	if res.Counters["localtrace.incremental.remarks"] == 0 {
+		t.Fatal("schedule ran no incremental remarks")
+	}
+	if res.Counters["localtrace.incremental.fallbacks"] == 0 {
+		t.Fatal("schedule ran no full-trace fallbacks")
+	}
+}
+
+// TestGenerateIncrementalCorpus regenerates the incremental corpus schedule.
+// Skipped unless INCR_CORPUS_OUT names the output path; it sweeps seeds
+// until one produces a clean incremental run whose schedule overlaps an
+// invalidating mutation with an active back trace and exercises both the
+// remark and the fallback path.
+func TestGenerateIncrementalCorpus(t *testing.T) {
+	out := os.Getenv("INCR_CORPUS_OUT")
+	if out == "" {
+		t.Skip("set INCR_CORPUS_OUT to regenerate the incremental corpus schedule")
+	}
+	for seed := int64(1); seed <= 500; seed++ {
+		cfg := Config{Seed: seed, Incremental: true}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed() {
+			t.Fatalf("seed %d tripped an oracle: %v", seed, res.Violations())
+		}
+		overlap, rres := driveIncremental(res.Config, res.Events)
+		if !overlap || rres.Skipped != 0 || rres.Failed() {
+			continue
+		}
+		if rres.Counters["localtrace.incremental.remarks"] < 3 ||
+			rres.Counters["localtrace.incremental.fallbacks"] < 2 ||
+			rres.Counters["backtrace.started"] < 1 {
+			continue
+		}
+		s := Schedule{Config: res.Config, Expect: ExpectClean, Events: res.Events}
+		if err := s.WriteFile(out); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("seed %d written to %s (%d events, %d remarks, %d fallbacks)",
+			seed, out, len(res.Events),
+			rres.Counters["localtrace.incremental.remarks"],
+			rres.Counters["localtrace.incremental.fallbacks"])
+		return
+	}
+	t.Fatal("no seed satisfied the corpus criteria")
+}

@@ -53,6 +53,10 @@ type Result struct {
 	// Delivered and Dropped count message events.
 	Delivered int
 	Dropped   int
+	// Counters is the cluster's final counter snapshot (collector activity:
+	// traces run, remarks vs fallbacks, back traces, messages). Not part of
+	// the digest.
+	Counters map[string]int64
 }
 
 // FaultContext snapshots collector activity at the instant a fault applied.
@@ -498,6 +502,7 @@ func (r *runner) finalizeDigest() {
 	}
 	r.res.Spans = len(r.w.spans.spans)
 	r.res.Digest = hex.EncodeToString(r.hash.Sum(nil))
+	r.res.Counters = r.w.cluster.Counters().Snapshot()
 }
 
 // dumpAudit writes a canonical (sorted) serialization of one site's audit.

@@ -40,6 +40,10 @@ type Config struct {
 	// SkipTransferBarrier disables the Section 6.1.1 transfer barrier in
 	// every site — the injected regression the model checker must catch.
 	SkipTransferBarrier bool `json:"skip_transfer_barrier,omitempty"`
+	// Incremental enables incremental local tracing on every site, so the
+	// model checker exercises the dirty-set remark and its write-barrier
+	// invalidation against the same safety/completeness oracles.
+	Incremental bool `json:"incremental,omitempty"`
 	// Faults is the fault-schedule DSL (see faults.go); generation only.
 	Faults string `json:"faults,omitempty"`
 }
@@ -173,6 +177,7 @@ func newWorld(cfg Config) *world {
 		CallTimeout:        simCallTimeout,
 		ReportTimeout:      simReportTimeout,
 		SkipTransferBarrierUnsafe: cfg.SkipTransferBarrier,
+		Incremental:               cfg.Incremental,
 		Observer:                  w.spans,
 	})
 
@@ -344,6 +349,7 @@ func (w *world) restoreConfig(s ids.SiteID) site.Config {
 		AutoBackTrace:             true,
 		Clock:                     w.clk,
 		SkipTransferBarrierUnsafe: w.cfg.SkipTransferBarrier,
+		Incremental:               w.cfg.Incremental,
 		Counters:                  w.cluster.Counters(),
 		Observer:                  w.cluster.Observer(),
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"backtrace/internal/event"
+	"backtrace/internal/heap"
 	"backtrace/internal/ids"
 	"backtrace/internal/metrics"
 	"backtrace/internal/msg"
@@ -65,19 +66,37 @@ func (s *Site) BeginLocalTrace() {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		s.startTraceLocked()
-		s.installPendingLocked(tracer.Run(s.heap, s.table, s.threshold, s.cfg.OutsetAlgorithm))
+		s.installPendingLocked(s.computeTrace(s.heap, s.table, s.threshold))
 		return
 	}
 
 	s.mu.Lock()
-	h := s.heap.Snapshot()
-	tbl := s.table.Snapshot()
+	// Incremental sites snapshot by patching the retained shadow copy with
+	// the dirty set — O(changes), not O(heap). The shadow copy shares no
+	// structures with the live state, so the off-lock read below stays
+	// safe; traceMu guarantees the previous trace is done with it.
+	var h *heap.Heap
+	var tbl *refs.Table
+	var hd *heap.Delta
+	var td *refs.Delta
+	if s.cfg.Incremental {
+		h, hd = s.heap.TraceSnapshot()
+		tbl, td = s.table.TraceSnapshot()
+	} else {
+		h = s.heap.Snapshot()
+		tbl = s.table.Snapshot()
+	}
 	threshold := s.threshold
 	epoch := s.traceEpoch
 	s.startTraceLocked()
 	s.mu.Unlock()
 
-	res := tracer.Run(h, tbl, threshold, s.cfg.OutsetAlgorithm)
+	var res *tracer.Result
+	if s.cfg.Incremental {
+		res = s.incr.Run(h, tbl, hd, td, threshold, s.cfg.OutsetAlgorithm)
+	} else {
+		res = tracer.RunWithScratch(h, tbl, threshold, s.cfg.OutsetAlgorithm, s.scratch)
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -87,9 +106,31 @@ func (s *Site) BeginLocalTrace() {
 		// rather than install conclusions about a heap that no longer
 		// exists. traceMu makes this unreachable for ordinary
 		// Begin/Commit interleavings.
+		if s.cfg.Incremental {
+			// The snapshot consumed the dirty sets but its result was
+			// dropped: forget both lineages so the next trace starts full.
+			s.incr.Reset()
+			s.heap.ResetTraceSnapshot()
+			s.table.ResetTraceSnapshot()
+		}
 		return
 	}
 	s.installPendingLocked(res)
+}
+
+// computeTrace runs the tracer under the site lock (LockedTrace mode),
+// routing through the incremental state or the scratch buffers according
+// to configuration.
+func (s *Site) computeTrace(h *heap.Heap, tbl *refs.Table, threshold int) *tracer.Result {
+	if s.cfg.Incremental {
+		// Even under the lock, incremental mode traces the patched
+		// snapshot: the remark's previous-result lineage must refer to one
+		// consistent sequence of states.
+		sh, hd := s.heap.TraceSnapshot()
+		stbl, td := s.table.TraceSnapshot()
+		return s.incr.Run(sh, stbl, hd, td, threshold, s.cfg.OutsetAlgorithm)
+	}
+	return tracer.RunWithScratch(h, tbl, threshold, s.cfg.OutsetAlgorithm, s.scratch)
 }
 
 // startTraceLocked opens the trace window: barriers applied from here to
@@ -110,6 +151,17 @@ func (s *Site) installPendingLocked(res *tracer.Result) {
 	s.cfg.Counters.Add(metrics.ObjectsRetraced, res.Stats.OutsetRetraced)
 	s.cfg.Counters.Add(metrics.OutsetUnions, res.Stats.Unions)
 	s.cfg.Counters.Add(metrics.OutsetUnionsMemoHit, res.Stats.MemoHits)
+	if s.cfg.Incremental {
+		if res.Stats.Incremental {
+			s.cfg.Counters.Inc(metrics.IncrementalRemarks)
+			s.cfg.Counters.Add(metrics.IncrementalDirtySeeds, int64(res.Stats.DirtySeeds))
+			if res.Stats.OutsetsReused {
+				s.cfg.Counters.Inc(metrics.IncrementalOutsetsReused)
+			}
+		} else {
+			s.cfg.Counters.Inc(metrics.IncrementalFallbacks)
+		}
+	}
 }
 
 // CommitLocalTrace atomically installs the most recent BeginLocalTrace:

@@ -99,6 +99,20 @@ type Config struct {
 	// site lock (the pre-mailbox design). It exists as the baseline for
 	// the off-lock benchmarks; leave it false otherwise.
 	LockedTrace bool
+	// Incremental enables incremental local tracing: mutator write
+	// barriers track dirty objects and iorefs, BeginLocalTrace takes
+	// O(dirty) patched snapshots instead of deep copies, and the tracer
+	// remarks from the dirty set — reusing the previous trace's marks,
+	// distances, and back information — whenever every change since the
+	// last trace was monotone, falling back to a full trace otherwise.
+	// Results are identical to full traces either way; see
+	// docs/ALGORITHM.md.
+	Incremental bool
+	// MaxDirtyRatio bounds the incremental remark: when changed entities
+	// exceed this fraction of the heap, the trace runs full (a remark
+	// would touch most of the heap anyway, with worse constants). Zero
+	// means tracer.DefaultMaxDirtyRatio. Only meaningful with Incremental.
+	MaxDirtyRatio float64
 	// Clock supplies every timestamp the site takes: span start/end times,
 	// mailbox queue-delay accounting, and the engine's timeout deadlines.
 	// Nil means the wall clock; the deterministic simulation injects a
@@ -189,6 +203,13 @@ type Site struct {
 	pendingBarrierInrefs  []ids.ObjID
 	pendingBarrierOutrefs []ids.Ref
 
+	// incr carries trace-to-trace state for incremental local traces
+	// (Config.Incremental); scratch holds the reusable full-trace buffers
+	// used otherwise. Both are guarded by traceMu, not mu: they are
+	// touched only inside a local-trace lifecycle.
+	incr    *tracer.Incremental
+	scratch *tracer.Scratch
+
 	liveStreak int // consecutive Live outcomes, for AdaptiveThreshold
 
 	// inbox is the bounded mailbox (nil when InboxSize == 0).
@@ -259,6 +280,13 @@ func New(cfg Config) *Site {
 		outbox:         make(map[ids.SiteID][]msg.Message),
 		partStart:      make(map[ids.TraceID]time.Time),
 		traceQueueWait: make(map[ids.TraceID]time.Duration),
+	}
+	if cfg.Incremental {
+		s.heap.EnableDeltaTracking()
+		s.table.EnableDeltaTracking()
+		s.incr = &tracer.Incremental{MaxDirtyRatio: cfg.MaxDirtyRatio}
+	} else {
+		s.scratch = &tracer.Scratch{}
 	}
 	reg := cfg.Counters.Registry()
 	s.histRTT = reg.Histogram(obs.MetricBackTraceRTT,

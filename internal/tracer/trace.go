@@ -44,13 +44,26 @@ type markResult struct {
 //
 // Remote references held directly in application-root variables mark the
 // corresponding outrefs at distance 1.
-func forwardMark(h *heap.Heap, tbl *refs.Table) *markResult {
-	res := &markResult{
-		marked:     make(map[ids.ObjID]int),
-		outrefDist: make(map[ids.Ref]int),
+func forwardMark(h *heap.Heap, tbl *refs.Table, sc *Scratch) *markResult {
+	res := &markResult{}
+	var roots []root
+	var stack []ids.ObjID
+	if sc != nil {
+		if sc.marked == nil {
+			sc.marked = make(map[ids.ObjID]int)
+			sc.outrefDist = make(map[ids.Ref]int)
+		}
+		clear(sc.marked)
+		clear(sc.outrefDist)
+		res.marked = sc.marked
+		res.outrefDist = sc.outrefDist
+		roots = sc.roots[:0]
+		stack = sc.stack[:0]
+	} else {
+		res.marked = make(map[ids.ObjID]int)
+		res.outrefDist = make(map[ids.Ref]int)
 	}
 
-	var roots []root
 	for _, obj := range h.PersistentRoots() {
 		roots = append(roots, root{obj: obj, dist: 0})
 	}
@@ -83,7 +96,6 @@ func forwardMark(h *heap.Heap, tbl *refs.Table) *markResult {
 		return roots[i].obj < roots[j].obj
 	})
 
-	var stack []ids.ObjID
 	for _, rt := range roots {
 		if !h.Contains(rt.obj) {
 			continue
@@ -127,6 +139,10 @@ func forwardMark(h *heap.Heap, tbl *refs.Table) *markResult {
 				}
 			}
 		}
+	}
+	if sc != nil {
+		sc.roots = roots
+		sc.stack = stack
 	}
 	return res
 }

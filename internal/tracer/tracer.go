@@ -56,6 +56,32 @@ type Stats struct {
 	// mark + outset computation), used to report trace latency when the
 	// computation runs off the site lock.
 	Duration time.Duration
+
+	// Incremental reports whether the result was produced by the dirty-set
+	// remark rather than a full forward mark.
+	Incremental bool
+	// FallbackReason names why an incremental-mode trace ran full; empty
+	// when the remark ran (or the tracer was not in incremental mode).
+	FallbackReason string
+	// DirtySeeds counts the changed entities the remark relaxed from.
+	DirtySeeds int
+	// OutsetsReused reports whether the back information was carried over
+	// unchanged from the previous trace instead of being recomputed.
+	OutsetsReused bool
+}
+
+// Scratch holds reusable trace buffers so consecutive full traces stop
+// allocating fresh mark and distance maps every round. A Result produced
+// with a Scratch aliases its maps and slices: it is valid only until the
+// next Run with the same Scratch. The owning Site commits each result
+// before starting the next trace, which provides exactly that lifetime.
+type Scratch struct {
+	marked     map[ids.ObjID]int
+	outrefDist map[ids.Ref]int
+	roots      []root
+	stack      []ids.ObjID
+	dead       []ids.ObjID
+	untraced   []ids.Ref
 }
 
 // Result is the outcome of one local trace, computed without mutating the
@@ -108,8 +134,14 @@ func (r *Result) IsLiveObj(obj ids.ObjID) bool {
 // of both while the live site state keeps changing — the off-lock local
 // trace enabled by the Section 6.2 double buffering.
 func Run(h *heap.Heap, tbl *refs.Table, threshold int, algo OutsetAlgorithm) *Result {
+	return RunWithScratch(h, tbl, threshold, algo, nil)
+}
+
+// RunWithScratch is Run reusing the buffers in sc (which may be nil). See
+// Scratch for the aliasing contract.
+func RunWithScratch(h *heap.Heap, tbl *refs.Table, threshold int, algo OutsetAlgorithm, sc *Scratch) *Result {
 	start := time.Now()
-	mr := forwardMark(h, tbl)
+	mr := forwardMark(h, tbl, sc)
 
 	env := &outsetEnv{h: h, tbl: tbl, mr: mr, threshold: threshold}
 	var (
@@ -138,6 +170,10 @@ func Run(h *heap.Heap, tbl *refs.Table, threshold int, algo OutsetAlgorithm) *Re
 			SuspectedInrefs: len(outsets),
 		},
 	}
+	if sc != nil {
+		res.Dead = sc.dead[:0]
+		res.Untraced = sc.untraced[:0]
+	}
 
 	for _, obj := range h.Objects() {
 		if _, ok := mr.marked[obj]; !ok {
@@ -155,6 +191,10 @@ func Run(h *heap.Heap, tbl *refs.Table, threshold int, algo OutsetAlgorithm) *Re
 		}
 	}
 	sort.Slice(res.Untraced, func(i, j int) bool { return res.Untraced[i].Less(res.Untraced[j]) })
+	if sc != nil {
+		sc.dead = res.Dead
+		sc.untraced = res.Untraced
+	}
 	res.Stats.Duration = time.Since(start)
 	return res
 }
