@@ -695,6 +695,73 @@ func BenchmarkIncrementalTrace(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelTrace (experiment C16) measures the work-stealing
+// parallel mark against the sequential tracer on a million-object sharded
+// heap: a wide 8-ary live tree (parallelism for the mark to harvest), a
+// garbage tail (the dead sweep runs), suspected inrefs and outrefs (the
+// outset and distance phases run). The parallel results are checked
+// content-identical to the sequential ones before timing starts. The
+// speedup at 8 workers is the headline number recorded in BENCH_PR7.json;
+// it requires ≥8 hardware threads to show its full effect.
+func BenchmarkParallelTrace(b *testing.B) {
+	const objects = 1 << 20
+	h := heap.NewSharded(1, 8)
+	tbl := refs.NewTableSharded(1, 1<<20, 8)
+	live := objects * 9 / 10
+	objs := make([]backtrace.Ref, 0, live)
+	objs = append(objs, h.AllocRoot())
+	for len(objs) < live {
+		o := h.Alloc()
+		if err := h.AddField(objs[(len(objs)-1)/8].Obj, o); err != nil {
+			b.Fatal(err)
+		}
+		objs = append(objs, o)
+	}
+	var prev backtrace.Ref
+	for i := live; i < objects; i++ {
+		o := h.Alloc()
+		if !prev.IsZero() {
+			if err := h.AddField(prev.Obj, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+		prev = o
+	}
+	for i := 0; i < 10; i++ {
+		tbl.AddSource(objs[live/10+i].Obj, 2)
+		tbl.SetSourceDistance(objs[live/10+i].Obj, 2, 100)
+		addSuspectOutref(h, tbl, objs[live-1-i])
+	}
+
+	baseline := tracer.Run(h, tbl, 3, tracer.AlgoBottomUp)
+	for _, workers := range []int{1, 2, 4, 8} {
+		name := fmt.Sprintf("workers-%d", workers)
+		if workers == 1 {
+			name = "sequential"
+		}
+		b.Run(name, func(b *testing.B) {
+			if workers > 1 {
+				if !tracer.EqualResults(tracer.RunParallel(h, tbl, 3, tracer.AlgoBottomUp, workers), baseline) {
+					b.Fatal("parallel result diverges from sequential")
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var res *tracer.Result
+				if workers > 1 {
+					res = tracer.RunParallel(h, tbl, 3, tracer.AlgoBottomUp, workers)
+				} else {
+					res = tracer.Run(h, tbl, 3, tracer.AlgoBottomUp)
+				}
+				if len(res.Dead) != objects-live {
+					b.Fatalf("dead %d, want %d", len(res.Dead), objects-live)
+				}
+			}
+			b.ReportMetric(float64(objects), "objects")
+		})
+	}
+}
+
 // BenchmarkReliableLinkOverhead (experiment C11) measures what the
 // ack/retransmit session layer costs on a loss-free in-memory link: the
 // same message stream sent bare over the memnet versus wrapped in

@@ -15,10 +15,12 @@
 //	dgcbench -exp telemetry     # C13: 2E+P re-verified via the typed registry
 //	dgcbench -exp hypertext     # intro workload end to end
 //	dgcbench -exp trace         # C15: incremental local tracing cost
+//	dgcbench -exp shard         # C16: sharded heap + parallel mark latency
 //
 // -json FILE additionally writes the tables as JSON to FILE; -check (with
-// -exp trace or all) exits nonzero if the idle-heap incremental trace is more
-// than 10% slower than the full trace.
+// -exp trace, shard, or all) exits nonzero if the idle-heap incremental
+// trace is more than 10% slower than the full trace, or if any parallel
+// trace configuration diverges from the sequential baseline.
 package main
 
 import (
@@ -33,11 +35,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, messages, distance, insets, space, threshold, timeline, locality, baselines, overlap, telemetry, hypertext, trace)")
+	exp := flag.String("exp", "all", "experiment to run (all, messages, distance, insets, space, threshold, timeline, locality, baselines, overlap, telemetry, hypertext, trace, shard)")
 	scale := flag.Int("scale", 20, "size multiplier for the inset experiment")
 	format := flag.String("format", "text", "output format: text or json")
 	jsonOut := flag.String("json", "", "also write the tables as JSON to this file")
-	check := flag.Bool("check", false, "with -exp trace: fail if incremental idle tracing regresses past full by >10%")
+	check := flag.Bool("check", false, "with -exp trace/shard: fail if incremental idle tracing regresses past full by >10% or a parallel trace diverges from the sequential baseline")
 	flag.Parse()
 
 	var err error
@@ -46,17 +48,22 @@ func main() {
 	} else {
 		var tables []*experiments.Table
 		var traceRows []experiments.IncrementalRow
-		if tables, traceRows, err = run(*exp, *scale); err == nil {
+		var shardRows []experiments.ShardRow
+		if tables, traceRows, shardRows, err = run(*exp, *scale); err == nil {
 			err = render(os.Stdout, *format, tables)
 		}
 		if err == nil && *jsonOut != "" {
 			err = writeJSON(*jsonOut, tables)
 		}
 		if err == nil && *check {
-			if traceRows == nil {
-				err = fmt.Errorf("-check requires the trace experiment (-exp trace or -exp all)")
-			} else {
+			if traceRows == nil && shardRows == nil {
+				err = fmt.Errorf("-check requires a checkable experiment (-exp trace, -exp shard, or -exp all)")
+			}
+			if err == nil && traceRows != nil {
 				err = experiments.CheckIncremental(traceRows)
+			}
+			if err == nil && shardRows != nil {
+				err = experiments.CheckShard(shardRows)
 			}
 		}
 	}
@@ -98,11 +105,12 @@ func render(w io.Writer, format string, tables []*experiments.Table) error {
 	}
 }
 
-func run(exp string, scale int) ([]*experiments.Table, []experiments.IncrementalRow, error) {
+func run(exp string, scale int) ([]*experiments.Table, []experiments.IncrementalRow, []experiments.ShardRow, error) {
 	all := exp == "all"
 	ran := false
 	var tables []*experiments.Table
 	var traceRows []experiments.IncrementalRow
+	var shardRows []experiments.ShardRow
 
 	if all || exp == "messages" {
 		ran = true
@@ -113,7 +121,7 @@ func run(exp string, scale int) ([]*experiments.Table, []experiments.Incremental
 		}
 		rows, err := experiments.MessagesPerTrace(specs)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		tables = append(tables, experiments.MessagesTable(rows))
 	}
@@ -138,7 +146,7 @@ func run(exp string, scale int) ([]*experiments.Table, []experiments.Incremental
 		}
 		rows, err := experiments.SpaceBound(specs)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		tables = append(tables, experiments.SpaceTable(rows))
 	}
@@ -153,7 +161,7 @@ func run(exp string, scale int) ([]*experiments.Table, []experiments.Incremental
 		ran = true
 		rows, err := experiments.LocalityUnderCrash(25)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		tables = append(tables, experiments.LocalityTable(rows))
 	}
@@ -163,7 +171,7 @@ func run(exp string, scale int) ([]*experiments.Table, []experiments.Incremental
 		for _, cfg := range [][2]int{{2, 2}, {4, 2}, {8, 2}} {
 			rows, err := experiments.CompareCollectors(cfg[0], cfg[1])
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			tables = append(tables, experiments.CompareTable(cfg[0], cfg[1], rows))
 		}
@@ -187,7 +195,7 @@ func run(exp string, scale int) ([]*experiments.Table, []experiments.Incremental
 		for _, sites := range []int{3, 6, 12} {
 			row, err := experiments.TelemetryComplexity(sites)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			rows = append(rows, row)
 		}
@@ -200,7 +208,7 @@ func run(exp string, scale int) ([]*experiments.Table, []experiments.Incremental
 		for _, docs := range []int{6, 12, 24} {
 			row, err := experiments.Hypertext(docs, 6, 42)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			rows = append(rows, row)
 		}
@@ -211,14 +219,24 @@ func run(exp string, scale int) ([]*experiments.Table, []experiments.Incremental
 		ran = true
 		rows, err := experiments.IncrementalTrace(20000, 200, 20)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		traceRows = rows
 		tables = append(tables, experiments.IncrementalTable(rows))
 	}
 
-	if !ran {
-		return nil, nil, fmt.Errorf("unknown experiment %q", exp)
+	if all || exp == "shard" {
+		ran = true
+		rows, err := experiments.ShardTrace(120000, 3)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		shardRows = rows
+		tables = append(tables, experiments.ShardTable(rows))
 	}
-	return tables, traceRows, nil
+
+	if !ran {
+		return nil, nil, nil, fmt.Errorf("unknown experiment %q", exp)
+	}
+	return tables, traceRows, shardRows, nil
 }

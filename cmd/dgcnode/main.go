@@ -46,6 +46,8 @@ func main() {
 		run      = flag.Duration("run-for", 30*time.Second, "how long a non-driving node runs")
 		reliable = flag.Bool("reliable", false, "interpose the ack/retransmit session layer over TCP")
 		inbox    = flag.Int("inbox", 0, "mailbox executor inbox capacity (0 = apply messages on the delivery thread)")
+		shards   = flag.Int("shards", 0, "heap/ref-table shards per site (0 = GOMAXPROCS; result-invariant)")
+		workers  = flag.Int("trace-workers", 0, "mark workers per local trace (>1 enables the work-stealing parallel marker; result-invariant)")
 		debug    = flag.String("debug-addr", "", "serve /metrics (Prometheus), /healthz, and /spans on this address (empty = off)")
 		linger   = flag.Duration("linger", 0, "keep the debug endpoint up this long after the demo completes (demo mode)")
 	)
@@ -54,9 +56,9 @@ func main() {
 	var err error
 	switch {
 	case *demo || *selfID == 0:
-		err = runDemo(*nSites, *reliable, *inbox, *debug, *linger)
+		err = runDemo(*nSites, *reliable, *inbox, *shards, *workers, *debug, *linger)
 	default:
-		err = runNode(ids.SiteID(*selfID), *peers, *drive, *period, *run, *reliable, *inbox, *debug)
+		err = runNode(ids.SiteID(*selfID), *peers, *drive, *period, *run, *reliable, *inbox, *shards, *workers, *debug)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dgcnode:", err)
@@ -78,7 +80,7 @@ func startDebugServer(addr string, reg *obs.Registry, spans *obs.Collector) (str
 
 // runDemo brings up n sites over loopback TCP (optionally under the
 // reliable session layer) and collects a distributed cycle end to end.
-func runDemo(n int, reliable bool, inbox int, debugAddr string, linger time.Duration) error {
+func runDemo(n int, reliable bool, inbox, shards, traceWorkers int, debugAddr string, linger time.Duration) error {
 	counters := &metrics.Counters{}
 	spans := backtrace.NewSpanCollector(backtrace.SpanCollectorOptions{})
 	if debugAddr != "" {
@@ -123,6 +125,8 @@ func runDemo(n int, reliable bool, inbox int, debugAddr string, linger time.Dura
 			CallTimeout:        2 * time.Second,
 			ReportTimeout:      10 * time.Second,
 			InboxSize:          inbox,
+			Shards:             shards,
+			TraceWorkers:       traceWorkers,
 			Counters:           counters,
 			Observer:           spans,
 		})
@@ -241,7 +245,7 @@ func tcpLink(sites map[ids.SiteID]*site.Site, from, target backtrace.Ref) error 
 
 // runNode runs one site as its own process.
 func runNode(self ids.SiteID, peerList string, drive bool, period, runFor time.Duration,
-	reliable bool, inbox int, debugAddr string) error {
+	reliable bool, inbox, shards, traceWorkers int, debugAddr string) error {
 	addrs, err := parsePeers(peerList)
 	if err != nil {
 		return err
@@ -281,6 +285,8 @@ func runNode(self ids.SiteID, peerList string, drive bool, period, runFor time.D
 		CallTimeout:        2 * time.Second,
 		ReportTimeout:      10 * time.Second,
 		InboxSize:          inbox,
+		Shards:             shards,
+		TraceWorkers:       traceWorkers,
 		Counters:           counters,
 		Observer:           spans,
 	})

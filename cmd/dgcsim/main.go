@@ -47,6 +47,8 @@ func main() {
 		algo     = flag.String("outsets", "bottom-up", "outset algorithm: bottom-up or independent")
 		parallel = flag.Bool("parallel", false, "run sites on goroutines with mailbox executors (disables stepped determinism)")
 		incr     = flag.Bool("incremental", false, "incremental local tracing: dirty-set remark over copy-on-write snapshots")
+		shards   = flag.Int("shards", 0, "heap/ref-table shards per site (0 = GOMAXPROCS; result-invariant)")
+		workers  = flag.Int("trace-workers", 0, "mark workers per local trace (>1 enables the work-stealing parallel marker; result-invariant)")
 		verbose  = flag.Bool("v", false, "per-round progress")
 		events   = flag.Int("events", 0, "print the last N collector events")
 		dotPath  = flag.String("dot", "", "write a Graphviz DOT snapshot of the final state to this file")
@@ -72,6 +74,8 @@ func main() {
 			Faults:              *faults,
 			SkipTransferBarrier: *skipBarrier,
 			Incremental:         *incr,
+			Shards:              *shards,
+			TraceWorkers:        *workers,
 		}
 		var err error
 		if *replay != "" {
@@ -86,15 +90,16 @@ func main() {
 	}
 
 	if err := run(*kind, *sites, *objects, *docs, *seed, *rounds, *thresh, *backT,
-		*latency, *jitter, *drop, *algo, *parallel, *incr, *verbose, *events, *dotPath, *traceOut); err != nil {
+		*latency, *jitter, *drop, *algo, *parallel, *incr, *shards, *workers,
+		*verbose, *events, *dotPath, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "dgcsim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(kind string, sites, objects, docs int, seed int64, rounds, thresh, backT int,
-	latency, jitter time.Duration, drop float64, algoName string, parallel, incremental, verbose bool,
-	eventTail int, dotPath, traceOut string) error {
+	latency, jitter time.Duration, drop float64, algoName string, parallel, incremental bool,
+	shards, traceWorkers int, verbose bool, eventTail int, dotPath, traceOut string) error {
 
 	var spec workload.Spec
 	switch kind {
@@ -136,6 +141,8 @@ func run(kind string, sites, objects, docs int, seed int64, rounds, thresh, back
 		AutoBackTrace:      true,
 		Parallel:           parallel,
 		Incremental:        incremental,
+		Shards:             shards,
+		TraceWorkers:       traceWorkers,
 		Latency:            latency,
 		Jitter:             jitter,
 		// Loss is enabled only after the workload is built: the build

@@ -67,6 +67,13 @@ type Options struct {
 	// MaxDirtyRatio tunes the incremental tracer's full-trace fallback
 	// (site.Config.MaxDirtyRatio); zero means the tracer default.
 	MaxDirtyRatio float64
+	// Shards requests a minimum heap/ioref-table shard count on every
+	// site (site.Config.Shards); sites use max(GOMAXPROCS, Shards).
+	Shards int
+	// TraceWorkers sets the mark-worker count for every site's local
+	// traces (site.Config.TraceWorkers); above one, traces run the
+	// work-stealing parallel marker.
+	TraceWorkers int
 	// SuspicionThreshold, BackThreshold, ThresholdBump, OutsetAlgorithm,
 	// AutoBackTrace, AdaptiveThreshold, CallTimeout, ReportTimeout are
 	// passed to every site; zero values take the site defaults.
@@ -184,6 +191,8 @@ func New(opts Options) *Cluster {
 			LockedTrace:               opts.LockedTrace,
 			Incremental:               opts.Incremental,
 			MaxDirtyRatio:             opts.MaxDirtyRatio,
+			Shards:                    opts.Shards,
+			TraceWorkers:              opts.TraceWorkers,
 			Clock:                     opts.Clock,
 			SkipTransferBarrierUnsafe: opts.SkipTransferBarrierUnsafe,
 			Counters:                  counters,

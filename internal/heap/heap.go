@@ -2,15 +2,22 @@
 // reference fields, persistent roots, and application roots (the mutator's
 // local variables, Section 2 and Section 6.3 of the paper).
 //
-// A Heap is deliberately not safe for concurrent use; the owning Site
-// serializes every access (mutator operations, local traces, and message
-// handlers all go through the site's lock). Keeping synchronization at the
-// site level matches the paper's model of short atomic critical sections.
+// The store is split into N shards keyed by object-identifier hash. Each
+// shard owns its own lock, its own maps, its own write-barrier dirty set,
+// and its own slice of the copy-on-write trace snapshot, so mutator
+// operations touching distinct shards do not contend and trace snapshots
+// patch shards concurrently. Single-key operations are safe for concurrent
+// use; whole-heap operations (Snapshot, TraceSnapshot, Objects, audits)
+// still rely on the owning Site to exclude concurrent mutators — the Site
+// takes its write lock for those, and its read lock plus the per-shard
+// locks for the short mutator critical sections the paper's model assumes.
 package heap
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"backtrace/internal/ids"
 )
@@ -30,7 +37,9 @@ func (o *Object) ID() ids.ObjID { return o.id }
 // Size returns the object's nominal payload size in bytes.
 func (o *Object) Size() int { return o.size }
 
-// Fields returns a copy of the object's reference fields.
+// Fields returns a copy of the object's reference fields. It is safe only
+// when field mutators are excluded (snapshot heaps, or the site write
+// lock); concurrent introspection should use Heap.FieldsOf.
 func (o *Object) Fields() []ids.Ref {
 	out := make([]ids.Ref, len(o.fields))
 	copy(out, o.fields)
@@ -47,39 +56,56 @@ func (o *Object) Field(i int) ids.Ref { return o.fields[i] }
 // without an explicit size.
 const DefaultObjectSize = 64
 
-// Heap is one site's object store.
-type Heap struct {
-	site    ids.SiteID
+// shard is one hash partition of the store. The mutex guards every map in
+// the shard; the dirty sets exist only while delta tracking is enabled.
+type shard struct {
+	mu      sync.RWMutex
 	objects map[ids.ObjID]*Object
-	next    ids.ObjID
 
 	persistentRoots map[ids.ObjID]struct{}
 	// appRoots counts mutator variables holding each reference; the
 	// reference may be local or remote. Local tracing treats these as
 	// roots (Section 6.3), and remote entries keep the corresponding
-	// outrefs live and clean.
+	// outrefs live and clean. Sharded by the reference's object id.
 	appRoots map[ids.Ref]int
 
 	// --- incremental-trace write barrier (see TraceSnapshot) ---
 
-	// tracking, when true, makes every mutator operation record what it
-	// touched so TraceSnapshot can produce an O(dirty) snapshot and Delta
-	// instead of an O(heap) deep copy. Off by default: the bookkeeping is
-	// pure overhead for sites that run full traces.
-	tracking bool
-	// snap is the shadow copy maintained by TraceSnapshot: a second Heap
-	// that mirrors this one as of the last snapshot. It shares no Object
-	// structs with the live heap, so a local trace may read it off-lock
-	// while mutators keep writing here.
-	snap *Heap
 	// dirtyObjs names objects whose existence or fields may differ from
-	// snap (allocated, deleted, or field-mutated since the last snapshot).
-	dirtyObjs map[ids.ObjID]struct{}
-	// dirtyPersist names objects whose persistent-root status may have
-	// changed; dirtyAppRoots names references whose application-root
-	// holding status may have changed.
+	// the shadow shard (allocated, deleted, or field-mutated since the
+	// last snapshot); dirtyPersist and dirtyAppRoots are the same for
+	// root status.
+	dirtyObjs     map[ids.ObjID]struct{}
 	dirtyPersist  map[ids.ObjID]struct{}
 	dirtyAppRoots map[ids.Ref]struct{}
+}
+
+func newShard() *shard {
+	return &shard{
+		objects:         make(map[ids.ObjID]*Object),
+		persistentRoots: make(map[ids.ObjID]struct{}),
+		appRoots:        make(map[ids.Ref]int),
+	}
+}
+
+// Heap is one site's object store.
+type Heap struct {
+	site   ids.SiteID
+	shards []*shard
+	next   atomic.Uint64 // allocation high-water mark (ids.ObjID)
+
+	// tracking, when true, makes every mutator operation record what it
+	// touched in its shard's dirty set so TraceSnapshot can produce an
+	// O(dirty) snapshot and Delta instead of an O(heap) deep copy. Off by
+	// default: the bookkeeping is pure overhead for sites that run full
+	// traces. Written only while whole-heap exclusion holds (construction
+	// or the site write lock).
+	tracking bool
+	// snap is the shadow copy maintained by TraceSnapshot: a second Heap
+	// (same shard count) that mirrors this one as of the last snapshot.
+	// It shares no Object structs with the live heap, so a local trace
+	// may read it off-lock while mutators keep writing here.
+	snap *Heap
 }
 
 // Delta describes how the heap changed between two TraceSnapshot calls, in
@@ -137,44 +163,71 @@ func (d *Delta) Size() int {
 		len(d.RemoteRootsAdded) + len(d.RemoteRootsRemoved)
 }
 
-// New creates an empty heap for the given site.
-func New(site ids.SiteID) *Heap {
-	return &Heap{
-		site:            site,
-		objects:         make(map[ids.ObjID]*Object),
-		persistentRoots: make(map[ids.ObjID]struct{}),
-		appRoots:        make(map[ids.Ref]int),
+// New creates an empty single-shard heap for the given site. Library tests
+// and baselines use this; sites pass an explicit shard count via
+// NewSharded.
+func New(site ids.SiteID) *Heap { return NewSharded(site, 1) }
+
+// NewSharded creates an empty heap with the given shard count (clamped to
+// at least 1). The shard count is fixed for the heap's lifetime and is
+// inherited by its snapshots, so mark tables derived from one heap lineage
+// always partition identically.
+func NewSharded(site ids.SiteID, shards int) *Heap {
+	if shards < 1 {
+		shards = 1
 	}
+	h := &Heap{site: site, shards: make([]*shard, shards)}
+	for i := range h.shards {
+		h.shards[i] = newShard()
+	}
+	return h
 }
+
+// NumShards returns the heap's shard count.
+func (h *Heap) NumShards() int { return len(h.shards) }
+
+// ShardOf returns the shard index owning an object id. References are
+// sharded by their object id, so local objects and the application roots
+// naming them land in the same shard.
+func (h *Heap) ShardOf(obj ids.ObjID) int {
+	return int(uint64(obj) % uint64(len(h.shards)))
+}
+
+func (h *Heap) shardFor(obj ids.ObjID) *shard { return h.shards[h.ShardOf(obj)] }
 
 // EnableDeltaTracking turns on the write barrier that records dirty
 // objects and roots for TraceSnapshot. Sites configured for incremental
-// tracing call this once at construction.
+// tracing call this once at construction; it requires whole-heap exclusion
+// (no concurrent shard operations).
 func (h *Heap) EnableDeltaTracking() {
 	if h.tracking {
 		return
 	}
 	h.tracking = true
-	h.dirtyObjs = make(map[ids.ObjID]struct{})
-	h.dirtyPersist = make(map[ids.ObjID]struct{})
-	h.dirtyAppRoots = make(map[ids.Ref]struct{})
-}
-
-func (h *Heap) touchObj(obj ids.ObjID) {
-	if h.tracking {
-		h.dirtyObjs[obj] = struct{}{}
+	for _, sh := range h.shards {
+		sh.dirtyObjs = make(map[ids.ObjID]struct{})
+		sh.dirtyPersist = make(map[ids.ObjID]struct{})
+		sh.dirtyAppRoots = make(map[ids.Ref]struct{})
 	}
 }
 
-func (h *Heap) touchPersist(obj ids.ObjID) {
+// The touch helpers run with the shard lock held.
+
+func (h *Heap) touchObj(sh *shard, obj ids.ObjID) {
 	if h.tracking {
-		h.dirtyPersist[obj] = struct{}{}
+		sh.dirtyObjs[obj] = struct{}{}
 	}
 }
 
-func (h *Heap) touchAppRoot(r ids.Ref) {
+func (h *Heap) touchPersist(sh *shard, obj ids.ObjID) {
 	if h.tracking {
-		h.dirtyAppRoots[r] = struct{}{}
+		sh.dirtyPersist[obj] = struct{}{}
+	}
+}
+
+func (h *Heap) touchAppRoot(sh *shard, r ids.Ref) {
+	if h.tracking {
+		sh.dirtyAppRoots[r] = struct{}{}
 	}
 }
 
@@ -182,7 +235,23 @@ func (h *Heap) touchAppRoot(r ids.Ref) {
 func (h *Heap) Site() ids.SiteID { return h.site }
 
 // Len returns the number of objects in the heap.
-func (h *Heap) Len() int { return len(h.objects) }
+func (h *Heap) Len() int {
+	n := 0
+	for _, sh := range h.shards {
+		sh.mu.RLock()
+		n += len(sh.objects)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// ShardLen returns the number of objects in one shard.
+func (h *Heap) ShardLen(i int) int {
+	sh := h.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.objects)
+}
 
 // Alloc creates a new object with no fields and DefaultObjectSize payload,
 // returning its fully qualified reference.
@@ -190,99 +259,166 @@ func (h *Heap) Alloc() ids.Ref { return h.AllocSized(DefaultObjectSize) }
 
 // AllocSized creates a new object with the given nominal payload size.
 func (h *Heap) AllocSized(size int) ids.Ref {
-	h.next++
-	o := &Object{id: h.next, size: size}
-	h.objects[h.next] = o
-	h.touchObj(h.next)
-	return ids.MakeRef(h.site, h.next)
+	id := ids.ObjID(h.next.Add(1))
+	o := &Object{id: id, size: size}
+	sh := h.shardFor(id)
+	sh.mu.Lock()
+	sh.objects[id] = o
+	h.touchObj(sh, id)
+	sh.mu.Unlock()
+	return ids.MakeRef(h.site, id)
 }
 
 // AllocRoot creates a new object and marks it a persistent root.
 func (h *Heap) AllocRoot() ids.Ref {
-	r := h.Alloc()
-	h.persistentRoots[r.Obj] = struct{}{}
-	h.touchPersist(r.Obj)
-	return r
+	id := ids.ObjID(h.next.Add(1))
+	o := &Object{id: id, size: DefaultObjectSize}
+	sh := h.shardFor(id)
+	sh.mu.Lock()
+	sh.objects[id] = o
+	sh.persistentRoots[id] = struct{}{}
+	h.touchObj(sh, id)
+	h.touchPersist(sh, id)
+	sh.mu.Unlock()
+	return ids.MakeRef(h.site, id)
 }
 
 // MarkPersistentRoot designates an existing local object as a persistent
 // root (an entry point into the store, such as a name server or directory).
 func (h *Heap) MarkPersistentRoot(obj ids.ObjID) error {
-	if _, ok := h.objects[obj]; !ok {
+	sh := h.shardFor(obj)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.objects[obj]; !ok {
 		return fmt.Errorf("heap %v: mark root: no object %v", h.site, obj)
 	}
-	h.persistentRoots[obj] = struct{}{}
-	h.touchPersist(obj)
+	sh.persistentRoots[obj] = struct{}{}
+	h.touchPersist(sh, obj)
 	return nil
 }
 
 // UnmarkPersistentRoot removes root status from a local object.
 func (h *Heap) UnmarkPersistentRoot(obj ids.ObjID) {
-	delete(h.persistentRoots, obj)
-	h.touchPersist(obj)
+	sh := h.shardFor(obj)
+	sh.mu.Lock()
+	delete(sh.persistentRoots, obj)
+	h.touchPersist(sh, obj)
+	sh.mu.Unlock()
 }
 
 // IsPersistentRoot reports whether a local object is a persistent root.
 func (h *Heap) IsPersistentRoot(obj ids.ObjID) bool {
-	_, ok := h.persistentRoots[obj]
+	sh := h.shardFor(obj)
+	sh.mu.RLock()
+	_, ok := sh.persistentRoots[obj]
+	sh.mu.RUnlock()
 	return ok
 }
 
 // PersistentRoots returns the local persistent roots in ascending order.
 func (h *Heap) PersistentRoots() []ids.ObjID {
-	out := make([]ids.ObjID, 0, len(h.persistentRoots))
-	for o := range h.persistentRoots {
-		out = append(out, o)
+	var out []ids.ObjID
+	for _, sh := range h.shards {
+		sh.mu.RLock()
+		for o := range sh.persistentRoots {
+			out = append(out, o)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
-// Get returns the object with the given identifier.
+// Get returns the object with the given identifier. The returned Object's
+// fields must only be read when field mutators are excluded (snapshot
+// heaps, or the site write lock); use FieldsOf for concurrent
+// introspection.
 func (h *Heap) Get(obj ids.ObjID) (*Object, bool) {
-	o, ok := h.objects[obj]
+	sh := h.shardFor(obj)
+	sh.mu.RLock()
+	o, ok := sh.objects[obj]
+	sh.mu.RUnlock()
 	return o, ok
+}
+
+// FieldsOf returns a copy of an object's reference fields, taken under the
+// shard lock so it is safe against concurrent field mutation.
+func (h *Heap) FieldsOf(obj ids.ObjID) ([]ids.Ref, bool) {
+	sh := h.shardFor(obj)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	o, ok := sh.objects[obj]
+	if !ok {
+		return nil, false
+	}
+	return o.Fields(), true
 }
 
 // Contains reports whether the heap holds the object.
 func (h *Heap) Contains(obj ids.ObjID) bool {
-	_, ok := h.objects[obj]
+	sh := h.shardFor(obj)
+	sh.mu.RLock()
+	_, ok := sh.objects[obj]
+	sh.mu.RUnlock()
 	return ok
 }
 
 // Objects returns all object identifiers in ascending order.
 func (h *Heap) Objects() []ids.ObjID {
-	out := make([]ids.ObjID, 0, len(h.objects))
-	for o := range h.objects {
-		out = append(out, o)
+	out := make([]ids.ObjID, 0, h.Len())
+	for _, sh := range h.shards {
+		sh.mu.RLock()
+		for o := range sh.objects {
+			out = append(out, o)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
+// EachObjectInShard invokes fn for every object in one shard, in
+// unspecified order, holding the shard read lock. The parallel tracer uses
+// it to partition heap scans without allocating id slices; fn must not
+// mutate the heap.
+func (h *Heap) EachObjectInShard(i int, fn func(ids.ObjID, *Object)) {
+	sh := h.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for id, o := range sh.objects {
+		fn(id, o)
+	}
+}
+
 // AddField appends a reference field to a local object (reference
 // creation: "copying a reference z into object y", Section 6.1).
 func (h *Heap) AddField(obj ids.ObjID, target ids.Ref) error {
-	o, ok := h.objects[obj]
+	sh := h.shardFor(obj)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	o, ok := sh.objects[obj]
 	if !ok {
 		return fmt.Errorf("heap %v: add field: no object %v", h.site, obj)
 	}
 	o.fields = append(o.fields, target)
-	h.touchObj(obj)
+	h.touchObj(sh, obj)
 	return nil
 }
 
 // RemoveField deletes the first field of obj equal to target (reference
 // deletion). It reports whether a field was removed.
 func (h *Heap) RemoveField(obj ids.ObjID, target ids.Ref) (bool, error) {
-	o, ok := h.objects[obj]
+	sh := h.shardFor(obj)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	o, ok := sh.objects[obj]
 	if !ok {
 		return false, fmt.Errorf("heap %v: remove field: no object %v", h.site, obj)
 	}
 	for i, f := range o.fields {
 		if f == target {
 			o.fields = append(o.fields[:i], o.fields[i+1:]...)
-			h.touchObj(obj)
+			h.touchObj(sh, obj)
 			return true, nil
 		}
 	}
@@ -291,22 +427,28 @@ func (h *Heap) RemoveField(obj ids.ObjID, target ids.Ref) (bool, error) {
 
 // ClearFields removes every reference field of obj.
 func (h *Heap) ClearFields(obj ids.ObjID) error {
-	o, ok := h.objects[obj]
+	sh := h.shardFor(obj)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	o, ok := sh.objects[obj]
 	if !ok {
 		return fmt.Errorf("heap %v: clear fields: no object %v", h.site, obj)
 	}
 	o.fields = nil
-	h.touchObj(obj)
+	h.touchObj(sh, obj)
 	return nil
 }
 
 // Delete removes an object from the heap (called by the collector when the
 // object is garbage, and by the migration baseline after moving it).
 func (h *Heap) Delete(obj ids.ObjID) {
-	delete(h.objects, obj)
-	delete(h.persistentRoots, obj)
-	h.touchObj(obj)
-	h.touchPersist(obj)
+	sh := h.shardFor(obj)
+	sh.mu.Lock()
+	delete(sh.objects, obj)
+	delete(sh.persistentRoots, obj)
+	h.touchObj(sh, obj)
+	h.touchPersist(sh, obj)
+	sh.mu.Unlock()
 }
 
 // Install recreates an object under a specific identifier (checkpoint
@@ -315,58 +457,82 @@ func (h *Heap) Install(id ids.ObjID, fields []ids.Ref, size int, root bool) erro
 	if id == ids.NoObj {
 		return fmt.Errorf("heap %v: install: zero object id", h.site)
 	}
-	if _, ok := h.objects[id]; ok {
+	sh := h.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.objects[id]; ok {
 		return fmt.Errorf("heap %v: install: object %v already exists", h.site, id)
 	}
 	o := &Object{id: id, size: size}
 	o.fields = make([]ids.Ref, len(fields))
 	copy(o.fields, fields)
-	h.objects[id] = o
-	h.touchObj(id)
+	sh.objects[id] = o
+	h.touchObj(sh, id)
 	if root {
-		h.persistentRoots[id] = struct{}{}
-		h.touchPersist(id)
+		sh.persistentRoots[id] = struct{}{}
+		h.touchPersist(sh, id)
 	}
-	if id > h.next {
-		h.next = id
-	}
+	h.SetNextID(id)
 	return nil
 }
 
 // Snapshot returns a deep copy of the heap: objects (with copied field
 // slices), persistent roots, application roots, and the allocation
-// high-water mark. The copy shares nothing with the original, so a local
-// trace can read it while mutators keep modifying the live heap — the
+// high-water mark. Shards are copied concurrently, each under its own read
+// lock. The copy shares nothing with the original, so a local trace can
+// read it while mutators keep modifying the live heap — the
 // short-critical-section snapshot that lets tracer.Run execute outside the
 // site lock (Section 6.2).
 func (h *Heap) Snapshot() *Heap {
-	cp := &Heap{
-		site:            h.site,
-		objects:         make(map[ids.ObjID]*Object, len(h.objects)),
-		next:            h.next,
-		persistentRoots: make(map[ids.ObjID]struct{}, len(h.persistentRoots)),
-		appRoots:        make(map[ids.Ref]int, len(h.appRoots)),
-	}
-	for id, o := range h.objects {
-		fields := make([]ids.Ref, len(o.fields))
-		copy(fields, o.fields)
-		cp.objects[id] = &Object{id: o.id, fields: fields, size: o.size}
-	}
-	for o := range h.persistentRoots {
-		cp.persistentRoots[o] = struct{}{}
-	}
-	for r, n := range h.appRoots {
-		cp.appRoots[r] = n
-	}
+	cp := NewSharded(h.site, len(h.shards))
+	cp.next.Store(h.next.Load())
+	h.eachShardConcurrent(func(i int) {
+		src, dst := h.shards[i], cp.shards[i]
+		src.mu.RLock()
+		defer src.mu.RUnlock()
+		dst.objects = make(map[ids.ObjID]*Object, len(src.objects))
+		for id, o := range src.objects {
+			fields := make([]ids.Ref, len(o.fields))
+			copy(fields, o.fields)
+			dst.objects[id] = &Object{id: o.id, fields: fields, size: o.size}
+		}
+		dst.persistentRoots = make(map[ids.ObjID]struct{}, len(src.persistentRoots))
+		for o := range src.persistentRoots {
+			dst.persistentRoots[o] = struct{}{}
+		}
+		dst.appRoots = make(map[ids.Ref]int, len(src.appRoots))
+		for r, n := range src.appRoots {
+			dst.appRoots[r] = n
+		}
+	})
 	return cp
+}
+
+// eachShardConcurrent runs fn(i) for every shard index, on one goroutine
+// per shard when the heap has more than one.
+func (h *Heap) eachShardConcurrent(fn func(i int)) {
+	if len(h.shards) == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	for i := range h.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
 }
 
 // TraceSnapshot returns a read-only snapshot of the heap plus the Delta of
 // changes since the previous TraceSnapshot call. The first call (and any
 // call before EnableDeltaTracking) deep-copies the whole heap and returns a
-// Full delta; subsequent calls patch the retained shadow copy in O(dirty)
-// and diff each dirty entity against its shadow state, so an idle heap
-// snapshots in O(1) regardless of size.
+// Full delta; subsequent calls patch each shard of the retained shadow copy
+// from that shard's dirty set — concurrently across shards, O(dirty) in
+// total — and diff each dirty entity against its shadow state, so an idle
+// heap snapshots in O(1) regardless of size.
 //
 // The returned heap is the shadow copy itself: it shares no Object structs
 // with the live heap (an off-lock trace may read it while mutators write
@@ -379,15 +545,45 @@ func (h *Heap) TraceSnapshot() (*Heap, *Delta) {
 	}
 	if h.snap == nil {
 		h.snap = h.Snapshot()
-		clear(h.dirtyObjs)
-		clear(h.dirtyPersist)
-		clear(h.dirtyAppRoots)
+		for _, sh := range h.shards {
+			sh.mu.Lock()
+			clear(sh.dirtyObjs)
+			clear(sh.dirtyPersist)
+			clear(sh.dirtyAppRoots)
+			sh.mu.Unlock()
+		}
 		return h.snap, &Delta{Full: true}
 	}
+	parts := make([]Delta, len(h.shards))
+	h.eachShardConcurrent(func(i int) {
+		h.patchShard(h.shards[i], h.snap.shards[i], &parts[i])
+	})
+	h.snap.next.Store(h.next.Load())
 	d := &Delta{}
-	snap := h.snap
-	for obj := range h.dirtyObjs {
-		liveO, liveOK := h.objects[obj]
+	for i := range parts {
+		p := &parts[i]
+		d.FieldsAdded = append(d.FieldsAdded, p.FieldsAdded...)
+		d.FieldsRemoved = append(d.FieldsRemoved, p.FieldsRemoved...)
+		d.Allocated = append(d.Allocated, p.Allocated...)
+		d.Deleted = append(d.Deleted, p.Deleted...)
+		d.LocalRootsAdded = append(d.LocalRootsAdded, p.LocalRootsAdded...)
+		d.LocalRootsRemoved = append(d.LocalRootsRemoved, p.LocalRootsRemoved...)
+		d.RemoteRootsAdded = append(d.RemoteRootsAdded, p.RemoteRootsAdded...)
+		d.RemoteRootsRemoved = append(d.RemoteRootsRemoved, p.RemoteRootsRemoved...)
+	}
+	d.sort()
+	return h.snap, d
+}
+
+// patchShard brings one shadow shard up to date from the live shard's dirty
+// set, accumulating the shard's contribution to the Delta. It locks the
+// live shard; the shadow shard is owned exclusively by the snapshot
+// lineage (the site's trace mutex).
+func (h *Heap) patchShard(live, snap *shard, d *Delta) {
+	live.mu.Lock()
+	defer live.mu.Unlock()
+	for obj := range live.dirtyObjs {
+		liveO, liveOK := live.objects[obj]
 		snapO, snapOK := snap.objects[obj]
 		switch {
 		case liveOK && !snapOK:
@@ -412,8 +608,8 @@ func (h *Heap) TraceSnapshot() (*Heap, *Delta) {
 			}
 		}
 	}
-	for obj := range h.dirtyPersist {
-		_, liveRoot := h.persistentRoots[obj]
+	for obj := range live.dirtyPersist {
+		_, liveRoot := live.persistentRoots[obj]
 		_, snapRoot := snap.persistentRoots[obj]
 		switch {
 		case liveRoot && !snapRoot:
@@ -424,8 +620,8 @@ func (h *Heap) TraceSnapshot() (*Heap, *Delta) {
 			d.LocalRootsRemoved = append(d.LocalRootsRemoved, obj)
 		}
 	}
-	for r := range h.dirtyAppRoots {
-		liveN := h.appRoots[r]
+	for r := range live.dirtyAppRoots {
+		liveN := live.appRoots[r]
 		snapN := snap.appRoots[r]
 		if liveN > 0 {
 			snap.appRoots[r] = liveN
@@ -448,12 +644,9 @@ func (h *Heap) TraceSnapshot() (*Heap, *Delta) {
 			}
 		}
 	}
-	snap.next = h.next
-	clear(h.dirtyObjs)
-	clear(h.dirtyPersist)
-	clear(h.dirtyAppRoots)
-	d.sort()
-	return snap, d
+	clear(live.dirtyObjs)
+	clear(live.dirtyPersist)
+	clear(live.dirtyAppRoots)
 }
 
 // ResetTraceSnapshot discards the shadow copy so the next TraceSnapshot is
@@ -462,10 +655,40 @@ func (h *Heap) TraceSnapshot() (*Heap, *Delta) {
 func (h *Heap) ResetTraceSnapshot() {
 	h.snap = nil
 	if h.tracking {
-		clear(h.dirtyObjs)
-		clear(h.dirtyPersist)
-		clear(h.dirtyAppRoots)
+		for _, sh := range h.shards {
+			sh.mu.Lock()
+			clear(sh.dirtyObjs)
+			clear(sh.dirtyPersist)
+			clear(sh.dirtyAppRoots)
+			sh.mu.Unlock()
+		}
 	}
+}
+
+// MaxShardDirtyRatio returns the largest per-shard ratio of dirty entities
+// to shard objects since the last TraceSnapshot (0 when tracking is off or
+// the heap is empty). Incremental sites export it as the
+// localtrace.parallel.shard_dirty_ratio gauge: a ratio near 1 on one shard
+// while others idle shows mutation skew that per-shard snapshot patching
+// absorbs and a global deep copy would not.
+func (h *Heap) MaxShardDirtyRatio() float64 {
+	if !h.tracking {
+		return 0
+	}
+	max := 0.0
+	for _, sh := range h.shards {
+		sh.mu.RLock()
+		dirty := len(sh.dirtyObjs) + len(sh.dirtyPersist) + len(sh.dirtyAppRoots)
+		n := len(sh.objects)
+		sh.mu.RUnlock()
+		if n == 0 {
+			n = 1
+		}
+		if r := float64(dirty) / float64(n); r > max {
+			max = r
+		}
+	}
+	return max
 }
 
 func (d *Delta) sort() {
@@ -510,13 +733,16 @@ func fieldDiff(old, new []ids.Ref) (added, removed bool) {
 }
 
 // NextID returns the allocation high-water mark (for checkpointing).
-func (h *Heap) NextID() ids.ObjID { return h.next }
+func (h *Heap) NextID() ids.ObjID { return ids.ObjID(h.next.Load()) }
 
 // SetNextID raises the allocation high-water mark (checkpoint recovery);
 // it never lowers it.
 func (h *Heap) SetNextID(n ids.ObjID) {
-	if n > h.next {
-		h.next = n
+	for {
+		cur := h.next.Load()
+		if uint64(n) <= cur || h.next.CompareAndSwap(cur, uint64(n)) {
+			return
+		}
 	}
 }
 
@@ -524,11 +750,16 @@ func (h *Heap) SetNextID(n ids.ObjID) {
 // identifier (used by the migration baseline) and returns its new local
 // reference. The object's fields are supplied by the caller.
 func (h *Heap) Adopt(fields []ids.Ref, size int) ids.Ref {
-	r := h.AllocSized(size)
-	o := h.objects[r.Obj]
+	id := ids.ObjID(h.next.Add(1))
+	o := &Object{id: id, size: size}
 	o.fields = make([]ids.Ref, len(fields))
 	copy(o.fields, fields)
-	return r
+	sh := h.shardFor(id)
+	sh.mu.Lock()
+	sh.objects[id] = o
+	h.touchObj(sh, id)
+	sh.mu.Unlock()
+	return ids.MakeRef(h.site, id)
 }
 
 // --- application roots --------------------------------------------------
@@ -536,32 +767,42 @@ func (h *Heap) Adopt(fields []ids.Ref, size int) ids.Ref {
 // AddAppRoot records that a mutator variable on this site holds the given
 // reference (local or remote). Multiple holds are counted.
 func (h *Heap) AddAppRoot(r ids.Ref) {
-	h.appRoots[r]++
-	h.touchAppRoot(r)
+	sh := h.shardFor(r.Obj)
+	sh.mu.Lock()
+	sh.appRoots[r]++
+	h.touchAppRoot(sh, r)
+	sh.mu.Unlock()
 }
 
 // RemoveAppRoot releases one mutator-variable hold on the reference. It
 // reports whether a hold existed.
 func (h *Heap) RemoveAppRoot(r ids.Ref) bool {
-	n, ok := h.appRoots[r]
+	sh := h.shardFor(r.Obj)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n, ok := sh.appRoots[r]
 	if !ok {
 		return false
 	}
 	if n <= 1 {
-		delete(h.appRoots, r)
+		delete(sh.appRoots, r)
 	} else {
-		h.appRoots[r] = n - 1
+		sh.appRoots[r] = n - 1
 	}
-	h.touchAppRoot(r)
+	h.touchAppRoot(sh, r)
 	return true
 }
 
 // AppRoots returns the distinct references held by mutator variables, in
 // ascending order.
 func (h *Heap) AppRoots() []ids.Ref {
-	out := make([]ids.Ref, 0, len(h.appRoots))
-	for r := range h.appRoots {
-		out = append(out, r)
+	var out []ids.Ref
+	for _, sh := range h.shards {
+		sh.mu.RLock()
+		for r := range sh.appRoots {
+			out = append(out, r)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
@@ -569,22 +810,40 @@ func (h *Heap) AppRoots() []ids.Ref {
 
 // HoldsAppRoot reports whether any mutator variable holds the reference.
 func (h *Heap) HoldsAppRoot(r ids.Ref) bool {
-	return h.appRoots[r] > 0
+	sh := h.shardFor(r.Obj)
+	sh.mu.RLock()
+	n := sh.appRoots[r]
+	sh.mu.RUnlock()
+	return n > 0
 }
 
 // --- reachability helpers (used by local tracing and by tests) ----------
+
+// lockAllRead takes every shard's read lock in index order; the returned
+// function releases them.
+func (h *Heap) lockAllRead() func() {
+	for _, sh := range h.shards {
+		sh.mu.RLock()
+	}
+	return func() {
+		for _, sh := range h.shards {
+			sh.mu.RUnlock()
+		}
+	}
+}
 
 // LocalReachable computes the set of local objects reachable from the given
 // starting references by following only local references (remote fields are
 // not followed). Starting references owned by other sites are ignored.
 func (h *Heap) LocalReachable(starts []ids.Ref) map[ids.ObjID]struct{} {
+	defer h.lockAllRead()()
 	seen := make(map[ids.ObjID]struct{})
 	var stack []ids.ObjID
 	push := func(r ids.Ref) {
 		if r.Site != h.site {
 			return
 		}
-		if _, ok := h.objects[r.Obj]; !ok {
+		if _, ok := h.shardFor(r.Obj).objects[r.Obj]; !ok {
 			return
 		}
 		if _, ok := seen[r.Obj]; ok {
@@ -599,7 +858,7 @@ func (h *Heap) LocalReachable(starts []ids.Ref) map[ids.ObjID]struct{} {
 	for len(stack) > 0 {
 		obj := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, f := range h.objects[obj].fields {
+		for _, f := range h.shardFor(obj).objects[obj].fields {
 			push(f)
 		}
 	}
@@ -609,9 +868,10 @@ func (h *Heap) LocalReachable(starts []ids.Ref) map[ids.ObjID]struct{} {
 // RemoteRefsFrom returns, in ascending order, the distinct remote references
 // held in the fields of the given set of local objects.
 func (h *Heap) RemoteRefsFrom(objs map[ids.ObjID]struct{}) []ids.Ref {
+	defer h.lockAllRead()()
 	set := make(map[ids.Ref]struct{})
 	for obj := range objs {
-		o, ok := h.objects[obj]
+		o, ok := h.shardFor(obj).objects[obj]
 		if !ok {
 			continue
 		}

@@ -194,6 +194,22 @@ const (
 	IncrementalDirtySeeds = "localtrace.incremental.dirty_seeds"
 )
 
+// Sharded-storage and parallel-tracer instrument names (site.Config.Shards
+// and site.Config.TraceWorkers). HeapShards, ParallelWorkers and
+// ParallelShardDirtyRatio are gauges; ParallelSteals is a counter.
+const (
+	// HeapShards is the number of heap/ioref-table shards the site runs.
+	HeapShards = "heap.shards"
+	// ParallelWorkers is the number of mark workers local traces run with.
+	ParallelWorkers = "localtrace.parallel.workers"
+	// ParallelSteals counts work-stealing events between mark-worker deques.
+	ParallelSteals = "localtrace.parallel.steals"
+	// ParallelShardDirtyRatio is the percentage of objects mutated in the
+	// dirtiest heap shard since the last trace snapshot, observed at the
+	// most recent snapshot (incremental sites only).
+	ParallelShardDirtyRatio = "localtrace.parallel.shard_dirty_ratio"
+)
+
 // Mailbox-executor counter names (site.Config.InboxSize > 0).
 const (
 	// MailboxEnqueued counts inbound messages accepted into a site inbox.

@@ -13,13 +13,19 @@
 // is pinned by the insert barrier (Section 6.1.2) or held by a mutator
 // variable. Otherwise it is *suspected*.
 //
-// Like package heap, the tables are not safe for concurrent use; the owning
-// Site serializes access.
+// Like package heap, the tables are hash-sharded by object identifier: each
+// shard owns its own lock, its own sorted-order cache, its own dirty set,
+// and its own slice of the copy-on-write trace snapshot. Protocol-level
+// mutation still runs under the owning Site's write lock; the shard locks
+// make single-entry reads safe against the concurrent snapshot patching
+// and introspection the sharded site allows.
 package refs
 
 import (
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"backtrace/internal/ids"
 )
@@ -166,33 +172,60 @@ func (o *Outref) ClearVisited(t ids.TraceID) {
 	delete(o.Visited, t)
 }
 
+// inShard is one hash partition of the inref table. Each shard caches its
+// own sorted order: a membership change invalidates only that shard's
+// cache, so the per-trace sorted scan rebuilds O(changed shards), not the
+// whole table.
+type inShard struct {
+	mu     sync.RWMutex
+	inrefs map[ids.ObjID]*Inref
+
+	// sorted caches this shard's inrefs ordered by object identifier; it
+	// is invalidated only when shard membership changes (insert or
+	// remove), not on distance or flag updates. rebuilds counts cache
+	// rebuilds, as instrumentation for the per-shard invalidation
+	// regression test.
+	sorted      []*Inref
+	sortedValid bool
+	rebuilds    int
+
+	dirtyIn map[ids.ObjID]struct{}
+}
+
+// outShard is one hash partition of the outref table.
+type outShard struct {
+	mu       sync.RWMutex
+	outrefs  map[ids.Ref]*Outref
+	dirtyOut map[ids.Ref]struct{}
+}
+
 // Table holds one site's inref and outref tables.
 type Table struct {
-	site    ids.SiteID
-	inrefs  map[ids.ObjID]*Inref
-	outrefs map[ids.Ref]*Outref
+	site ids.SiteID
+	ins  []*inShard
+	outs []*outShard
 
 	// defaultBackThreshold initializes the BackThreshold of new iorefs
 	// (the paper's T2, Section 4.3).
 	defaultBackThreshold int
 
-	// sorted caches the Inrefs() ordering; it is invalidated only when
-	// table membership changes (insert or remove), not on distance or flag
-	// updates, so the per-trace suspected-inref scan stops re-sorting an
-	// unchanged table every round.
-	sorted      []*Inref
-	sortedValid bool
+	// merged caches the table-wide Inrefs() ordering, built by merging
+	// the per-shard sorted caches. mergedValid is atomic because
+	// different-shard membership changes may invalidate it concurrently;
+	// mergedMu serializes the rebuild against concurrent readers.
+	mergedMu    sync.Mutex
+	merged      []*Inref
+	mergedValid atomic.Bool
 
 	// --- incremental-trace write barrier (see TraceSnapshot) ---
 
+	// tracking is written only while whole-table exclusion holds
+	// (construction or the site write lock). dirtyIn/dirtyOut live on the
+	// shards: obj/ref entries whose tracer-visible state may differ from
+	// snap. Tracer-invisible fields (Barrier, Pins, outref Distance,
+	// BackThreshold, Visited) are not tracked.
 	tracking bool
 	snap     *Table
-	// dirtyIn names objects whose inref existence, source distances, or
-	// garbage flag may differ from snap; dirtyOut names targets whose
-	// outref existence may differ. Tracer-invisible fields (Barrier, Pins,
-	// outref Distance, BackThreshold, Visited) are not tracked.
-	dirtyIn  map[ids.ObjID]struct{}
-	dirtyOut map[ids.Ref]struct{}
 }
 
 // Delta describes how the tracer-visible table state changed between two
@@ -235,41 +268,82 @@ func (d *Delta) Size() int {
 		len(d.OutrefsAdded) + len(d.OutrefsRemoved)
 }
 
-// NewTable creates empty tables for a site. backThreshold is the initial
-// per-ioref back threshold T2.
+// NewTable creates empty single-shard tables for a site. backThreshold is
+// the initial per-ioref back threshold T2.
 func NewTable(site ids.SiteID, backThreshold int) *Table {
-	return &Table{
+	return NewTableSharded(site, backThreshold, 1)
+}
+
+// NewTableSharded creates empty tables with the given shard count (clamped
+// to at least 1). Sites pass the same count as their heap so inrefs and
+// marks partition identically.
+func NewTableSharded(site ids.SiteID, backThreshold int, shards int) *Table {
+	if shards < 1 {
+		shards = 1
+	}
+	t := &Table{
 		site:                 site,
-		inrefs:               make(map[ids.ObjID]*Inref),
-		outrefs:              make(map[ids.Ref]*Outref),
+		ins:                  make([]*inShard, shards),
+		outs:                 make([]*outShard, shards),
 		defaultBackThreshold: backThreshold,
 	}
+	for i := range t.ins {
+		t.ins[i] = &inShard{inrefs: make(map[ids.ObjID]*Inref)}
+		t.outs[i] = &outShard{outrefs: make(map[ids.Ref]*Outref)}
+	}
+	return t
 }
 
 // Site returns the owning site.
 func (t *Table) Site() ids.SiteID { return t.site }
 
+// NumShards returns the table's shard count.
+func (t *Table) NumShards() int { return len(t.ins) }
+
+// ShardOf returns the shard index owning an object identifier; it matches
+// heap.ShardOf for a heap of the same shard count.
+func (t *Table) ShardOf(obj ids.ObjID) int {
+	return int(uint64(obj) % uint64(len(t.ins)))
+}
+
+func (t *Table) inShardFor(obj ids.ObjID) *inShard { return t.ins[t.ShardOf(obj)] }
+
+func (t *Table) outShardFor(r ids.Ref) *outShard { return t.outs[t.ShardOf(r.Obj)] }
+
+// InrefShardRebuilds returns how many times shard i's sorted cache has been
+// rebuilt (test instrumentation for per-shard cache invalidation).
+func (t *Table) InrefShardRebuilds(i int) int {
+	sh := t.ins[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.rebuilds
+}
+
 // EnableDeltaTracking turns on the write barrier that records dirty
 // entries for TraceSnapshot. Sites configured for incremental tracing call
-// this once at construction.
+// this once at construction; it requires whole-table exclusion.
 func (t *Table) EnableDeltaTracking() {
 	if t.tracking {
 		return
 	}
 	t.tracking = true
-	t.dirtyIn = make(map[ids.ObjID]struct{})
-	t.dirtyOut = make(map[ids.Ref]struct{})
-}
-
-func (t *Table) touchIn(obj ids.ObjID) {
-	if t.tracking {
-		t.dirtyIn[obj] = struct{}{}
+	for i := range t.ins {
+		t.ins[i].dirtyIn = make(map[ids.ObjID]struct{})
+		t.outs[i].dirtyOut = make(map[ids.Ref]struct{})
 	}
 }
 
-func (t *Table) touchOut(target ids.Ref) {
+// The touch helpers run with the shard lock held.
+
+func (t *Table) touchIn(sh *inShard, obj ids.ObjID) {
 	if t.tracking {
-		t.dirtyOut[target] = struct{}{}
+		sh.dirtyIn[obj] = struct{}{}
+	}
+}
+
+func (t *Table) touchOut(sh *outShard, target ids.Ref) {
+	if t.tracking {
+		sh.dirtyOut[target] = struct{}{}
 	}
 }
 
@@ -277,22 +351,29 @@ func (t *Table) touchOut(target ids.Ref) {
 
 // Inref returns the inref for a local object, if present.
 func (t *Table) Inref(obj ids.ObjID) (*Inref, bool) {
-	in, ok := t.inrefs[obj]
+	sh := t.inShardFor(obj)
+	sh.mu.RLock()
+	in, ok := sh.inrefs[obj]
+	sh.mu.RUnlock()
 	return in, ok
 }
 
 // EnsureInref returns the inref for obj, creating an empty one if absent.
 func (t *Table) EnsureInref(obj ids.ObjID) *Inref {
-	in, ok := t.inrefs[obj]
+	sh := t.inShardFor(obj)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	in, ok := sh.inrefs[obj]
 	if !ok {
 		in = &Inref{
 			Obj:           obj,
 			Sources:       make(map[ids.SiteID]int),
 			BackThreshold: t.defaultBackThreshold,
 		}
-		t.inrefs[obj] = in
-		t.sortedValid = false
-		t.touchIn(obj)
+		sh.inrefs[obj] = in
+		sh.sortedValid = false
+		t.mergedValid.Store(false)
+		t.touchIn(sh, obj)
 	}
 	return in
 }
@@ -301,10 +382,24 @@ func (t *Table) EnsureInref(obj ids.ObjID) *Inref {
 // source is new its distance is conservatively set to 1 (Section 3); an
 // existing source's distance is left unchanged.
 func (t *Table) AddSource(obj ids.ObjID, src ids.SiteID) *Inref {
-	in := t.EnsureInref(obj)
+	sh := t.inShardFor(obj)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	in, ok := sh.inrefs[obj]
+	if !ok {
+		in = &Inref{
+			Obj:           obj,
+			Sources:       make(map[ids.SiteID]int),
+			BackThreshold: t.defaultBackThreshold,
+		}
+		sh.inrefs[obj] = in
+		sh.sortedValid = false
+		t.mergedValid.Store(false)
+		t.touchIn(sh, obj)
+	}
 	if _, ok := in.Sources[src]; !ok {
 		in.Sources[src] = 1
-		t.touchIn(obj)
+		t.touchIn(sh, obj)
 	}
 	return in
 }
@@ -312,7 +407,10 @@ func (t *Table) AddSource(obj ids.ObjID, src ids.SiteID) *Inref {
 // SetSourceDistance updates the distance for one source of obj's inref, if
 // both exist (distance changes arrive in update messages, Section 3).
 func (t *Table) SetSourceDistance(obj ids.ObjID, src ids.SiteID, dist int) {
-	in, ok := t.inrefs[obj]
+	sh := t.inShardFor(obj)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	in, ok := sh.inrefs[obj]
 	if !ok {
 		return
 	}
@@ -320,7 +418,7 @@ func (t *Table) SetSourceDistance(obj ids.ObjID, src ids.SiteID, dist int) {
 		return
 	}
 	in.Sources[src] = dist
-	t.touchIn(obj)
+	t.touchIn(sh, obj)
 }
 
 // RemoveSource removes src from obj's source list (the sender trimmed its
@@ -328,18 +426,22 @@ func (t *Table) SetSourceDistance(obj ids.ObjID, src ids.SiteID, dist int) {
 // removal is reported (Section 2: "An inref with an empty source list is
 // removed").
 func (t *Table) RemoveSource(obj ids.ObjID, src ids.SiteID) (removedInref bool) {
-	in, ok := t.inrefs[obj]
+	sh := t.inShardFor(obj)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	in, ok := sh.inrefs[obj]
 	if !ok {
 		return false
 	}
 	if _, had := in.Sources[src]; had {
 		delete(in.Sources, src)
-		t.touchIn(obj)
+		t.touchIn(sh, obj)
 	}
 	if len(in.Sources) == 0 {
-		delete(t.inrefs, obj)
-		t.sortedValid = false
-		t.touchIn(obj)
+		delete(sh.inrefs, obj)
+		sh.sortedValid = false
+		t.mergedValid.Store(false)
+		t.touchIn(sh, obj)
 		return true
 	}
 	return false
@@ -347,50 +449,135 @@ func (t *Table) RemoveSource(obj ids.ObjID, src ids.SiteID) (removedInref bool) 
 
 // RemoveInref deletes an inref outright (collector cleanup).
 func (t *Table) RemoveInref(obj ids.ObjID) {
-	if _, ok := t.inrefs[obj]; !ok {
+	sh := t.inShardFor(obj)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.inrefs[obj]; !ok {
 		return
 	}
-	delete(t.inrefs, obj)
-	t.sortedValid = false
-	t.touchIn(obj)
+	delete(sh.inrefs, obj)
+	sh.sortedValid = false
+	t.mergedValid.Store(false)
+	t.touchIn(sh, obj)
 }
 
 // FlagGarbage sets the inref's garbage flag (a back trace confirmed it
 // garbage in its report phase, Section 4.5). Routed through the table so
 // incremental tracing sees the root disappear.
 func (t *Table) FlagGarbage(obj ids.ObjID) {
-	in, ok := t.inrefs[obj]
+	sh := t.inShardFor(obj)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	in, ok := sh.inrefs[obj]
 	if !ok || in.Garbage {
 		return
 	}
 	in.Garbage = true
-	t.touchIn(obj)
+	t.touchIn(sh, obj)
+}
+
+// sortedLocked returns the shard's sorted cache, rebuilding it if
+// membership changed since the last call. Caller holds sh.mu.
+func (sh *inShard) sortedLocked() []*Inref {
+	if !sh.sortedValid {
+		sh.sorted = sh.sorted[:0]
+		for _, in := range sh.inrefs {
+			sh.sorted = append(sh.sorted, in)
+		}
+		sort.Slice(sh.sorted, func(i, j int) bool { return sh.sorted[i].Obj < sh.sorted[j].Obj })
+		sh.sortedValid = true
+		sh.rebuilds++
+	}
+	return sh.sorted
 }
 
 // Inrefs returns all inrefs ordered by object identifier. The slice is a
-// cache owned by the table, rebuilt only when membership changed since the
-// last call: callers must not modify it, and it is valid until the next
-// insert or remove.
+// cache owned by the table: callers must not modify it, and it is valid
+// until the next insert or remove. A membership change rebuilds only the
+// sorted order of the shard it happened in; unchanged shards contribute
+// their cached order to the merge.
 func (t *Table) Inrefs() []*Inref {
-	if !t.sortedValid {
-		t.sorted = t.sorted[:0]
-		for _, in := range t.inrefs {
-			t.sorted = append(t.sorted, in)
-		}
-		sort.Slice(t.sorted, func(i, j int) bool { return t.sorted[i].Obj < t.sorted[j].Obj })
-		t.sortedValid = true
+	t.mergedMu.Lock()
+	defer t.mergedMu.Unlock()
+	if t.mergedValid.Load() {
+		return t.merged
 	}
-	return t.sorted
+	if len(t.ins) == 1 {
+		sh := t.ins[0]
+		sh.mu.Lock()
+		t.merged = sh.sortedLocked()
+		sh.mu.Unlock()
+		t.mergedValid.Store(true)
+		return t.merged
+	}
+	parts := make([][]*Inref, len(t.ins))
+	total := 0
+	for i, sh := range t.ins {
+		sh.mu.Lock()
+		parts[i] = sh.sortedLocked()
+		sh.mu.Unlock()
+		total += len(parts[i])
+	}
+	t.merged = mergeSortedInrefs(parts, t.merged[:0], total)
+	t.mergedValid.Store(true)
+	return t.merged
+}
+
+// mergeSortedInrefs k-way merges per-shard sorted slices into dst. Hash
+// sharding interleaves identifiers across shards, so concatenation is not
+// sorted; the merge repeatedly takes the smallest head.
+func mergeSortedInrefs(parts [][]*Inref, dst []*Inref, total int) []*Inref {
+	if cap(dst) < total {
+		dst = make([]*Inref, 0, total)
+	}
+	heads := make([]int, len(parts))
+	for len(dst) < total {
+		best := -1
+		for i, p := range parts {
+			if heads[i] >= len(p) {
+				continue
+			}
+			if best < 0 || p[heads[i]].Obj < parts[best][heads[best]].Obj {
+				best = i
+			}
+		}
+		dst = append(dst, parts[best][heads[best]])
+		heads[best]++
+	}
+	return dst
 }
 
 // NumInrefs returns the number of inrefs.
-func (t *Table) NumInrefs() int { return len(t.inrefs) }
+func (t *Table) NumInrefs() int {
+	n := 0
+	for _, sh := range t.ins {
+		sh.mu.RLock()
+		n += len(sh.inrefs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
 
 // EachInref invokes fn for every inref in unspecified order, without
 // allocating (for order-insensitive scans like update reconciliation).
 // fn must not add or remove inrefs.
 func (t *Table) EachInref(fn func(*Inref)) {
-	for _, in := range t.inrefs {
+	for _, sh := range t.ins {
+		sh.mu.RLock()
+		for _, in := range sh.inrefs {
+			fn(in)
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// EachInrefInShard invokes fn for every inref in one shard, in unspecified
+// order, holding the shard read lock (for the parallel tracer's root scan).
+func (t *Table) EachInrefInShard(i int, fn func(*Inref)) {
+	sh := t.ins[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, in := range sh.inrefs {
 		fn(in)
 	}
 }
@@ -399,7 +586,10 @@ func (t *Table) EachInref(fn func(*Inref)) {
 
 // Outref returns the outref for a remote target, if present.
 func (t *Table) Outref(target ids.Ref) (*Outref, bool) {
-	o, ok := t.outrefs[target]
+	sh := t.outShardFor(target)
+	sh.mu.RLock()
+	o, ok := sh.outrefs[target]
+	sh.mu.RUnlock()
 	return o, ok
 }
 
@@ -411,7 +601,10 @@ func (t *Table) Outref(target ids.Ref) (*Outref, bool) {
 // passing the reference (Section 6.1.2, case 4: "Y creates a clean outref
 // for z").
 func (t *Table) EnsureOutref(target ids.Ref) (o *Outref, created bool) {
-	o, ok := t.outrefs[target]
+	sh := t.outShardFor(target)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	o, ok := sh.outrefs[target]
 	if !ok {
 		o = &Outref{
 			Target:        target,
@@ -419,34 +612,60 @@ func (t *Table) EnsureOutref(target ids.Ref) (o *Outref, created bool) {
 			Barrier:       true,
 			BackThreshold: t.defaultBackThreshold,
 		}
-		t.outrefs[target] = o
+		sh.outrefs[target] = o
 		created = true
-		t.touchOut(target)
+		t.touchOut(sh, target)
 	}
 	return o, created
 }
 
 // RemoveOutref deletes an outref (trimmed after a local trace).
 func (t *Table) RemoveOutref(target ids.Ref) {
-	if _, ok := t.outrefs[target]; !ok {
+	sh := t.outShardFor(target)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.outrefs[target]; !ok {
 		return
 	}
-	delete(t.outrefs, target)
-	t.touchOut(target)
+	delete(sh.outrefs, target)
+	t.touchOut(sh, target)
 }
 
 // Outrefs returns all outrefs ordered by target reference.
 func (t *Table) Outrefs() []*Outref {
-	out := make([]*Outref, 0, len(t.outrefs))
-	for _, o := range t.outrefs {
-		out = append(out, o)
+	out := make([]*Outref, 0, t.NumOutrefs())
+	for _, sh := range t.outs {
+		sh.mu.RLock()
+		for _, o := range sh.outrefs {
+			out = append(out, o)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Target.Less(out[j].Target) })
 	return out
 }
 
 // NumOutrefs returns the number of outrefs.
-func (t *Table) NumOutrefs() int { return len(t.outrefs) }
+func (t *Table) NumOutrefs() int {
+	n := 0
+	for _, sh := range t.outs {
+		sh.mu.RLock()
+		n += len(sh.outrefs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// EachOutrefInShard invokes fn for every outref in one shard, in
+// unspecified order, holding the shard read lock.
+func (t *Table) EachOutrefInShard(i int, fn func(*Outref)) {
+	sh := t.outs[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, o := range sh.outrefs {
+		fn(o)
+	}
+}
 
 // Pin increments the insert-barrier pin count of the outref for target,
 // creating the outref if needed (the sender must retain it).
@@ -459,7 +678,7 @@ func (t *Table) Pin(target ids.Ref) *Outref {
 // Unpin decrements the pin count; it is a no-op if the outref is missing or
 // unpinned (a duplicate ReleasePin after message retry is harmless).
 func (t *Table) Unpin(target ids.Ref) {
-	o, ok := t.outrefs[target]
+	o, ok := t.Outref(target)
 	if !ok {
 		return
 	}
@@ -468,67 +687,121 @@ func (t *Table) Unpin(target ids.Ref) {
 	}
 }
 
+// eachShardConcurrent runs fn(i) for every shard index, on one goroutine
+// per shard when the table has more than one.
+func (t *Table) eachShardConcurrent(fn func(i int)) {
+	if len(t.ins) == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	for i := range t.ins {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
 // Snapshot returns a deep copy of both tables for use by an off-lock local
-// trace. Everything the tracer reads is copied — source lists with
-// distances, barrier and garbage flags, pins, distances, back thresholds.
-// The per-trace Visited marks are deliberately NOT carried over: they
-// belong to the live table (the back-tracing engine mutates them under the
-// site lock) and the tracer never reads them.
+// trace; shards are copied concurrently. Everything the tracer reads is
+// copied — source lists with distances, barrier and garbage flags, pins,
+// distances, back thresholds. The per-trace Visited marks are deliberately
+// NOT carried over: they belong to the live table (the back-tracing engine
+// mutates them under the site lock) and the tracer never reads them.
 func (t *Table) Snapshot() *Table {
-	cp := &Table{
-		site:                 t.site,
-		inrefs:               make(map[ids.ObjID]*Inref, len(t.inrefs)),
-		outrefs:              make(map[ids.Ref]*Outref, len(t.outrefs)),
-		defaultBackThreshold: t.defaultBackThreshold,
-	}
-	for obj, in := range t.inrefs {
-		srcs := make(map[ids.SiteID]int, len(in.Sources))
-		for s, d := range in.Sources {
-			srcs[s] = d
+	cp := NewTableSharded(t.site, t.defaultBackThreshold, len(t.ins))
+	t.eachShardConcurrent(func(i int) {
+		src, dst := t.ins[i], cp.ins[i]
+		src.mu.RLock()
+		dst.inrefs = make(map[ids.ObjID]*Inref, len(src.inrefs))
+		for obj, in := range src.inrefs {
+			srcs := make(map[ids.SiteID]int, len(in.Sources))
+			for s, d := range in.Sources {
+				srcs[s] = d
+			}
+			dst.inrefs[obj] = &Inref{
+				Obj:           in.Obj,
+				Sources:       srcs,
+				Barrier:       in.Barrier,
+				Garbage:       in.Garbage,
+				BackThreshold: in.BackThreshold,
+			}
 		}
-		cp.inrefs[obj] = &Inref{
-			Obj:           in.Obj,
-			Sources:       srcs,
-			Barrier:       in.Barrier,
-			Garbage:       in.Garbage,
-			BackThreshold: in.BackThreshold,
+		src.mu.RUnlock()
+
+		osrc, odst := t.outs[i], cp.outs[i]
+		osrc.mu.RLock()
+		odst.outrefs = make(map[ids.Ref]*Outref, len(osrc.outrefs))
+		for target, o := range osrc.outrefs {
+			odst.outrefs[target] = &Outref{
+				Target:        o.Target,
+				Distance:      o.Distance,
+				Pins:          o.Pins,
+				Barrier:       o.Barrier,
+				BackThreshold: o.BackThreshold,
+			}
 		}
-	}
-	for target, o := range t.outrefs {
-		cp.outrefs[target] = &Outref{
-			Target:        o.Target,
-			Distance:      o.Distance,
-			Pins:          o.Pins,
-			Barrier:       o.Barrier,
-			BackThreshold: o.BackThreshold,
-		}
-	}
+		osrc.mu.RUnlock()
+	})
 	return cp
 }
 
 // TraceSnapshot returns a read-only snapshot of the tables plus the Delta
 // of tracer-visible changes since the previous TraceSnapshot call,
 // mirroring heap.TraceSnapshot: the first call deep-copies, later calls
-// patch the retained shadow copy in O(dirty). The snapshot is faithful only
-// for what the tracer reads — inref existence, source distances, garbage
-// flags, and outref existence; tracer-invisible fields (Barrier, Pins,
-// outref Distance) may be stale in patched entries. The returned table is
-// patched in place by the next call; the site's trace mutex serializes.
+// patch each shard of the retained shadow copy concurrently, in O(dirty)
+// total. The snapshot is faithful only for what the tracer reads — inref
+// existence, source distances, garbage flags, and outref existence;
+// tracer-invisible fields (Barrier, Pins, outref Distance) may be stale in
+// patched entries. The returned table is patched in place by the next
+// call; the site's trace mutex serializes.
 func (t *Table) TraceSnapshot() (*Table, *Delta) {
 	if !t.tracking {
 		t.EnableDeltaTracking()
 	}
 	if t.snap == nil {
 		t.snap = t.Snapshot()
-		clear(t.dirtyIn)
-		clear(t.dirtyOut)
+		for i := range t.ins {
+			t.ins[i].mu.Lock()
+			clear(t.ins[i].dirtyIn)
+			t.ins[i].mu.Unlock()
+			t.outs[i].mu.Lock()
+			clear(t.outs[i].dirtyOut)
+			t.outs[i].mu.Unlock()
+		}
 		return t.snap, &Delta{Full: true}
 	}
+	parts := make([]Delta, len(t.ins))
+	t.eachShardConcurrent(func(i int) {
+		t.patchShard(i, &parts[i])
+	})
 	d := &Delta{}
-	snap := t.snap
-	for obj := range t.dirtyIn {
-		liveIn, liveOK := t.inrefs[obj]
-		snapIn, snapOK := snap.inrefs[obj]
+	for i := range parts {
+		p := &parts[i]
+		d.InrefsImproved = append(d.InrefsImproved, p.InrefsImproved...)
+		d.InrefsWorsened = append(d.InrefsWorsened, p.InrefsWorsened...)
+		d.OutrefsAdded = append(d.OutrefsAdded, p.OutrefsAdded...)
+		d.OutrefsRemoved = append(d.OutrefsRemoved, p.OutrefsRemoved...)
+	}
+	sort.Slice(d.InrefsImproved, func(i, j int) bool { return d.InrefsImproved[i] < d.InrefsImproved[j] })
+	sort.Slice(d.InrefsWorsened, func(i, j int) bool { return d.InrefsWorsened[i] < d.InrefsWorsened[j] })
+	sort.Slice(d.OutrefsAdded, func(i, j int) bool { return d.OutrefsAdded[i].Less(d.OutrefsAdded[j]) })
+	sort.Slice(d.OutrefsRemoved, func(i, j int) bool { return d.OutrefsRemoved[i].Less(d.OutrefsRemoved[j]) })
+	return t.snap, d
+}
+
+// patchShard brings shard i of the shadow tables up to date from the live
+// shard's dirty sets, accumulating the shard's Delta contribution. It
+// locks the live shard; the shadow is owned by the snapshot lineage.
+func (t *Table) patchShard(i int, d *Delta) {
+	sh, snapSh := t.ins[i], t.snap.ins[i]
+	sh.mu.Lock()
+	for obj := range sh.dirtyIn {
+		liveIn, liveOK := sh.inrefs[obj]
+		snapIn, snapOK := snapSh.inrefs[obj]
 		// An inref acts as a trace root iff it exists and is not flagged
 		// garbage; its root distance is the minimum over sources.
 		oldRoot := snapOK && !snapIn.Garbage
@@ -554,30 +827,37 @@ func (t *Table) TraceSnapshot() (*Table, *Delta) {
 			}
 			if snapOK {
 				// Patch the existing struct in place: the snapshot's sorted
-				// cache holds pointers, so replacing the struct would leave
+				// caches hold pointers, so replacing the struct would leave
 				// a stale entry behind without invalidating the cache.
 				snapIn.Sources = srcs
 				snapIn.Barrier = liveIn.Barrier
 				snapIn.Garbage = liveIn.Garbage
 				snapIn.BackThreshold = liveIn.BackThreshold
 			} else {
-				snap.inrefs[obj] = &Inref{
+				snapSh.inrefs[obj] = &Inref{
 					Obj:           liveIn.Obj,
 					Sources:       srcs,
 					Barrier:       liveIn.Barrier,
 					Garbage:       liveIn.Garbage,
 					BackThreshold: liveIn.BackThreshold,
 				}
-				snap.sortedValid = false
+				snapSh.sortedValid = false
+				t.snap.mergedValid.Store(false)
 			}
 		} else if snapOK {
-			delete(snap.inrefs, obj)
-			snap.sortedValid = false
+			delete(snapSh.inrefs, obj)
+			snapSh.sortedValid = false
+			t.snap.mergedValid.Store(false)
 		}
 	}
-	for target := range t.dirtyOut {
-		liveO, liveOK := t.outrefs[target]
-		_, snapOK := snap.outrefs[target]
+	clear(sh.dirtyIn)
+	sh.mu.Unlock()
+
+	osh, snapOsh := t.outs[i], t.snap.outs[i]
+	osh.mu.Lock()
+	for target := range osh.dirtyOut {
+		liveO, liveOK := osh.outrefs[target]
+		_, snapOK := snapOsh.outrefs[target]
 		switch {
 		case liveOK && !snapOK:
 			d.OutrefsAdded = append(d.OutrefsAdded, target)
@@ -585,7 +865,7 @@ func (t *Table) TraceSnapshot() (*Table, *Delta) {
 			d.OutrefsRemoved = append(d.OutrefsRemoved, target)
 		}
 		if liveOK {
-			snap.outrefs[target] = &Outref{
+			snapOsh.outrefs[target] = &Outref{
 				Target:        liveO.Target,
 				Distance:      liveO.Distance,
 				Pins:          liveO.Pins,
@@ -593,16 +873,11 @@ func (t *Table) TraceSnapshot() (*Table, *Delta) {
 				BackThreshold: liveO.BackThreshold,
 			}
 		} else {
-			delete(snap.outrefs, target)
+			delete(snapOsh.outrefs, target)
 		}
 	}
-	clear(t.dirtyIn)
-	clear(t.dirtyOut)
-	sort.Slice(d.InrefsImproved, func(i, j int) bool { return d.InrefsImproved[i] < d.InrefsImproved[j] })
-	sort.Slice(d.InrefsWorsened, func(i, j int) bool { return d.InrefsWorsened[i] < d.InrefsWorsened[j] })
-	sort.Slice(d.OutrefsAdded, func(i, j int) bool { return d.OutrefsAdded[i].Less(d.OutrefsAdded[j]) })
-	sort.Slice(d.OutrefsRemoved, func(i, j int) bool { return d.OutrefsRemoved[i].Less(d.OutrefsRemoved[j]) })
-	return snap, d
+	clear(osh.dirtyOut)
+	osh.mu.Unlock()
 }
 
 // ResetTraceSnapshot discards the shadow copy so the next TraceSnapshot is
@@ -610,8 +885,14 @@ func (t *Table) TraceSnapshot() (*Table, *Delta) {
 func (t *Table) ResetTraceSnapshot() {
 	t.snap = nil
 	if t.tracking {
-		clear(t.dirtyIn)
-		clear(t.dirtyOut)
+		for i := range t.ins {
+			t.ins[i].mu.Lock()
+			clear(t.ins[i].dirtyIn)
+			t.ins[i].mu.Unlock()
+			t.outs[i].mu.Lock()
+			clear(t.outs[i].dirtyOut)
+			t.outs[i].mu.Unlock()
+		}
 	}
 }
 
@@ -620,10 +901,18 @@ func (t *Table) ResetTraceSnapshot() {
 // and back information (Section 6.1.1: barrier-cleaned outrefs "remain
 // clean until the site does the next local trace").
 func (t *Table) ResetBarriers() {
-	for _, in := range t.inrefs {
-		in.Barrier = false
+	for _, sh := range t.ins {
+		sh.mu.Lock()
+		for _, in := range sh.inrefs {
+			in.Barrier = false
+		}
+		sh.mu.Unlock()
 	}
-	for _, o := range t.outrefs {
-		o.Barrier = false
+	for _, sh := range t.outs {
+		sh.mu.Lock()
+		for _, o := range sh.outrefs {
+			o.Barrier = false
+		}
+		sh.mu.Unlock()
 	}
 }

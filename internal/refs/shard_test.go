@@ -1,0 +1,93 @@
+package refs
+
+import (
+	"reflect"
+	"testing"
+
+	"backtrace/internal/ids"
+)
+
+// TestInrefShardCacheInvalidation is the regression test for the per-shard
+// sorted cache: a membership change in one shard must rebuild only that
+// shard's order on the next Inrefs() call, while the other shards keep
+// contributing their cached slices to the k-way merge.
+func TestInrefShardCacheInvalidation(t *testing.T) {
+	const shards = 4
+	tbl := NewTableSharded(1, 8, shards)
+	if got := tbl.NumShards(); got != shards {
+		t.Fatalf("NumShards = %d, want %d", got, shards)
+	}
+	// One inref per shard (hash sharding is obj % shards).
+	for obj := ids.ObjID(1); obj <= 8; obj++ {
+		tbl.AddSource(obj, 2)
+	}
+
+	rebuilds := func() []int {
+		out := make([]int, shards)
+		for i := range out {
+			out[i] = tbl.InrefShardRebuilds(i)
+		}
+		return out
+	}
+
+	tbl.Inrefs()
+	base := rebuilds()
+	for i, n := range base {
+		if n != 1 {
+			t.Fatalf("shard %d rebuilt %d times after first Inrefs, want 1", i, n)
+		}
+	}
+
+	// Non-membership mutation: distance updates must not invalidate any
+	// shard's sorted order.
+	tbl.SetSourceDistance(3, 2, 7)
+	tbl.Inrefs()
+	if got := rebuilds(); !reflect.DeepEqual(got, base) {
+		t.Fatalf("distance update invalidated sorted caches: rebuilds %v, want %v", got, base)
+	}
+
+	// Membership change in shard 1 (obj 9 hashes to 9 % 4 = 1): only that
+	// shard may rebuild.
+	target := tbl.ShardOf(9)
+	tbl.AddSource(9, 2)
+	tbl.Inrefs()
+	want := append([]int(nil), base...)
+	want[target]++
+	if got := rebuilds(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("after insert in shard %d: rebuilds %v, want %v", target, got, want)
+	}
+
+	// Removal in a different shard: again only that shard rebuilds.
+	target2 := tbl.ShardOf(6)
+	tbl.RemoveInref(6)
+	tbl.Inrefs()
+	want[target2]++
+	if got := rebuilds(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("after remove in shard %d: rebuilds %v, want %v", target2, got, want)
+	}
+}
+
+// TestShardedInrefsSorted checks the cross-shard merge: hash sharding
+// interleaves identifiers, so Inrefs() must still come back globally sorted
+// and identical to the single-shard table's view of the same contents.
+func TestShardedInrefsSorted(t *testing.T) {
+	sharded := NewTableSharded(1, 8, 5)
+	flat := NewTable(1, 8)
+	for _, obj := range []ids.ObjID{17, 3, 25, 4, 11, 2, 9, 30, 1} {
+		sharded.AddSource(obj, 2)
+		flat.AddSource(obj, 2)
+	}
+	got := sharded.Inrefs()
+	want := flat.Inrefs()
+	if len(got) != len(want) {
+		t.Fatalf("sharded Inrefs has %d entries, flat has %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Obj != want[i].Obj {
+			t.Fatalf("position %d: sharded obj %v, flat obj %v", i, got[i].Obj, want[i].Obj)
+		}
+		if i > 0 && got[i-1].Obj >= got[i].Obj {
+			t.Fatalf("Inrefs not strictly sorted at %d: %v >= %v", i, got[i-1].Obj, got[i].Obj)
+		}
+	}
+}

@@ -44,6 +44,14 @@ type Config struct {
 	// model checker exercises the dirty-set remark and its write-barrier
 	// invalidation against the same safety/completeness oracles.
 	Incremental bool `json:"incremental,omitempty"`
+	// Shards requests a minimum heap/ioref-table shard count per site;
+	// TraceWorkers runs local traces on a work-stealing parallel marker.
+	// Both are result-invariant (parallel traces are bit-identical to
+	// sequential ones), so the model checker can exercise the sharded
+	// snapshot and parallel mark paths under the same deterministic
+	// schedules and oracles.
+	Shards       int `json:"shards,omitempty"`
+	TraceWorkers int `json:"trace_workers,omitempty"`
 	// Faults is the fault-schedule DSL (see faults.go); generation only.
 	Faults string `json:"faults,omitempty"`
 }
@@ -178,6 +186,8 @@ func newWorld(cfg Config) *world {
 		ReportTimeout:      simReportTimeout,
 		SkipTransferBarrierUnsafe: cfg.SkipTransferBarrier,
 		Incremental:               cfg.Incremental,
+		Shards:                    cfg.Shards,
+		TraceWorkers:              cfg.TraceWorkers,
 		Observer:                  w.spans,
 	})
 
@@ -350,6 +360,8 @@ func (w *world) restoreConfig(s ids.SiteID) site.Config {
 		Clock:                     w.clk,
 		SkipTransferBarrierUnsafe: w.cfg.SkipTransferBarrier,
 		Incremental:               w.cfg.Incremental,
+		Shards:                    w.cfg.Shards,
+		TraceWorkers:              w.cfg.TraceWorkers,
 		Counters:                  w.cluster.Counters(),
 		Observer:                  w.cluster.Observer(),
 	}

@@ -25,11 +25,12 @@ type Audit struct {
 	GarbageFlagged []ids.ObjID
 }
 
-// AuditSnapshot captures the site's state under the read lock, so auditors
-// can run while collectors keep working.
+// AuditSnapshot captures the site's state under the write lock: heap-only
+// mutators run under the read lock plus per-shard locks, so only the write
+// lock yields a consistent cut across every shard.
 func (s *Site) AuditSnapshot() Audit {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.assertOutboxFlushed()
 	a := Audit{
 		Objects:         make(map[ids.ObjID][]ids.Ref, s.heap.Len()),

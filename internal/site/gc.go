@@ -80,6 +80,7 @@ func (s *Site) BeginLocalTrace() {
 	var hd *heap.Delta
 	var td *refs.Delta
 	if s.cfg.Incremental {
+		s.gaugeDirty.Set(int64(100 * s.heap.MaxShardDirtyRatio()))
 		h, hd = s.heap.TraceSnapshot()
 		tbl, td = s.table.TraceSnapshot()
 	} else {
@@ -95,7 +96,7 @@ func (s *Site) BeginLocalTrace() {
 	if s.cfg.Incremental {
 		res = s.incr.Run(h, tbl, hd, td, threshold, s.cfg.OutsetAlgorithm)
 	} else {
-		res = tracer.RunWithScratch(h, tbl, threshold, s.cfg.OutsetAlgorithm, s.scratch)
+		res = s.runFull(h, tbl, threshold)
 	}
 
 	s.mu.Lock()
@@ -126,9 +127,20 @@ func (s *Site) computeTrace(h *heap.Heap, tbl *refs.Table, threshold int) *trace
 		// Even under the lock, incremental mode traces the patched
 		// snapshot: the remark's previous-result lineage must refer to one
 		// consistent sequence of states.
+		s.gaugeDirty.Set(int64(100 * s.heap.MaxShardDirtyRatio()))
 		sh, hd := s.heap.TraceSnapshot()
 		stbl, td := s.table.TraceSnapshot()
 		return s.incr.Run(sh, stbl, hd, td, threshold, s.cfg.OutsetAlgorithm)
+	}
+	return s.runFull(h, tbl, threshold)
+}
+
+// runFull computes a non-incremental trace: the work-stealing parallel
+// tracer when Config.TraceWorkers exceeds one, the sequential
+// scratch-buffered tracer otherwise. Results are bit-identical.
+func (s *Site) runFull(h *heap.Heap, tbl *refs.Table, threshold int) *tracer.Result {
+	if s.cfg.TraceWorkers > 1 {
+		return tracer.RunParallel(h, tbl, threshold, s.cfg.OutsetAlgorithm, s.cfg.TraceWorkers)
 	}
 	return tracer.RunWithScratch(h, tbl, threshold, s.cfg.OutsetAlgorithm, s.scratch)
 }
@@ -151,6 +163,9 @@ func (s *Site) installPendingLocked(res *tracer.Result) {
 	s.cfg.Counters.Add(metrics.ObjectsRetraced, res.Stats.OutsetRetraced)
 	s.cfg.Counters.Add(metrics.OutsetUnions, res.Stats.Unions)
 	s.cfg.Counters.Add(metrics.OutsetUnionsMemoHit, res.Stats.MemoHits)
+	if res.Stats.Steals > 0 {
+		s.cfg.Counters.Add(metrics.ParallelSteals, res.Stats.Steals)
+	}
 	if s.cfg.Incremental {
 		if res.Stats.Incremental {
 			s.cfg.Counters.Inc(metrics.IncrementalRemarks)

@@ -12,19 +12,26 @@ import (
 // roots), and pass references between sites. Every operation that moves a
 // reference across sites goes through the transfer and insert barriers of
 // Section 6.1.
+//
+// Operations that touch only the heap (allocation, root flips, field
+// removal) take the site READ lock: the heap is internally sharded with
+// per-shard locks, so such mutators on distinct shards run concurrently
+// and contend only with whole-site critical sections (trace snapshots,
+// message handlers), never with each other. Operations that consult or
+// mutate the ioref tables, or that send messages, keep the write lock.
 
 // NewObject allocates an object on this site and returns its reference.
 func (s *Site) NewObject() ids.Ref {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.heap.Alloc()
 }
 
 // NewRootObject allocates an object and designates it a persistent root
 // (an entry point into the store, such as a directory).
 func (s *Site) NewRootObject() ids.Ref {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.heap.AllocRoot()
 }
 
@@ -33,15 +40,15 @@ func (s *Site) NewRootObject() ids.Ref {
 // registered automatically; use this for references obtained by reading
 // local objects.
 func (s *Site) AddAppRoot(r ids.Ref) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	s.heap.AddAppRoot(r)
 }
 
 // DropAppRoot releases one mutator-variable hold on the reference.
 func (s *Site) DropAppRoot(r ids.Ref) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	s.heap.RemoveAppRoot(r)
 }
 
@@ -90,37 +97,39 @@ func (s *Site) AddReference(container ids.ObjID, target ids.Ref) error {
 // fields (the paper ignores deletions for back-information safety; the
 // next local trace reflects them).
 func (s *Site) RemoveReference(container ids.ObjID, target ids.Ref) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	_, err := s.heap.RemoveField(container, target)
 	return err
 }
 
-// Fields returns the reference fields of a local object.
+// Fields returns the reference fields of a local object. The copy is taken
+// under the object's shard lock, so it is consistent even against
+// concurrent read-locked mutators on the same shard.
 func (s *Site) Fields(obj ids.ObjID) ([]ids.Ref, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	s.assertOutboxFlushed()
-	o, ok := s.heap.Get(obj)
+	fields, ok := s.heap.FieldsOf(obj)
 	if !ok {
 		return nil, fmt.Errorf("site %v: fields: no object %v", s.cfg.ID, obj)
 	}
-	return o.Fields(), nil
+	return fields, nil
 }
 
 // MarkPersistentRoot promotes an existing local object to a persistent
 // root; UnmarkPersistentRoot demotes it (turning everything reachable only
 // from it into garbage).
 func (s *Site) MarkPersistentRoot(obj ids.ObjID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.heap.MarkPersistentRoot(obj)
 }
 
 // UnmarkPersistentRoot removes the persistent-root designation.
 func (s *Site) UnmarkPersistentRoot(obj ids.ObjID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	s.heap.UnmarkPersistentRoot(obj)
 }
 

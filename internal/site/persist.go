@@ -93,10 +93,11 @@ type snapshotRec struct {
 const traceSeqRestartSkip = 1 << 20
 
 // WriteCheckpoint serializes the site's durable state. It takes the site
-// read lock, so the checkpoint is a consistent cut of local state that
-// does not stall concurrent introspection.
+// write lock: heap-only mutators run under the read lock plus per-shard
+// locks, so only the write lock yields a consistent multi-shard cut.
+// Encoding happens after the lock is released.
 func (s *Site) WriteCheckpoint(w io.Writer) error {
-	s.mu.RLock()
+	s.mu.Lock()
 	rec := snapshotRec{
 		Version:       snapshotVersion,
 		Site:          s.cfg.ID,
@@ -130,7 +131,7 @@ func (s *Site) WriteCheckpoint(w io.Writer) error {
 			BackThreshold: o.BackThreshold,
 		})
 	}
-	s.mu.RUnlock()
+	s.mu.Unlock()
 
 	if err := gob.NewEncoder(w).Encode(rec); err != nil {
 		return fmt.Errorf("site %v: encode checkpoint: %w", s.cfg.ID, err)

@@ -14,11 +14,22 @@
 // Mutable collector state is guarded by one RWMutex, but — unlike the
 // original single-mutex design — the heavy phases no longer run inside it:
 //
-//   - Mutator operations and message handlers remain short critical
-//     sections under the write lock, matching the paper's model.
+//   - The heap and ioref table are sharded by object-id hash into
+//     max(GOMAXPROCS, Config.Shards) shards, each with its own lock,
+//     write-barrier dirty set, and copy-on-write trace snapshot.
+//     Heap-only mutator operations (allocation, root flips, field
+//     removal) take the site read lock plus the owning shard's lock, so
+//     mutators on distinct shards proceed concurrently; operations that
+//     touch iorefs or send messages, and all message handlers, remain
+//     short critical sections under the write lock, matching the
+//     paper's model.
 //   - The local trace computation (tracer.Run: forward mark + outset
 //     computation) runs entirely OUTSIDE the lock, on a snapshot of the
-//     heap and ioref tables taken under a short critical section. The
+//     heap and ioref tables taken under a short critical section —
+//     shards are snapshotted concurrently, and with Config.TraceWorkers
+//     above one the forward mark itself runs as a work-stealing
+//     parallel trace with results bit-identical to the sequential
+//     tracer. The
 //     Section 6.2 double-buffered back information makes this safe: back
 //     traces keep using the old copy, and transfer barriers that fire
 //     during the computation are recorded and replayed onto the new copy
@@ -35,6 +46,7 @@ package site
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -113,6 +125,18 @@ type Config struct {
 	// would touch most of the heap anyway, with worse constants). Zero
 	// means tracer.DefaultMaxDirtyRatio. Only meaningful with Incremental.
 	MaxDirtyRatio float64
+	// Shards requests a minimum shard count for the heap and ioref table.
+	// The site always uses max(GOMAXPROCS, Shards) shards, so mutator
+	// operations on distinct objects contend on distinct locks and trace
+	// snapshots copy/patch shards concurrently. Shard count never affects
+	// observable results — only lock granularity and snapshot parallelism.
+	Shards int
+	// TraceWorkers is the number of mark workers local traces run with.
+	// Above one, full traces use the work-stealing parallel marker and
+	// incremental remarks relax dirty seeds on a worker pool; results are
+	// bit-identical to the sequential tracer. Zero or one keeps the
+	// sequential path.
+	TraceWorkers int
 	// Clock supplies every timestamp the site takes: span start/end times,
 	// mailbox queue-delay accounting, and the engine's timeout deadlines.
 	// Nil means the wall clock; the deterministic simulation injects a
@@ -254,6 +278,7 @@ type Site struct {
 	histLocalDur *obs.Histogram
 	histQueue    *obs.Histogram
 	gaugeDepth   *obs.Gauge
+	gaugeDirty   *obs.Gauge
 }
 
 // TraceOutcome records one completed back trace initiated by this site.
@@ -268,11 +293,15 @@ var _ transport.Handler = (*Site)(nil)
 // New creates a site and registers it on the network.
 func New(cfg Config) *Site {
 	cfg = cfg.withDefaults()
+	shards := runtime.GOMAXPROCS(0)
+	if cfg.Shards > shards {
+		shards = cfg.Shards
+	}
 	s := &Site{
 		cfg:            cfg,
 		clk:            clock.OrWall(cfg.Clock),
-		heap:           heap.New(cfg.ID),
-		table:          refs.NewTable(cfg.ID, cfg.BackThreshold),
+		heap:           heap.NewSharded(cfg.ID, shards),
+		table:          refs.NewTableSharded(cfg.ID, cfg.BackThreshold, shards),
 		back:           tracer.EmptyBackInfo(),
 		threshold:      cfg.SuspicionThreshold,
 		pendingInserts: make(map[ids.Ref]msg.Insert),
@@ -284,7 +313,10 @@ func New(cfg Config) *Site {
 	if cfg.Incremental {
 		s.heap.EnableDeltaTracking()
 		s.table.EnableDeltaTracking()
-		s.incr = &tracer.Incremental{MaxDirtyRatio: cfg.MaxDirtyRatio}
+		s.incr = &tracer.Incremental{
+			MaxDirtyRatio: cfg.MaxDirtyRatio,
+			Workers:       cfg.TraceWorkers,
+		}
 	} else {
 		s.scratch = &tracer.Scratch{}
 	}
@@ -297,6 +329,16 @@ func New(cfg Config) *Site {
 		"time inbound messages spent queued in a site mailbox", nil)
 	s.gaugeDepth = reg.Gauge(obs.MetricMailboxDepth,
 		"inbox depth observed at the most recent enqueue")
+	s.gaugeDirty = reg.Gauge(metrics.ParallelShardDirtyRatio,
+		"percent of the dirtiest heap shard mutated since the last trace snapshot")
+	reg.Gauge(metrics.HeapShards,
+		"number of heap and ioref-table shards").Set(int64(shards))
+	workers := cfg.TraceWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	reg.Gauge(metrics.ParallelWorkers,
+		"number of mark workers local traces run with").Set(int64(workers))
 	s.engine = core.NewEngine(core.Config{
 		Site:          cfg.ID,
 		Threshold:     s.threshold,

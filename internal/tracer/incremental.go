@@ -1,6 +1,9 @@
 package tracer
 
 import (
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"backtrace/internal/heap"
@@ -45,6 +48,13 @@ type Incremental struct {
 	// DefaultMaxDirtyRatio.
 	MaxDirtyRatio float64
 
+	// Workers selects the mark parallelism: above one, full-trace
+	// fallbacks run the work-stealing RunParallel and remarks relax their
+	// seeds on a work-stealing pool over the shard-partitioned mark set.
+	// The committed result is identical either way; see parallel.go for
+	// the fixpoint argument.
+	Workers int
+
 	prevRes *Result
 	algo    OutsetAlgorithm
 
@@ -83,7 +93,7 @@ func (inc *Incremental) Run(h *heap.Heap, tbl *refs.Table, hd *heap.Delta, td *r
 		return res
 	}
 	inc.FullTraces++
-	res := Run(h, tbl, threshold, algo)
+	res := RunParallel(h, tbl, threshold, algo, inc.Workers)
 	res.Stats.FallbackReason = reason
 	inc.prevRes, inc.algo = res, algo
 	return res
@@ -146,14 +156,14 @@ func (inc *Incremental) remark(h *heap.Heap, tbl *refs.Table, hd *heap.Delta, td
 		if !h.Contains(obj) {
 			return
 		}
-		cur, ok := marked[obj]
+		cur, ok := marked.Get(obj)
 		if ok && cur <= d {
 			return
 		}
 		if (ok && cur > threshold) || d > threshold {
 			touched = true
 		}
-		marked[obj] = d
+		marked.Set(obj, d)
 		queue = append(queue, obj)
 	}
 	relaxOut := func(r ids.Ref, d int) {
@@ -197,7 +207,7 @@ func (inc *Incremental) remark(h *heap.Heap, tbl *refs.Table, hd *heap.Delta, td
 		improve(obj, in.Distance())
 	}
 	for _, obj := range hd.FieldsAdded {
-		if m, ok := marked[obj]; ok {
+		if m, ok := marked.Get(obj); ok {
 			seeds++
 			if m > threshold {
 				touched = true
@@ -207,28 +217,36 @@ func (inc *Incremental) remark(h *heap.Heap, tbl *refs.Table, hd *heap.Delta, td
 	}
 	res.Stats.DirtySeeds = seeds
 
-	// Improve-only relaxation: rescan each queued object at its current
-	// mark. An object can be queued more than once as its mark improves;
-	// scans use the latest value, so later pops are cheap re-walks.
-	site := h.Site()
-	for len(queue) > 0 {
-		obj := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		res.Stats.ObjectsTraced++
-		m := marked[obj]
-		o, ok := h.Get(obj)
-		if !ok {
-			continue
-		}
-		for i := 0; i < o.NumFields(); i++ {
-			f := o.Field(i)
-			if f.IsZero() {
+	if inc.Workers > 1 && len(queue) > 0 {
+		// Work-stealing relaxation over the shard-partitioned mark set;
+		// outrefDist stays a stable base the workers only read, with
+		// per-worker minima merged below it afterwards.
+		inc.remarkParallel(h, tbl, res, queue, threshold, &touched)
+	} else {
+		// Improve-only relaxation: rescan each queued object at its
+		// current mark. An object can be queued more than once as its mark
+		// improves; scans use the latest value, so later pops are cheap
+		// re-walks.
+		site := h.Site()
+		for len(queue) > 0 {
+			obj := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			res.Stats.ObjectsTraced++
+			m, _ := marked.Get(obj)
+			o, ok := h.Get(obj)
+			if !ok {
 				continue
 			}
-			if f.Site == site {
-				improve(f.Obj, m)
-			} else {
-				relaxOut(f, refs.AddDist(m, 1))
+			for i := 0; i < o.NumFields(); i++ {
+				f := o.Field(i)
+				if f.IsZero() {
+					continue
+				}
+				if f.Site == site {
+					improve(f.Obj, m)
+				} else {
+					relaxOut(f, refs.AddDist(m, 1))
+				}
 			}
 		}
 	}
@@ -238,7 +256,7 @@ func (inc *Incremental) remark(h *heap.Heap, tbl *refs.Table, hd *heap.Delta, td
 	// (nothing was removed), and the previous trace's dead were swept at
 	// its commit.
 	for _, obj := range hd.Allocated {
-		if _, ok := marked[obj]; !ok && h.Contains(obj) {
+		if _, ok := marked.Get(obj); !ok && h.Contains(obj) {
 			res.Dead = append(res.Dead, obj)
 		}
 	}
@@ -280,8 +298,107 @@ func (inc *Incremental) remark(h *heap.Heap, tbl *refs.Table, hd *heap.Delta, td
 		res.Stats.SuspectedInrefs = len(outsets)
 	}
 
+	sort.Slice(res.Missing, func(i, j int) bool { return res.Missing[i].Less(res.Missing[j]) })
 	inc.SeedsRelaxed += int64(seeds)
 	inc.ObjectsRemark += res.Stats.ObjectsTraced
 	res.Stats.Duration = time.Since(start)
 	return res
+}
+
+// remarkParallel drains the seed queue with the work-stealing engine. The
+// mark set is shared, guarded by one mutex per shard; outref distances are
+// accumulated as per-worker minima over the untouched base map and merged
+// deterministically afterwards, so the relaxation reaches the same minimum
+// fixpoint as the sequential drain.
+//
+// The touched flag may come out true here where the sequential drain would
+// leave it false (a worker can observe an intermediate distance beyond the
+// suspicion boundary that the sequential order never materializes), and
+// vice versa for transient values that a different interleaving skips
+// straight past. Both directions are sound: touched=false certifies that
+// no suspected entity's state differs from the previous trace — reuse is
+// exact — and touched=true merely recomputes outsets from the final marks,
+// which produces identical content. Only Stats and pointer identity can
+// differ, and equivalence comparisons are content-based.
+func (inc *Incremental) remarkParallel(h *heap.Heap, tbl *refs.Table, res *Result, queue []ids.ObjID, threshold int, touched *bool) {
+	marked := res.Marked
+	outrefDist := res.OutrefDist
+	locks := make([]sync.Mutex, marked.NumShards())
+	var touchedA atomic.Bool
+	site := h.Site()
+
+	eng := newParEngine(inc.Workers, func(w *parWorker, obj ids.ObjID) {
+		w.scanned++
+		si := marked.ShardOf(obj)
+		locks[si].Lock()
+		m, ok := marked.Shard(si)[obj]
+		locks[si].Unlock()
+		if !ok {
+			return
+		}
+		o, ok := h.Get(obj)
+		if !ok {
+			return
+		}
+		for i := 0; i < o.NumFields(); i++ {
+			f := o.Field(i)
+			if f.IsZero() {
+				continue
+			}
+			if f.Site == site {
+				if !h.Contains(f.Obj) {
+					continue
+				}
+				sj := marked.ShardOf(f.Obj)
+				locks[sj].Lock()
+				cur, ok := marked.Shard(sj)[f.Obj]
+				if ok && cur <= m {
+					locks[sj].Unlock()
+					continue
+				}
+				if (ok && cur > threshold) || m > threshold {
+					touchedA.Store(true)
+				}
+				marked.Shard(sj)[f.Obj] = m
+				locks[sj].Unlock()
+				w.push(f.Obj)
+				continue
+			}
+			nd := refs.AddDist(m, 1)
+			cur, ok := outrefDist[f]
+			if ov, inOv := w.outMin[f]; inOv && (!ok || ov < cur) {
+				cur, ok = ov, true
+			}
+			if ok && cur <= nd {
+				continue
+			}
+			if (ok && cur > threshold+1) || nd > threshold+1 {
+				touchedA.Store(true)
+			}
+			w.outMin[f] = nd
+		}
+	})
+	eng.seed(queue)
+	eng.run()
+
+	for _, w := range eng.workers {
+		res.Stats.ObjectsTraced += w.scanned
+		for r, d := range w.outMin {
+			cur, ok := outrefDist[r]
+			if ok && cur <= d {
+				continue
+			}
+			outrefDist[r] = d
+			if !ok {
+				if _, present := tbl.Outref(r); !present {
+					res.Missing = append(res.Missing, r)
+				}
+			}
+		}
+	}
+	if touchedA.Load() {
+		*touched = true
+	}
+	res.Stats.Workers = inc.Workers
+	res.Stats.Steals = eng.steals.Load()
 }

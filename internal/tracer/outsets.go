@@ -24,7 +24,7 @@ type outsetEnv struct {
 // garbage, not suspected; the traversal skips them because they are about
 // to be swept.
 func (e *outsetEnv) suspectedObj(obj ids.ObjID) bool {
-	d, ok := e.mr.marked[obj]
+	d, ok := e.mr.marked.Get(obj)
 	return ok && d > e.threshold
 }
 

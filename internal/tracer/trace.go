@@ -21,7 +21,7 @@ type markResult struct {
 	// marked maps every reached object to the distance of the root whose
 	// trace first reached it (the minimum, because roots are processed in
 	// ascending distance order with single marking).
-	marked map[ids.ObjID]int
+	marked *MarkSet
 	// outrefDist is the new estimated distance of each outref the trace
 	// reached: one plus the distance of the inref being traced when first
 	// reached (Section 3).
@@ -49,18 +49,18 @@ func forwardMark(h *heap.Heap, tbl *refs.Table, sc *Scratch) *markResult {
 	var roots []root
 	var stack []ids.ObjID
 	if sc != nil {
-		if sc.marked == nil {
-			sc.marked = make(map[ids.ObjID]int)
+		if sc.marked == nil || sc.marked.NumShards() != h.NumShards() {
+			sc.marked = NewMarkSet(h.NumShards())
 			sc.outrefDist = make(map[ids.Ref]int)
 		}
-		clear(sc.marked)
+		sc.marked.Clear()
 		clear(sc.outrefDist)
 		res.marked = sc.marked
 		res.outrefDist = sc.outrefDist
 		roots = sc.roots[:0]
 		stack = sc.stack[:0]
 	} else {
-		res.marked = make(map[ids.ObjID]int)
+		res.marked = NewMarkSet(h.NumShards())
 		res.outrefDist = make(map[ids.Ref]int)
 	}
 
@@ -100,10 +100,10 @@ func forwardMark(h *heap.Heap, tbl *refs.Table, sc *Scratch) *markResult {
 		if !h.Contains(rt.obj) {
 			continue
 		}
-		if _, ok := res.marked[rt.obj]; ok {
+		if _, ok := res.marked.Get(rt.obj); ok {
 			continue
 		}
-		res.marked[rt.obj] = rt.dist
+		res.marked.Set(rt.obj, rt.dist)
 		stack = append(stack[:0], rt.obj)
 		for len(stack) > 0 {
 			obj := stack[len(stack)-1]
@@ -122,8 +122,8 @@ func forwardMark(h *heap.Heap, tbl *refs.Table, sc *Scratch) *markResult {
 					if !h.Contains(f.Obj) {
 						continue
 					}
-					if _, seen := res.marked[f.Obj]; !seen {
-						res.marked[f.Obj] = rt.dist
+					if _, seen := res.marked.Get(f.Obj); !seen {
+						res.marked.Set(f.Obj, rt.dist)
 						stack = append(stack, f.Obj)
 					}
 					continue

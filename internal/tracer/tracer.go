@@ -68,6 +68,12 @@ type Stats struct {
 	// OutsetsReused reports whether the back information was carried over
 	// unchanged from the previous trace instead of being recomputed.
 	OutsetsReused bool
+
+	// Workers is the number of mark workers the trace ran with (1 for the
+	// sequential path); Steals counts work-stealing events between their
+	// deques. Scheduling-dependent, so excluded from result equivalence.
+	Workers int
+	Steals  int64
 }
 
 // Scratch holds reusable trace buffers so consecutive full traces stop
@@ -76,7 +82,7 @@ type Stats struct {
 // next Run with the same Scratch. The owning Site commits each result
 // before starting the next trace, which provides exactly that lifetime.
 type Scratch struct {
-	marked     map[ids.ObjID]int
+	marked     *MarkSet
 	outrefDist map[ids.Ref]int
 	roots      []root
 	stack      []ids.ObjID
@@ -94,8 +100,8 @@ type Result struct {
 	Threshold int
 	// Marked maps every object reached from a root (persistent roots,
 	// application roots, and non-garbage-flagged inrefs) to the distance
-	// of the first root that reached it.
-	Marked map[ids.ObjID]int
+	// of the first root that reached it, partitioned by heap shard.
+	Marked *MarkSet
 	// Dead lists the objects that were present and unreached — garbage to
 	// sweep, in ascending order.
 	Dead []ids.ObjID
@@ -117,13 +123,13 @@ type Result struct {
 // IsCleanObj reports whether the trace classified a local object as clean
 // (reached from a root at distance ≤ threshold).
 func (r *Result) IsCleanObj(obj ids.ObjID) bool {
-	d, ok := r.Marked[obj]
+	d, ok := r.Marked.Get(obj)
 	return ok && d <= r.Threshold
 }
 
 // IsLiveObj reports whether the trace reached the object at all.
 func (r *Result) IsLiveObj(obj ids.ObjID) bool {
-	_, ok := r.Marked[obj]
+	_, ok := r.Marked.Get(obj)
 	return ok
 }
 
@@ -176,7 +182,7 @@ func RunWithScratch(h *heap.Heap, tbl *refs.Table, threshold int, algo OutsetAlg
 	}
 
 	for _, obj := range h.Objects() {
-		if _, ok := mr.marked[obj]; !ok {
+		if _, ok := mr.marked.Get(obj); !ok {
 			res.Dead = append(res.Dead, obj)
 		}
 	}
@@ -191,6 +197,7 @@ func RunWithScratch(h *heap.Heap, tbl *refs.Table, threshold int, algo OutsetAlg
 		}
 	}
 	sort.Slice(res.Untraced, func(i, j int) bool { return res.Untraced[i].Less(res.Untraced[j]) })
+	sort.Slice(res.Missing, func(i, j int) bool { return res.Missing[i].Less(res.Missing[j]) })
 	if sc != nil {
 		sc.dead = res.Dead
 		sc.untraced = res.Untraced

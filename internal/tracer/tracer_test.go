@@ -510,7 +510,7 @@ func TestRunOnEmptySite(t *testing.T) {
 	h := heap.New(1)
 	tbl := refs.NewTable(1, 100)
 	res := Run(h, tbl, 2, AlgoBottomUp)
-	if len(res.Dead) != 0 || len(res.Marked) != 0 || res.Back.Entries() != 0 {
+	if len(res.Dead) != 0 || res.Marked.Len() != 0 || res.Back.Entries() != 0 {
 		t.Fatal("empty site produced non-empty trace result")
 	}
 }
