@@ -55,6 +55,7 @@ import (
 	"backtrace/internal/tracer"
 	"backtrace/internal/transport"
 	"backtrace/internal/txn"
+	"backtrace/internal/wire"
 	"backtrace/internal/workload"
 )
 
@@ -223,10 +224,29 @@ func NewMemNetwork(opts transport.Options) *transport.Net { return transport.New
 type NetworkOptions = transport.Options
 
 // NewTCPNode builds a TCP transport node for running a site as its own OS
-// process.
+// process, framing messages with the default binary wire codec.
 func NewTCPNode(self SiteID, addrs map[SiteID]string, obs transport.Observer) (*transport.TCPNode, error) {
 	return transport.NewTCPNode(self, addrs, obs)
 }
+
+// TCPOptions configures NewTCPNodeOpts (observer, wire codec, byte
+// counters).
+type TCPOptions = transport.TCPOptions
+
+// NewTCPNodeOpts builds a TCP transport node with explicit options — in
+// particular a non-default wire codec (see CodecByName).
+func NewTCPNodeOpts(self SiteID, addrs map[SiteID]string, opts TCPOptions) (*transport.TCPNode, error) {
+	return transport.NewTCPNodeOpts(self, addrs, opts)
+}
+
+// WireCodec serializes message envelopes to self-describing frames. The
+// binary codec is the default; the gob codec remains one release as a
+// migration fallback.
+type WireCodec = wire.Codec
+
+// CodecByName resolves a wire codec by name: "" or "binary" for the binary
+// codec, "gob" (deprecated) for the legacy gob codec.
+func CodecByName(name string) (WireCodec, error) { return wire.ByName(name) }
 
 // NewReliable wraps any network with the ack/retransmit session layer:
 // exactly-once, per-link in-order delivery (the paper's relation R1) over

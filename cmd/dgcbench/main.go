@@ -16,11 +16,14 @@
 //	dgcbench -exp hypertext     # intro workload end to end
 //	dgcbench -exp trace         # C15: incremental local tracing cost
 //	dgcbench -exp shard         # C16: sharded heap + parallel mark latency
+//	dgcbench -exp wire          # C17: binary wire codec + link batching
 //
 // -json FILE additionally writes the tables as JSON to FILE; -check (with
-// -exp trace, shard, or all) exits nonzero if the idle-heap incremental
-// trace is more than 10% slower than the full trace, or if any parallel
-// trace configuration diverges from the sequential baseline.
+// -exp trace, shard, wire, or all) exits nonzero if the idle-heap
+// incremental trace is more than 10% slower than the full trace, if any
+// parallel trace configuration diverges from the sequential baseline, if
+// the binary codec regresses more than 10% below gob throughput, or if
+// batching changes any logical message count or collection outcome.
 package main
 
 import (
@@ -30,40 +33,52 @@ import (
 	"io"
 	"os"
 
+	"backtrace/internal/cluster"
 	"backtrace/internal/experiments"
 	"backtrace/internal/workload"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, messages, distance, insets, space, threshold, timeline, locality, baselines, overlap, telemetry, hypertext, trace, shard)")
+	exp := flag.String("exp", "all", "experiment to run (all, messages, distance, insets, space, threshold, timeline, locality, baselines, overlap, telemetry, hypertext, trace, shard, wire)")
 	scale := flag.Int("scale", 20, "size multiplier for the inset experiment")
 	format := flag.String("format", "text", "output format: text or json")
 	jsonOut := flag.String("json", "", "also write the tables as JSON to this file")
-	check := flag.Bool("check", false, "with -exp trace/shard: fail if incremental idle tracing regresses past full by >10% or a parallel trace diverges from the sequential baseline")
+	check := flag.Bool("check", false, "with -exp trace/shard/wire: fail if incremental idle tracing regresses past full by >10%, a parallel trace diverges from the sequential baseline, the binary codec regresses past 10% of gob, or batching changes logical counts")
+	// Shared transport surface (same flags as dgcnode/dgcsim). Applied
+	// to every standard experiment cluster; stepped experiments map
+	// -batch to deterministic piggybacking. The wire experiment pins its
+	// own codecs so its gate ignores these.
+	var tcfg cluster.TransportConfig
+	tcfg.RegisterFlags(nil)
 	flag.Parse()
 
+	experiments.Transport = tcfg
+
 	var err error
-	if *format != "text" && *format != "json" {
+	if _, cerr := tcfg.ResolveCodec(); cerr != nil {
+		err = cerr
+	} else if *format != "text" && *format != "json" {
 		err = fmt.Errorf("unknown format %q", *format)
 	} else {
-		var tables []*experiments.Table
-		var traceRows []experiments.IncrementalRow
-		var shardRows []experiments.ShardRow
-		if tables, traceRows, shardRows, err = run(*exp, *scale); err == nil {
-			err = render(os.Stdout, *format, tables)
+		var res results
+		if res, err = run(*exp, *scale); err == nil {
+			err = render(os.Stdout, *format, res.tables)
 		}
 		if err == nil && *jsonOut != "" {
-			err = writeJSON(*jsonOut, tables)
+			err = writeJSON(*jsonOut, res.tables)
 		}
 		if err == nil && *check {
-			if traceRows == nil && shardRows == nil {
-				err = fmt.Errorf("-check requires a checkable experiment (-exp trace, -exp shard, or -exp all)")
+			if res.traceRows == nil && res.shardRows == nil && res.wireCodecRows == nil {
+				err = fmt.Errorf("-check requires a checkable experiment (-exp trace, shard, wire, or all)")
 			}
-			if err == nil && traceRows != nil {
-				err = experiments.CheckIncremental(traceRows)
+			if err == nil && res.traceRows != nil {
+				err = experiments.CheckIncremental(res.traceRows)
 			}
-			if err == nil && shardRows != nil {
-				err = experiments.CheckShard(shardRows)
+			if err == nil && res.shardRows != nil {
+				err = experiments.CheckShard(res.shardRows)
+			}
+			if err == nil && res.wireCodecRows != nil {
+				err = experiments.CheckWire(res.wireCodecRows, res.wireBatchRows)
 			}
 		}
 	}
@@ -105,12 +120,24 @@ func render(w io.Writer, format string, tables []*experiments.Table) error {
 	}
 }
 
-func run(exp string, scale int) ([]*experiments.Table, []experiments.IncrementalRow, []experiments.ShardRow, error) {
+// results bundles the rendered tables with the raw rows the -check gates
+// re-examine.
+type results struct {
+	tables        []*experiments.Table
+	traceRows     []experiments.IncrementalRow
+	shardRows     []experiments.ShardRow
+	wireCodecRows []experiments.WireCodecRow
+	wireBatchRows []experiments.WireBatchRow
+}
+
+func run(exp string, scale int) (results, error) {
 	all := exp == "all"
 	ran := false
 	var tables []*experiments.Table
 	var traceRows []experiments.IncrementalRow
 	var shardRows []experiments.ShardRow
+	var wireCodecRows []experiments.WireCodecRow
+	var wireBatchRows []experiments.WireBatchRow
 
 	if all || exp == "messages" {
 		ran = true
@@ -121,7 +148,7 @@ func run(exp string, scale int) ([]*experiments.Table, []experiments.Incremental
 		}
 		rows, err := experiments.MessagesPerTrace(specs)
 		if err != nil {
-			return nil, nil, nil, err
+			return results{}, err
 		}
 		tables = append(tables, experiments.MessagesTable(rows))
 	}
@@ -146,7 +173,7 @@ func run(exp string, scale int) ([]*experiments.Table, []experiments.Incremental
 		}
 		rows, err := experiments.SpaceBound(specs)
 		if err != nil {
-			return nil, nil, nil, err
+			return results{}, err
 		}
 		tables = append(tables, experiments.SpaceTable(rows))
 	}
@@ -161,7 +188,7 @@ func run(exp string, scale int) ([]*experiments.Table, []experiments.Incremental
 		ran = true
 		rows, err := experiments.LocalityUnderCrash(25)
 		if err != nil {
-			return nil, nil, nil, err
+			return results{}, err
 		}
 		tables = append(tables, experiments.LocalityTable(rows))
 	}
@@ -171,7 +198,7 @@ func run(exp string, scale int) ([]*experiments.Table, []experiments.Incremental
 		for _, cfg := range [][2]int{{2, 2}, {4, 2}, {8, 2}} {
 			rows, err := experiments.CompareCollectors(cfg[0], cfg[1])
 			if err != nil {
-				return nil, nil, nil, err
+				return results{}, err
 			}
 			tables = append(tables, experiments.CompareTable(cfg[0], cfg[1], rows))
 		}
@@ -195,7 +222,7 @@ func run(exp string, scale int) ([]*experiments.Table, []experiments.Incremental
 		for _, sites := range []int{3, 6, 12} {
 			row, err := experiments.TelemetryComplexity(sites)
 			if err != nil {
-				return nil, nil, nil, err
+				return results{}, err
 			}
 			rows = append(rows, row)
 		}
@@ -208,7 +235,7 @@ func run(exp string, scale int) ([]*experiments.Table, []experiments.Incremental
 		for _, docs := range []int{6, 12, 24} {
 			row, err := experiments.Hypertext(docs, 6, 42)
 			if err != nil {
-				return nil, nil, nil, err
+				return results{}, err
 			}
 			rows = append(rows, row)
 		}
@@ -219,7 +246,7 @@ func run(exp string, scale int) ([]*experiments.Table, []experiments.Incremental
 		ran = true
 		rows, err := experiments.IncrementalTrace(20000, 200, 20)
 		if err != nil {
-			return nil, nil, nil, err
+			return results{}, err
 		}
 		traceRows = rows
 		tables = append(tables, experiments.IncrementalTable(rows))
@@ -229,14 +256,36 @@ func run(exp string, scale int) ([]*experiments.Table, []experiments.Incremental
 		ran = true
 		rows, err := experiments.ShardTrace(120000, 3)
 		if err != nil {
-			return nil, nil, nil, err
+			return results{}, err
 		}
 		shardRows = rows
 		tables = append(tables, experiments.ShardTable(rows))
 	}
 
-	if !ran {
-		return nil, nil, nil, fmt.Errorf("unknown experiment %q", exp)
+	if all || exp == "wire" {
+		ran = true
+		codecRows, err := experiments.WireCodecBench(2000)
+		if err != nil {
+			return results{}, err
+		}
+		wireCodecRows = codecRows
+		tables = append(tables, experiments.WireCodecTable(codecRows))
+		batchRows, err := experiments.WireBatch(6)
+		if err != nil {
+			return results{}, err
+		}
+		wireBatchRows = batchRows
+		tables = append(tables, experiments.WireBatchTable(batchRows))
 	}
-	return tables, traceRows, shardRows, nil
+
+	if !ran {
+		return results{}, fmt.Errorf("unknown experiment %q", exp)
+	}
+	return results{
+		tables:        tables,
+		traceRows:     traceRows,
+		shardRows:     shardRows,
+		wireCodecRows: wireCodecRows,
+		wireBatchRows: wireBatchRows,
+	}, nil
 }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"backtrace"
+	"backtrace/internal/cluster"
 	"backtrace/internal/ids"
 	"backtrace/internal/metrics"
 	"backtrace/internal/obs"
@@ -51,14 +52,23 @@ func main() {
 		debug    = flag.String("debug-addr", "", "serve /metrics (Prometheus), /healthz, and /spans on this address (empty = off)")
 		linger   = flag.Duration("linger", 0, "keep the debug endpoint up this long after the demo completes (demo mode)")
 	)
+	var tcfg cluster.TransportConfig
+	tcfg.RegisterFlags(nil)
 	flag.Parse()
+	if _, err := tcfg.ResolveCodec(); err != nil {
+		fmt.Fprintln(os.Stderr, "dgcnode:", err)
+		os.Exit(1)
+	}
+
+	// Batching lives in the session layer, so -batch implies -reliable.
+	useReliable := *reliable || tcfg.Batch > 0
 
 	var err error
 	switch {
 	case *demo || *selfID == 0:
-		err = runDemo(*nSites, *reliable, *inbox, *shards, *workers, *debug, *linger)
+		err = runDemo(*nSites, useReliable, tcfg, *inbox, *shards, *workers, *debug, *linger)
 	default:
-		err = runNode(ids.SiteID(*selfID), *peers, *drive, *period, *run, *reliable, *inbox, *shards, *workers, *debug)
+		err = runNode(ids.SiteID(*selfID), *peers, *drive, *period, *run, useReliable, tcfg, *inbox, *shards, *workers, *debug)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dgcnode:", err)
@@ -80,7 +90,7 @@ func startDebugServer(addr string, reg *obs.Registry, spans *obs.Collector) (str
 
 // runDemo brings up n sites over loopback TCP (optionally under the
 // reliable session layer) and collects a distributed cycle end to end.
-func runDemo(n int, reliable bool, inbox, shards, traceWorkers int, debugAddr string, linger time.Duration) error {
+func runDemo(n int, reliable bool, tcfg cluster.TransportConfig, inbox, shards, traceWorkers int, debugAddr string, linger time.Duration) error {
 	counters := &metrics.Counters{}
 	spans := backtrace.NewSpanCollector(backtrace.SpanCollectorOptions{})
 	if debugAddr != "" {
@@ -102,7 +112,15 @@ func runDemo(n int, reliable bool, inbox, shards, traceWorkers int, debugAddr st
 	bound := make(map[ids.SiteID]string, n)
 	for i := 1; i <= n; i++ {
 		id := ids.SiteID(i)
-		node, err := backtrace.NewTCPNode(id, addrs, counters.ObserveMessage)
+		codec, err := tcfg.ResolveCodec()
+		if err != nil {
+			return err
+		}
+		node, err := backtrace.NewTCPNodeOpts(id, addrs, backtrace.TCPOptions{
+			Observer: counters.ObserveMessage,
+			Codec:    codec,
+			Counters: counters,
+		})
 		if err != nil {
 			return err
 		}
@@ -111,8 +129,10 @@ func runDemo(n int, reliable bool, inbox, shards, traceWorkers int, debugAddr st
 		var network transport.Network = node
 		if reliable {
 			network = backtrace.NewReliable(node, backtrace.ReliableOptions{
-				Seed:     int64(i),
-				Counters: counters,
+				Seed:          int64(i),
+				Counters:      counters,
+				BatchMax:      tcfg.Batch,
+				FlushInterval: tcfg.FlushInterval,
 			})
 		}
 		networks = append(networks, network)
@@ -245,7 +265,7 @@ func tcpLink(sites map[ids.SiteID]*site.Site, from, target backtrace.Ref) error 
 
 // runNode runs one site as its own process.
 func runNode(self ids.SiteID, peerList string, drive bool, period, runFor time.Duration,
-	reliable bool, inbox, shards, traceWorkers int, debugAddr string) error {
+	reliable bool, tcfg cluster.TransportConfig, inbox, shards, traceWorkers int, debugAddr string) error {
 	addrs, err := parsePeers(peerList)
 	if err != nil {
 		return err
@@ -263,7 +283,15 @@ func runNode(self ids.SiteID, peerList string, drive bool, period, runFor time.D
 		defer stop()
 		fmt.Printf("site %v debug endpoint on http://%s\n", self, bound)
 	}
-	node, err := backtrace.NewTCPNode(self, addrs, counters.ObserveMessage)
+	codec, err := tcfg.ResolveCodec()
+	if err != nil {
+		return err
+	}
+	node, err := backtrace.NewTCPNodeOpts(self, addrs, backtrace.TCPOptions{
+		Observer: counters.ObserveMessage,
+		Codec:    codec,
+		Counters: counters,
+	})
 	if err != nil {
 		return err
 	}
@@ -271,8 +299,10 @@ func runNode(self ids.SiteID, peerList string, drive bool, period, runFor time.D
 	var network transport.Network = node
 	if reliable {
 		network = backtrace.NewReliable(node, backtrace.ReliableOptions{
-			Seed:     int64(self),
-			Counters: counters,
+			Seed:          int64(self),
+			Counters:      counters,
+			BatchMax:      tcfg.Batch,
+			FlushInterval: tcfg.FlushInterval,
 		})
 	}
 	defer network.Close()

@@ -64,9 +64,19 @@ func main() {
 		scheduleOut = flag.String("schedule-out", "failure.json", "where -explore writes the shrunk schedule of the first failure")
 		replay      = flag.String("replay", "", "replay a recorded schedule file instead of running a workload")
 	)
+	var tcfg cluster.TransportConfig
+	tcfg.RegisterFlags(nil)
 	flag.Parse()
 
 	if *explore || *replay != "" {
+		// The simulation is stepped, so batching maps to deterministic
+		// site-level piggybacking rather than the timer-driven link
+		// batcher; the codec round-trips every message at the network
+		// boundary ("none" skips serialization entirely).
+		simCodec := tcfg.Codec
+		if simCodec == "none" {
+			simCodec = ""
+		}
 		cfg := sim.Config{
 			Seed:                *seed,
 			Steps:               *simSteps,
@@ -76,6 +86,8 @@ func main() {
 			Incremental:         *incr,
 			Shards:              *shards,
 			TraceWorkers:        *workers,
+			Codec:               simCodec,
+			Batch:               tcfg.Batch > 0,
 		}
 		var err error
 		if *replay != "" {
@@ -90,7 +102,7 @@ func main() {
 	}
 
 	if err := run(*kind, *sites, *objects, *docs, *seed, *rounds, *thresh, *backT,
-		*latency, *jitter, *drop, *algo, *parallel, *incr, *shards, *workers,
+		*latency, *jitter, *drop, *algo, *parallel, *incr, *shards, *workers, tcfg,
 		*verbose, *events, *dotPath, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "dgcsim:", err)
 		os.Exit(1)
@@ -99,7 +111,7 @@ func main() {
 
 func run(kind string, sites, objects, docs int, seed int64, rounds, thresh, backT int,
 	latency, jitter time.Duration, drop float64, algoName string, parallel, incremental bool,
-	shards, traceWorkers int, verbose bool, eventTail int, dotPath, traceOut string) error {
+	shards, traceWorkers int, tcfg cluster.TransportConfig, verbose bool, eventTail int, dotPath, traceOut string) error {
 
 	var spec workload.Spec
 	switch kind {
@@ -132,7 +144,7 @@ func run(kind string, sites, objects, docs int, seed int64, rounds, thresh, back
 	if eventTail > 0 {
 		log = event.NewLog(4096)
 	}
-	c := cluster.New(cluster.Options{
+	opts := cluster.Options{
 		NumSites:           sites,
 		SuspicionThreshold: thresh,
 		BackThreshold:      backT,
@@ -151,7 +163,11 @@ func run(kind string, sites, objects, docs int, seed int64, rounds, thresh, back
 		CallTimeout:   500 * time.Millisecond,
 		ReportTimeout: 2 * time.Second,
 		Events:        log,
-	})
+	}
+	if err := tcfg.Apply(&opts); err != nil {
+		return err
+	}
+	c := cluster.New(opts)
 	defer c.Close()
 
 	refs, err := workload.Build(c, spec)
@@ -198,6 +214,10 @@ func run(kind string, sites, objects, docs int, seed int64, rounds, thresh, back
 	fmt.Printf("messages:    %d total (BackCall %d, BackReply %d, Report %d, Update %d, dropped %d)\n",
 		snap["msg.total"], snap["msg.BackCall"], snap["msg.BackReply"],
 		snap["msg.Report"], snap["msg.Update"], snap["msg.dropped"])
+	if snap["wire.bytes"] > 0 {
+		fmt.Printf("wire:        %d frames, %d bytes (%s codec), %d batch flushes\n",
+			snap["wire.frames"], snap["wire.bytes"], tcfg.Codec, snap["wire.flushes"])
+	}
 	fmt.Printf("local GC:    %d traces, %d objects scanned, %d collected\n",
 		snap["localtrace.runs"], snap["localtrace.objects"], snap["localtrace.collected"])
 	fmt.Printf("outsets:     %d unions (%d memoized), peak back info %d pairs\n",

@@ -22,6 +22,7 @@ import (
 	"backtrace/internal/site"
 	"backtrace/internal/tracer"
 	"backtrace/internal/transport"
+	"backtrace/internal/wire"
 )
 
 // Options configures a cluster.
@@ -47,6 +48,19 @@ type Options struct {
 	// whatever loss, duplication, and reordering the options above inject.
 	// Retransmission is time-driven, so Reliable forces asynchronous mode.
 	Reliable bool
+	// Codec, if non-nil, round-trips every message through this wire
+	// codec at the network boundary, so in-process runs exercise the same
+	// serialization the TCP transport uses (frame bytes counted under
+	// wire.bytes). Nil hands messages over in memory, the fast test path.
+	Codec wire.Codec
+	// Batch, when positive, turns on link-level batching in the session
+	// layer: up to Batch messages per peer coalesce into one LinkBatch
+	// frame per flush. It implies Reliable (the batcher lives there).
+	// Logical message counts (msg.*) are unchanged; only wire.frames
+	// shrinks.
+	Batch int
+	// FlushInterval overrides the batcher's flush cadence (default 1ms).
+	FlushInterval time.Duration
 	// Parallel runs collection rounds with one goroutine per site instead
 	// of stepping sites serially. It forces asynchronous delivery and,
 	// unless InboxSize says otherwise, gives every site a mailbox of
@@ -129,6 +143,9 @@ func New(opts Options) *Cluster {
 	if opts.Parallel && opts.InboxSize == 0 {
 		opts.InboxSize = DefaultInboxSize
 	}
+	if opts.Batch > 0 {
+		opts.Reliable = true // the batcher is part of the session layer
+	}
 	stepped := opts.Stepped
 	if !opts.Async && !opts.Reliable && opts.Latency == 0 && opts.Jitter == 0 &&
 		opts.DropProb == 0 && opts.DupProb == 0 && opts.ReorderProb == 0 {
@@ -151,6 +168,8 @@ func New(opts Options) *Cluster {
 		Stepped:     stepped,
 		Clock:       opts.Clock,
 		Observer:    counters.ObserveMessage,
+		Codec:       opts.Codec,
+		Counters:    counters,
 	})
 	var network transport.Network = net
 	var rel *transport.Reliable
@@ -160,6 +179,8 @@ func New(opts Options) *Cluster {
 			Seed:              opts.Seed,
 			Clock:             opts.Clock,
 			Counters:          counters,
+			BatchMax:          opts.Batch,
+			FlushInterval:     opts.FlushInterval,
 		})
 		network = rel
 	}

@@ -116,10 +116,24 @@ func runConcurrentStress(t *testing.T, opts Options) {
 				default:
 				}
 				switch rng.Intn(6) {
-				case 0: // allocate, linked from an existing local object
-					n := s.NewObject()
+				case 0: // allocate, held in a variable and linked from an existing object
+					// The mutator keeps n in `local` and may link or
+					// transfer it at any later time, so it must hold an
+					// application root for as long as the variable lives
+					// (the Section 2 mutator model). Without this hold,
+					// an object whose references were deleted could be
+					// resurrected from `local` after a back trace had
+					// correctly flagged it garbage — the flag is sticky,
+					// so the owner would eventually sweep it while a
+					// holder still had a live outref. That model
+					// violation was the rare "outref targets a collected
+					// object" audit flake. The holds are dropped in the
+					// drain loop after the stress phase.
+					n := s.NewHeldObject()
 					if err := s.AddReference(pick().Obj, n); err == nil {
 						local = append(local, n)
+					} else {
+						s.DropAppRoot(n)
 					}
 				case 1: // link two local objects (cycles welcome)
 					_ = s.AddReference(pick().Obj, pick())

@@ -16,15 +16,31 @@ import (
 	"backtrace/internal/workload"
 )
 
+// Transport carries the shared -codec/-batch/-flush-interval flag set
+// (cluster.TransportConfig, registered by cmd/dgcbench like the other
+// commands) into every standard experiment cluster. The default "none"
+// keeps the in-process fast path so `go test -bench` numbers are
+// unaffected; dgcbench overrides it from its flags. Experiment clusters
+// are stepped, so Batch maps to deterministic site-level piggybacking —
+// the same mapping dgcsim's stepped worlds use — not the async session
+// batcher. The C17 wire experiment ignores this and pins its own codecs,
+// so its gate stays flag-independent.
+var Transport = cluster.TransportConfig{Codec: "none"}
+
 // clusterFor builds the standard experiment cluster.
 func clusterFor(sites int, auto bool) *cluster.Cluster {
-	return cluster.New(cluster.Options{
+	opts := cluster.Options{
 		NumSites:           sites,
 		SuspicionThreshold: 3,
 		BackThreshold:      7,
 		ThresholdBump:      4,
 		AutoBackTrace:      auto,
-	})
+	}
+	if codec, err := Transport.ResolveCodec(); err == nil {
+		opts.Codec = codec
+	}
+	opts.Piggyback = opts.Piggyback || Transport.Batch > 0
+	return cluster.New(opts)
 }
 
 // Table is a printable experiment result.

@@ -1,0 +1,68 @@
+package experiments
+
+import "testing"
+
+// TestWireExperimentGate runs the C17 experiment at reduced iterations and
+// pushes the rows through the same gate CI uses (dgcbench -exp wire -check):
+// binary no slower/larger/more alloc-hungry than gob, back traces exactly
+// 2E+P-1 with and without batching, and batching coalescing frames without
+// changing collection outcomes.
+func TestWireExperimentGate(t *testing.T) {
+	codecRows, err := WireCodecBench(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchRows, err := WireBatch(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckWire(codecRows, batchRows); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range codecRows {
+		t.Logf("%s: %.0f msgs/sec, %.1f bytes/msg, %.2f allocs/op",
+			r.Codec, r.MsgsPerSec, r.BytesPerMsg, r.AllocsPerOp)
+	}
+	for _, r := range batchRows {
+		t.Logf("%s: trace %d/%d, collected %d, frames %d for %d logical",
+			r.Setting, r.BackMsgs, r.Predicted, r.Collected, r.Frames, r.Logical)
+	}
+}
+
+// TestCheckWireRejects exercises the gate's failure arms so a broken
+// experiment cannot silently pass CI.
+func TestCheckWireRejects(t *testing.T) {
+	goodCodec := []WireCodecRow{
+		{Codec: "gob", MsgsPerSec: 1000, BytesPerMsg: 300, AllocsPerOp: 200},
+		{Codec: "binary", MsgsPerSec: 5000, BytesPerMsg: 20, AllocsPerOp: 3},
+	}
+	goodBatch := []WireBatchRow{
+		{Setting: "unbatched", BackMsgs: 17, Predicted: 17, Collected: 8, Logical: 58, Frames: 58},
+		{Setting: "batched", BackMsgs: 17, Predicted: 17, Collected: 8, Logical: 58, Frames: 47},
+	}
+	if err := CheckWire(goodCodec, goodBatch); err != nil {
+		t.Fatalf("good rows rejected: %v", err)
+	}
+
+	slow := append([]WireCodecRow(nil), goodCodec...)
+	slow[1].MsgsPerSec = 500 // worse than 0.9x gob
+	if err := CheckWire(slow, goodBatch); err == nil {
+		t.Error("slow binary codec passed the gate")
+	}
+
+	inexact := []WireBatchRow{goodBatch[0], goodBatch[1]}
+	inexact[1].BackMsgs = 18
+	if err := CheckWire(goodCodec, inexact); err == nil {
+		t.Error("inexact batched trace count passed the gate")
+	}
+
+	uncoalesced := []WireBatchRow{goodBatch[0], {Setting: "batched", BackMsgs: 17, Predicted: 17, Collected: 8, Logical: 58, Frames: 58}}
+	if err := CheckWire(goodCodec, uncoalesced); err == nil {
+		t.Error("uncoalesced batched run passed the gate")
+	}
+
+	divergent := []WireBatchRow{goodBatch[0], {Setting: "batched", BackMsgs: 17, Predicted: 17, Collected: 7, Logical: 58, Frames: 47}}
+	if err := CheckWire(goodCodec, divergent); err == nil {
+		t.Error("divergent collection outcome passed the gate")
+	}
+}

@@ -110,26 +110,52 @@ func (c *Counters) String() string {
 	return b.String()
 }
 
-// Message counter names. Each sent message is counted both under its type
-// ("msg.BackCall") and under the total ("msg.total"); drops are counted
-// under "msg.dropped".
+// Message counter names. Counts are LOGICAL: a wrapper envelope (Batch,
+// LinkData, LinkBatch) is unwrapped and each leaf protocol message is
+// counted once under its type ("msg.BackCall") and under the total
+// ("msg.total"), so the paper's 2E+P-1 complexity accounting is invariant
+// under piggybacking and link-level batching. Physical envelopes are
+// counted separately under "wire.frames"; drops under "msg.dropped" (per
+// envelope — a dropped frame drops all its leaves together).
 const (
 	MsgTotal   = "msg.total"
 	MsgDropped = "msg.dropped"
+)
+
+// Wire-level instrument names (the codec/batching layer of the transports).
+const (
+	// WireFrames counts physical envelopes handed to a transport — the
+	// denominator of the batching win: wire.frames / msg.total < 1 when
+	// coalescing happens.
+	WireFrames = "wire.frames"
+	// WireBytes totals encoded frame bytes on transports that serialize
+	// (tcpnet, and memnet when configured with a codec round trip).
+	WireBytes = "wire.bytes"
+	// WireBatchSize is the high-water mark of leaves per flushed link batch
+	// (recorded with Max).
+	WireBatchSize = "wire.batch_size"
+	// WireFlushes counts batcher flushes (ticks or size-triggered) that put
+	// at least one frame on a link.
+	WireFlushes = "wire.flushes"
 )
 
 // MsgName returns the counter name for a message type.
 func MsgName(m msg.Message) string { return "msg." + msg.Name(m) }
 
 // ObserveMessage records one send attempt; it is shaped to plug into
-// transport.Observer.
+// transport.Observer. One call counts one physical frame and every logical
+// leaf message inside it.
 func (c *Counters) ObserveMessage(env msg.Envelope, dropped bool) {
 	if dropped {
 		c.Inc(MsgDropped)
 		return
 	}
-	c.Inc(MsgTotal)
-	c.Inc(MsgName(env.M))
+	c.Inc(WireFrames)
+	reg := c.Registry()
+	msg.Leaves(env.M, func(leaf msg.Message) {
+		reg.Counter(MsgTotal, "").Add(1)
+		reg.Counter(MsgName(leaf), "").Add(1)
+	})
 }
 
 // Transport and reliable-link-layer counter names (transport.TCPNode and

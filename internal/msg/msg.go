@@ -16,8 +16,9 @@
 //   - Report — the report phase delivering a completed trace's outcome to
 //     every participant (Section 4.5).
 //
-// Messages carry only identifiers and plain data so they gob-encode for the
-// TCP transport; RegisterGob registers every concrete type.
+// Messages carry only identifiers and plain data, so every type has a
+// compact hand-rolled binary encoding (package wire) and also gob-encodes
+// for the deprecated gob codec path.
 package msg
 
 import (
@@ -228,6 +229,26 @@ type LinkAck struct {
 	Inc   uint64
 }
 
+// LinkBatch coalesces a run of consecutive LinkData frames for one link
+// into a single physical frame, optionally piggybacking the sender's
+// pending cumulative acknowledgment for the reverse direction. Items[i]
+// carries the payload of sequence number Base+i of epoch Epoch; the
+// receiver processes the items in ascending sequence order, so the frame is
+// exactly equivalent to the individual LinkData frames it replaces and the
+// in-order relation R1 is preserved.
+//
+// AckEpoch/AckCum/AckInc mirror a LinkAck for the reverse link when
+// AckEpoch is nonzero (epochs start at 1, so zero means "no ack attached").
+type LinkBatch struct {
+	Epoch uint64
+	Base  uint64
+	Items []Message
+
+	AckEpoch uint64
+	AckCum   uint64
+	AckInc   uint64
+}
+
 // LinkReset announces that the sending site restarted with a new
 // incarnation Epoch. Receivers abandon their send session toward the
 // restarted site (frames in flight were addressed to the dead incarnation
@@ -249,6 +270,7 @@ func (Report) isMessage()      {}
 func (Batch) isMessage()       {}
 func (LinkData) isMessage()    {}
 func (LinkAck) isMessage()     {}
+func (LinkBatch) isMessage()   {}
 func (LinkReset) isMessage()   {}
 
 // Compile-time checks that every message type implements Message.
@@ -264,11 +286,41 @@ var (
 	_ Message = Batch{}
 	_ Message = LinkData{}
 	_ Message = LinkAck{}
+	_ Message = LinkBatch{}
 	_ Message = LinkReset{}
 )
 
+// Leaves calls fn for every protocol message inside m, descending through
+// the Batch, LinkData, and LinkBatch wrappers in delivery order. For a bare
+// protocol message it calls fn(m) once. Auditors that need to see every
+// in-flight protocol payload regardless of coalescing (the simulation
+// safety oracle, for instance) use this instead of type-switching on the
+// wrapper set themselves.
+func Leaves(m Message, fn func(Message)) {
+	switch mm := m.(type) {
+	case Batch:
+		for _, item := range mm.Items {
+			Leaves(item, fn)
+		}
+	case LinkData:
+		Leaves(mm.Payload, fn)
+	case LinkBatch:
+		for _, item := range mm.Items {
+			Leaves(item, fn)
+		}
+	default:
+		fn(m)
+	}
+}
+
 // RegisterGob registers every message type with encoding/gob so Envelope
-// values can cross the TCP transport. It is safe to call more than once.
+// values can cross a gob-based transport. It is safe to call more than
+// once.
+//
+// Deprecated: the transports now default to the hand-rolled binary codec
+// (package wire), which needs no registration. This remains only for
+// wire.GobCodec, the one-release compatibility adapter, and will be removed
+// together with it.
 func RegisterGob() {
 	gob.Register(RefTransfer{})
 	gob.Register(Insert{})
@@ -281,6 +333,7 @@ func RegisterGob() {
 	gob.Register(Batch{})
 	gob.Register(LinkData{})
 	gob.Register(LinkAck{})
+	gob.Register(LinkBatch{})
 	gob.Register(LinkReset{})
 }
 
@@ -310,6 +363,8 @@ func Name(m Message) string {
 		return "LinkData"
 	case LinkAck:
 		return "LinkAck"
+	case LinkBatch:
+		return "LinkBatch"
 	case LinkReset:
 		return "LinkReset"
 	default:

@@ -13,7 +13,7 @@ import (
 // transfer hop. With the barrier the trace returns Live; with
 // Config.SkipTransferBarrier it flags the live chain Garbage.
 func witnessEvents() []Event {
-	r1 := ids.MakeRef(2, 6)  // the suspect: deep chain object owned by site 2
+	r1 := ids.MakeRef(2, 6)   // the suspect: deep chain object owned by site 2
 	bait := ids.MakeRef(1, 6) // site 1's bait container pointing at r1
 	var evs []Event
 	add := func(e Event) { evs = append(evs, e) }

@@ -12,6 +12,7 @@ import (
 	"backtrace/internal/msg"
 	"backtrace/internal/obs"
 	"backtrace/internal/site"
+	"backtrace/internal/wire"
 )
 
 // Config parameterizes one simulated world. The zero value is usable;
@@ -52,6 +53,17 @@ type Config struct {
 	// schedules and oracles.
 	Shards       int `json:"shards,omitempty"`
 	TraceWorkers int `json:"trace_workers,omitempty"`
+	// Codec names a wire codec ("binary" or "gob") that every message
+	// round-trips through at the network boundary, so the model checker
+	// exercises the serialization path under its schedules and oracles.
+	// The round trip is a pure function of the message, preserving
+	// determinism. Empty disables it (in-memory handoff, the fast path).
+	Codec string `json:"codec,omitempty"`
+	// Batch coalesces the messages each site emits within one protocol
+	// step into Batch wrappers (site-level piggybacking) — the
+	// deterministic batching path under the stepped network. The oracles
+	// unwrap the batches, so logical message accounting is unchanged.
+	Batch bool `json:"batch,omitempty"`
 	// Faults is the fault-schedule DSL (see faults.go); generation only.
 	Faults string `json:"faults,omitempty"`
 }
@@ -78,6 +90,20 @@ func (c Config) withDefaults() Config {
 		c.Rings = 2
 	}
 	return c
+}
+
+// codec resolves the configured codec name. An unknown name is a harness
+// misconfiguration (the CLI validates its flag), so it panics rather than
+// silently running a different world than the config block claims.
+func (c Config) codec() wire.Codec {
+	if c.Codec == "" {
+		return nil
+	}
+	codec, err := wire.ByName(c.Codec)
+	if err != nil {
+		panic(fmt.Sprintf("sim: config: %v", err))
+	}
+	return codec
 }
 
 // quantum is how far virtual time advances per scheduler event.
@@ -176,18 +202,20 @@ func newWorld(cfg Config) *world {
 		partitioned: make(map[[2]ids.SiteID]bool),
 	}
 	w.cluster = cluster.New(cluster.Options{
-		NumSites:           cfg.Sites,
-		Stepped:            true,
-		Clock:              w.clk,
-		SuspicionThreshold: cfg.Threshold,
-		BackThreshold:      cfg.BackThreshold,
-		AutoBackTrace:      true,
-		CallTimeout:        simCallTimeout,
-		ReportTimeout:      simReportTimeout,
+		NumSites:                  cfg.Sites,
+		Stepped:                   true,
+		Clock:                     w.clk,
+		SuspicionThreshold:        cfg.Threshold,
+		BackThreshold:             cfg.BackThreshold,
+		AutoBackTrace:             true,
+		CallTimeout:               simCallTimeout,
+		ReportTimeout:             simReportTimeout,
 		SkipTransferBarrierUnsafe: cfg.SkipTransferBarrier,
 		Incremental:               cfg.Incremental,
 		Shards:                    cfg.Shards,
 		TraceWorkers:              cfg.TraceWorkers,
+		Codec:                     cfg.codec(),
+		Piggyback:                 cfg.Batch,
 		Observer:                  w.spans,
 	})
 
@@ -306,13 +334,20 @@ func (w *world) crash(s ids.SiteID) error {
 		// holder's reference dangles — crash amnesia, not unsafe collection,
 		// so excuse the target like any other crash casualty.
 		for _, env := range w.cluster.Net().Pending() {
-			ins, isInsert := env.M.(msg.Insert)
-			if !isInsert || env.To != s || ins.Target.Site != s {
+			if env.To != s {
 				continue
 			}
-			if len(ck.InrefSources[ins.Target.Obj]) == 0 {
-				w.crashLost[ins.Target] = struct{}{}
-			}
+			// Batched runs carry Inserts inside Batch wrappers: account
+			// for every leaf.
+			msg.Leaves(env.M, func(m msg.Message) {
+				ins, isInsert := m.(msg.Insert)
+				if !isInsert || ins.Target.Site != s {
+					return
+				}
+				if len(ck.InrefSources[ins.Target.Obj]) == 0 {
+					w.crashLost[ins.Target] = struct{}{}
+				}
+			})
 		}
 	}
 	w.cluster.Net().Crash(s)
@@ -359,6 +394,7 @@ func (w *world) restoreConfig(s ids.SiteID) site.Config {
 		AutoBackTrace:             true,
 		Clock:                     w.clk,
 		SkipTransferBarrierUnsafe: w.cfg.SkipTransferBarrier,
+		Piggyback:                 w.cfg.Batch,
 		Incremental:               w.cfg.Incremental,
 		Shards:                    w.cfg.Shards,
 		TraceWorkers:              w.cfg.TraceWorkers,

@@ -35,6 +35,21 @@ func (s *Site) NewRootObject() ids.Ref {
 	return s.heap.AllocRoot()
 }
 
+// NewHeldObject allocates an object and registers a mutator-variable hold
+// on it in the same critical section, so no trace snapshot can observe the
+// object unrooted. Mutators that keep the returned reference in a variable
+// (rather than immediately linking it) must use this instead of NewObject:
+// the Section 2 model requires every reference a mutator can still use to
+// be visible to the collector as a root. The hold is released with
+// DropAppRoot.
+func (s *Site) NewHeldObject() ids.Ref {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r := s.heap.Alloc()
+	s.heap.AddAppRoot(r)
+	return r
+}
+
 // AddAppRoot records that a mutator variable on this site holds the given
 // reference. References received from other sites (SendRef, Traverse) are
 // registered automatically; use this for references obtained by reading

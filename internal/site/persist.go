@@ -1,6 +1,8 @@
 package site
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -32,8 +34,46 @@ import (
 // Live (safe), exactly the "clean until the next local trace" state the
 // barriers already create.
 
-// snapshotVersion identifies the checkpoint format.
+// snapshotVersion identifies the checkpoint record layout.
 const snapshotVersion = 1
+
+// Checkpoints are framed like wire messages: a magic string naming the file
+// type, then one format byte selecting the payload encoding, then the
+// payload. The frame lets the payload encoding evolve independently of the
+// record layout (snapshotRec.Version) and rejects non-checkpoint files
+// before the decoder touches them.
+var checkpointMagic = []byte("DGCK")
+
+// checkpointFormatGob is the only payload encoding so far: a gob-encoded
+// snapshotRec. Checkpoints written before the frame existed start directly
+// with the gob stream; decodeSnapshot still reads those.
+const checkpointFormatGob = 0x01
+
+// decodeSnapshot reads a checkpoint stream — framed or legacy bare-gob —
+// into a snapshotRec and validates the record version.
+func decodeSnapshot(r io.Reader) (snapshotRec, error) {
+	br := bufio.NewReader(r)
+	if head, err := br.Peek(len(checkpointMagic)); err == nil && bytes.Equal(head, checkpointMagic) {
+		if _, err := br.Discard(len(checkpointMagic)); err != nil {
+			return snapshotRec{}, fmt.Errorf("checkpoint: %w", err)
+		}
+		format, err := br.ReadByte()
+		if err != nil {
+			return snapshotRec{}, fmt.Errorf("checkpoint: read format byte: %w", err)
+		}
+		if format != checkpointFormatGob {
+			return snapshotRec{}, fmt.Errorf("checkpoint: unsupported payload format 0x%02x", format)
+		}
+	}
+	var rec snapshotRec
+	if err := gob.NewDecoder(br).Decode(&rec); err != nil {
+		return snapshotRec{}, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	if rec.Version != snapshotVersion {
+		return snapshotRec{}, fmt.Errorf("checkpoint: unsupported record version %d", rec.Version)
+	}
+	return rec, nil
+}
 
 type objectRec struct {
 	ID     ids.ObjID
@@ -133,6 +173,9 @@ func (s *Site) WriteCheckpoint(w io.Writer) error {
 	}
 	s.mu.Unlock()
 
+	if _, err := w.Write(append(append([]byte(nil), checkpointMagic...), checkpointFormatGob)); err != nil {
+		return fmt.Errorf("site %v: write checkpoint header: %w", s.cfg.ID, err)
+	}
 	if err := gob.NewEncoder(w).Encode(rec); err != nil {
 		return fmt.Errorf("site %v: encode checkpoint: %w", s.cfg.ID, err)
 	}
@@ -174,12 +217,9 @@ func (s *Site) Checkpoint(path string) error {
 // start barrier-clean; run a local trace to recompute distances and back
 // information.
 func Restore(cfg Config, r io.Reader) (*Site, error) {
-	var rec snapshotRec
-	if err := gob.NewDecoder(r).Decode(&rec); err != nil {
-		return nil, fmt.Errorf("restore site: decode: %w", err)
-	}
-	if rec.Version != snapshotVersion {
-		return nil, fmt.Errorf("restore site: unsupported checkpoint version %d", rec.Version)
+	rec, err := decodeSnapshot(r)
+	if err != nil {
+		return nil, fmt.Errorf("restore site: %w", err)
 	}
 	if cfg.ID == ids.NoSite {
 		cfg.ID = rec.Site
@@ -268,12 +308,9 @@ func checkpointPeers(rec snapshotRec) []ids.SiteID {
 // variables die with the crash), and GarbageFlagged reflects the flags at
 // checkpoint time.
 func DecodeCheckpointAudit(r io.Reader) (ids.SiteID, Audit, error) {
-	var rec snapshotRec
-	if err := gob.NewDecoder(r).Decode(&rec); err != nil {
+	rec, err := decodeSnapshot(r)
+	if err != nil {
 		return ids.NoSite, Audit{}, fmt.Errorf("decode checkpoint audit: %w", err)
-	}
-	if rec.Version != snapshotVersion {
-		return ids.NoSite, Audit{}, fmt.Errorf("decode checkpoint audit: unsupported version %d", rec.Version)
 	}
 	a := Audit{
 		Objects:      make(map[ids.ObjID][]ids.Ref, len(rec.Objects)),

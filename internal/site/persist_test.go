@@ -2,7 +2,6 @@ package site
 
 import (
 	"bytes"
-	"encoding/gob"
 	"path/filepath"
 	"testing"
 	"time"
@@ -175,8 +174,8 @@ func TestRestoreOverSessionNetworkBumpsIncarnation(t *testing.T) {
 	if err := b.WriteCheckpoint(&buf); err != nil {
 		t.Fatal(err)
 	}
-	var rec snapshotRec
-	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&rec); err != nil {
+	rec, err := decodeSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
 		t.Fatal(err)
 	}
 	old := rel.Incarnation(2)
@@ -240,5 +239,48 @@ func TestCrashRecoveryCollectsCycle(t *testing.T) {
 	}
 	if !a.ContainsObject(root.Obj) || !b2.ContainsObject(live.Obj) {
 		t.Fatal("live object lost in crash recovery")
+	}
+}
+
+// TestCheckpointFraming pins the checkpoint file frame: magic + format byte
+// ahead of the payload, an unknown format byte rejected, and checkpoints
+// written before the frame existed (bare gob streams) still restoring.
+func TestCheckpointFraming(t *testing.T) {
+	_, b, _, _ := buildPersistPair(t)
+	var buf bytes.Buffer
+	if err := b.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	framed := buf.Bytes()
+	if !bytes.HasPrefix(framed, checkpointMagic) || framed[len(checkpointMagic)] != checkpointFormatGob {
+		t.Fatalf("checkpoint does not start with magic+format: % x", framed[:6])
+	}
+
+	// Unknown payload format byte is rejected before the decoder runs.
+	bad := append([]byte(nil), framed...)
+	bad[len(checkpointMagic)] = 0x7F
+	net2 := transport.NewNet(transport.Options{Stepped: true})
+	defer net2.Close()
+	if _, err := Restore(Config{Network: net2}, bytes.NewReader(bad)); err == nil {
+		t.Fatal("restore accepted an unknown checkpoint payload format")
+	}
+
+	// Legacy checkpoint: the payload without the frame. Both Restore and
+	// DecodeCheckpointAudit must fall back to bare-gob decoding.
+	legacy := framed[len(checkpointMagic)+1:]
+	b2, err := Restore(Config{Network: net2, SuspicionThreshold: 3, BackThreshold: 7},
+		bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy checkpoint restore: %v", err)
+	}
+	if b2.ID() != 2 || b2.NumObjects() != b.NumObjects() {
+		t.Fatal("legacy restore produced a different site")
+	}
+	id, audit, err := DecodeCheckpointAudit(bytes.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy checkpoint audit: %v", err)
+	}
+	if id != 2 || len(audit.Objects) != b.NumObjects() {
+		t.Fatal("legacy audit decode differs")
 	}
 }

@@ -9,7 +9,9 @@ import (
 
 	"backtrace/internal/clock"
 	"backtrace/internal/ids"
+	"backtrace/internal/metrics"
 	"backtrace/internal/msg"
+	"backtrace/internal/wire"
 )
 
 // Options configures an in-memory network.
@@ -45,6 +47,17 @@ type Options struct {
 	Stepped bool
 	// Observer, if non-nil, is called for every send attempt.
 	Observer Observer
+	// Codec, if non-nil, passes every sent envelope through a full
+	// encode/decode round trip at send time, so in-process runs exercise
+	// the same wire format as the TCP transport: what a handler receives
+	// is the decoded copy, never the sender's value. The round trip is a
+	// pure function of the message, so stepped-mode determinism is
+	// preserved. Frames that fail to encode or decode are dropped (and
+	// reported to the Observer), like any other transmission loss.
+	Codec wire.Codec
+	// Counters, if non-nil, receives wire.bytes for every frame encoded by
+	// Codec.
+	Counters *metrics.Counters
 }
 
 // Net is an in-process Network connecting sites in one OS process.
@@ -121,6 +134,17 @@ func pairKey(a, b ids.SiteID) [2]ids.SiteID {
 func (n *Net) Send(from, to ids.SiteID, m msg.Message) {
 	env := msg.Envelope{From: from, To: to, M: m}
 
+	if c := n.opts.Codec; c != nil {
+		dec, err := n.roundTrip(c, &env)
+		if err != nil {
+			if n.opts.Observer != nil {
+				n.opts.Observer(env, true)
+			}
+			return
+		}
+		env = dec
+	}
+
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -170,6 +194,24 @@ func (n *Net) Send(from, to ids.SiteID, m msg.Message) {
 	if obs != nil {
 		obs(env, false)
 	}
+}
+
+// roundTrip encodes env with the configured codec and decodes the frame
+// back, counting the frame's size under wire.bytes. The decoded envelope
+// shares no memory with the sender's message.
+func (n *Net) roundTrip(c wire.Codec, env *msg.Envelope) (msg.Envelope, error) {
+	buf := wire.GetBuffer()
+	frame, err := c.Encode(env, buf)
+	if err != nil {
+		wire.PutBuffer(buf)
+		return msg.Envelope{}, err
+	}
+	if n.opts.Counters != nil {
+		n.opts.Counters.Add(metrics.WireBytes, int64(len(frame)))
+	}
+	dec, err := wire.DecodeAny(frame)
+	wire.PutBuffer(frame)
+	return dec, err
 }
 
 // insertPending appends d to the stepped-mode queue, swapping it before the

@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -61,6 +62,19 @@ type ReliableOptions struct {
 	// Defaults to 1. After a crash, pass the persisted incarnation + 1 via
 	// NotifyRestart instead.
 	Epoch uint64
+	// BatchMax, when positive, turns on link-level batching: messages for
+	// the same peer coalesce at the sender into one LinkBatch frame of up
+	// to BatchMax payloads, flushed every FlushInterval (or immediately
+	// when a batch fills). Acks the receiver owes are piggybacked on the
+	// next data batch toward that peer instead of sent as standalone
+	// LinkAck frames. Batching trades up to one FlushInterval of latency
+	// for far fewer envelopes on the wire; logical message counts and
+	// per-link FIFO order are unchanged.
+	BatchMax int
+	// FlushInterval is the batcher's flush cadence. Defaults to 1ms when
+	// BatchMax is set; it should stay well below RetransmitInitial so
+	// first transmissions never look like losses.
+	FlushInterval time.Duration
 	// Clock supplies retransmission deadlines and the scan cadence. Nil
 	// means the wall clock.
 	Clock clock.Clock
@@ -92,6 +106,9 @@ func (o ReliableOptions) withDefaults() ReliableOptions {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.BatchMax > 0 && o.FlushInterval <= 0 {
+		o.FlushInterval = time.Millisecond
 	}
 	if o.Epoch == 0 {
 		o.Epoch = 1
@@ -126,7 +143,8 @@ type linkFrame struct {
 type sendLink struct {
 	epoch    uint64
 	nextSeq  uint64      // next sequence number to assign
-	inflight []linkFrame // transmitted, unacknowledged; ascending seq
+	inflight []linkFrame // in the window, unacknowledged; ascending, contiguous seq
+	unsent   int         // batching: trailing inflight frames not yet transmitted
 	pending  []msg.Message
 	backoff  time.Duration
 	retryAt  time.Time
@@ -159,6 +177,7 @@ type Reliable struct {
 	sends       map[linkKey]*sendLink
 	recvs       map[linkKey]*recvLink
 	handlers    map[ids.SiteID]Handler
+	ackPending  map[linkKey]msg.LinkAck // batching: acks owed, awaiting piggyback or flush
 	rng         *rand.Rand
 	outstanding int           // frames in flight or queued across all links
 	idle        chan struct{} // non-nil while an AwaitIdle waits; closed at zero
@@ -186,13 +205,21 @@ func NewReliable(inner Network, opts ReliableOptions) *Reliable {
 		sends:       make(map[linkKey]*sendLink),
 		recvs:       make(map[linkKey]*recvLink),
 		handlers:    make(map[ids.SiteID]Handler),
+		ackPending:  make(map[linkKey]msg.LinkAck),
 		rng:         rand.New(rand.NewSource(opts.Seed)),
 		done:        make(chan struct{}),
 	}
 	r.wg.Add(1)
 	go r.retransmitLoop()
+	if r.batching() {
+		r.wg.Add(1)
+		go r.flushLoop()
+	}
 	return r
 }
+
+// batching reports whether link-level batching is enabled.
+func (r *Reliable) batching() bool { return r.opts.BatchMax > 0 }
 
 // Inner returns the wrapped network (for fault injection in tests).
 func (r *Reliable) Inner() Network { return r.inner }
@@ -214,6 +241,10 @@ func (r *Reliable) Register(site ids.SiteID, h Handler) {
 // Send implements Network. The message is assigned the link's next sequence
 // number and retransmitted until acknowledged; if the in-flight window is
 // full it queues at the sender. Send never blocks on the receiver.
+//
+// With batching enabled the message is not transmitted here: it joins the
+// link's unsent tail and goes out in a LinkBatch at the next flush (or
+// immediately once BatchMax messages have accumulated).
 func (r *Reliable) Send(from, to ids.SiteID, m msg.Message) {
 	env := msg.Envelope{From: from, To: to, M: m}
 	r.mu.Lock()
@@ -222,9 +253,10 @@ func (r *Reliable) Send(from, to ids.SiteID, m msg.Message) {
 		r.observe(env, true)
 		return
 	}
+	key := linkKey{from, to}
 	sl := r.sendLinkLocked(from, to)
 	r.outstanding++
-	var frame msg.Message
+	var out []msg.Message
 	if len(sl.inflight) < r.opts.Window {
 		seq := sl.nextSeq
 		sl.nextSeq++
@@ -232,14 +264,21 @@ func (r *Reliable) Send(from, to ids.SiteID, m msg.Message) {
 		if len(sl.inflight) == 1 {
 			r.armLocked(sl, r.clk.Now())
 		}
-		frame = msg.LinkData{Epoch: sl.epoch, Seq: seq, Payload: m}
+		if r.batching() {
+			sl.unsent++
+			if sl.unsent >= r.opts.BatchMax {
+				out = r.flushLinkLocked(key, sl)
+			}
+		} else {
+			out = append(out, msg.LinkData{Epoch: sl.epoch, Seq: seq, Payload: m})
+		}
 	} else {
 		sl.pending = append(sl.pending, m)
 	}
 	r.mu.Unlock()
 	r.observe(env, false)
-	if frame != nil {
-		r.inner.Send(from, to, frame)
+	for _, f := range out {
+		r.inner.Send(from, to, f)
 	}
 }
 
@@ -307,6 +346,13 @@ func (r *Reliable) NotifyRestart(site ids.SiteID, incarnation uint64, peers []id
 			delete(r.recvs, key)
 		}
 	}
+	for key := range r.ackPending {
+		// Acks the dead incarnation owed refer to receive state that no
+		// longer exists.
+		if key.from == site {
+			delete(r.ackPending, key)
+		}
+	}
 	r.count(metrics.LinkResets, 1)
 	r.mu.Unlock()
 	for _, p := range peers {
@@ -359,6 +405,108 @@ func (r *Reliable) count(name string, delta int64) {
 	}
 }
 
+// gaugeMax raises a high-water gauge when counters are installed.
+func (r *Reliable) gaugeMax(name string, v int64) {
+	if r.opts.Counters != nil {
+		r.opts.Counters.Max(name, v)
+	}
+}
+
+// flushLinkLocked drains a link's unsent tail into LinkBatch frames of at
+// most BatchMax payloads each, piggybacking any ack owed to the same peer
+// onto the first one. The caller holds r.mu and sends the returned frames
+// after unlocking.
+func (r *Reliable) flushLinkLocked(key linkKey, sl *sendLink) []msg.Message {
+	if sl.unsent == 0 {
+		return nil
+	}
+	frames := sl.inflight[len(sl.inflight)-sl.unsent:]
+	var out []msg.Message
+	for start := 0; start < len(frames); start += r.opts.BatchMax {
+		end := start + r.opts.BatchMax
+		if end > len(frames) {
+			end = len(frames)
+		}
+		chunk := frames[start:end]
+		items := make([]msg.Message, len(chunk))
+		for i, f := range chunk {
+			items[i] = f.m
+		}
+		b := msg.LinkBatch{Epoch: sl.epoch, Base: chunk[0].seq, Items: items}
+		if ack, owed := r.ackPending[key]; owed {
+			b.AckEpoch, b.AckCum, b.AckInc = ack.Epoch, ack.Cum, ack.Inc
+			delete(r.ackPending, key)
+			r.count(metrics.LinkAcksSent, 1)
+		}
+		r.gaugeMax(metrics.WireBatchSize, int64(len(items)))
+		out = append(out, b)
+	}
+	sl.unsent = 0
+	r.count(metrics.WireFlushes, 1)
+	return out
+}
+
+// flushAll transmits every link's unsent tail and every ack still owed with
+// nothing to piggyback on. Links flush in deterministic (from, to) order so
+// a virtual-clock run replays identically.
+func (r *Reliable) flushAll() {
+	type outFrame struct {
+		key linkKey
+		m   msg.Message
+	}
+	var out []outFrame
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	keys := make([]linkKey, 0, len(r.sends))
+	for key := range r.sends {
+		keys = append(keys, key)
+	}
+	for key := range r.ackPending {
+		if _, dup := r.sends[key]; !dup {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	for _, key := range keys {
+		if sl := r.sends[key]; sl != nil {
+			for _, m := range r.flushLinkLocked(key, sl) {
+				out = append(out, outFrame{key, m})
+			}
+		}
+		if ack, owed := r.ackPending[key]; owed {
+			// No data went toward this peer: the ack travels alone.
+			delete(r.ackPending, key)
+			r.count(metrics.LinkAcksSent, 1)
+			out = append(out, outFrame{key, ack})
+		}
+	}
+	r.mu.Unlock()
+	for _, f := range out {
+		r.inner.Send(f.key.from, f.key.to, f.m)
+	}
+}
+
+// flushLoop drives the batcher at FlushInterval cadence.
+func (r *Reliable) flushLoop() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-r.clk.After(r.opts.FlushInterval):
+		}
+		r.flushAll()
+	}
+}
+
 // sendLinkLocked returns (creating if needed) the send session for a link.
 func (r *Reliable) sendLinkLocked(from, to ids.SiteID) *sendLink {
 	key := linkKey{from, to}
@@ -388,6 +536,7 @@ func (r *Reliable) resetSendLinkLocked(sl *sendLink, epoch uint64) {
 	sl.epoch = epoch
 	sl.nextSeq = 1
 	sl.inflight = nil
+	sl.unsent = 0
 	sl.pending = nil
 }
 
@@ -406,6 +555,8 @@ func (r *Reliable) receive(self, from ids.SiteID, m msg.Message) {
 	switch f := m.(type) {
 	case msg.LinkData:
 		r.receiveData(self, from, f)
+	case msg.LinkBatch:
+		r.receiveBatch(self, from, f)
 	case msg.LinkAck:
 		r.receiveAck(self, from, f)
 	case msg.LinkReset:
@@ -481,6 +632,13 @@ func (r *Reliable) receiveData(self, from ids.SiteID, f msg.LinkData) {
 		inc = r.opts.Epoch
 	}
 	ack := msg.LinkAck{Epoch: rl.epoch, Cum: rl.expected - 1, Inc: inc}
+	batching := r.batching()
+	if batching {
+		// Acks are cumulative, so the latest one supersedes anything
+		// already owed; it rides the next data batch toward the peer, or
+		// goes out alone at the next flush tick.
+		r.ackPending[linkKey{self, from}] = ack
+	}
 	h := r.handlers[self]
 	r.mu.Unlock()
 
@@ -489,8 +647,22 @@ func (r *Reliable) receiveData(self, from ids.SiteID, f msg.LinkData) {
 			h.Deliver(from, p)
 		}
 	}
-	r.count(metrics.LinkAcksSent, 1)
-	r.inner.Send(self, from, ack)
+	if !batching {
+		r.count(metrics.LinkAcksSent, 1)
+		r.inner.Send(self, from, ack)
+	}
+}
+
+// receiveBatch unpacks a LinkBatch: its piggybacked ack first (opening the
+// window before new data arrives on the reverse path), then each payload in
+// sequence order through the ordinary LinkData machinery.
+func (r *Reliable) receiveBatch(self, from ids.SiteID, b msg.LinkBatch) {
+	if b.AckEpoch != 0 {
+		r.receiveAck(self, from, msg.LinkAck{Epoch: b.AckEpoch, Cum: b.AckCum, Inc: b.AckInc})
+	}
+	for i, item := range b.Items {
+		r.receiveData(self, from, msg.LinkData{Epoch: b.Epoch, Seq: b.Base + uint64(i), Payload: item})
+	}
 }
 
 // receiveAck drops acknowledged frames from the window and promotes queued
@@ -545,7 +717,13 @@ func (r *Reliable) receiveAck(self, from ids.SiteID, a msg.LinkAck) {
 			seq := sl.nextSeq
 			sl.nextSeq++
 			sl.inflight = append(sl.inflight, linkFrame{seq: seq, m: m})
-			out = append(out, msg.LinkData{Epoch: sl.epoch, Seq: seq, Payload: m})
+			if r.batching() {
+				// Promoted frames join the unsent tail; the flusher
+				// batches them instead of one LinkData per frame here.
+				sl.unsent++
+			} else {
+				out = append(out, msg.LinkData{Epoch: sl.epoch, Seq: seq, Payload: m})
+			}
 		}
 		if len(sl.inflight) > 0 {
 			r.armLocked(sl, r.clk.Now())
@@ -578,6 +756,8 @@ func (r *Reliable) receiveReset(self, from ids.SiteID, lr msg.LinkReset) {
 		}
 	}
 	delete(r.recvs, linkKey{from, self})
+	// Any ack owed toward the restarted peer refers to a forgotten session.
+	delete(r.ackPending, linkKey{self, from})
 	r.mu.Unlock()
 }
 
@@ -611,10 +791,30 @@ func (r *Reliable) retransmitDue(now time.Time) {
 		if len(sl.inflight) == 0 || now.Before(sl.retryAt) {
 			continue
 		}
-		for _, f := range sl.inflight {
-			out = append(out, resend{key, msg.LinkData{Epoch: sl.epoch, Seq: f.seq, Payload: f.m}})
+		if r.batching() {
+			// Resend the whole window as chunked batches. The tail that
+			// was never transmitted goes out with it, so clear the unsent
+			// mark (first transmissions are not counted as retransmits).
+			for start := 0; start < len(sl.inflight); start += r.opts.BatchMax {
+				end := start + r.opts.BatchMax
+				if end > len(sl.inflight) {
+					end = len(sl.inflight)
+				}
+				chunk := sl.inflight[start:end]
+				items := make([]msg.Message, len(chunk))
+				for i, f := range chunk {
+					items[i] = f.m
+				}
+				out = append(out, resend{key, msg.LinkBatch{Epoch: sl.epoch, Base: chunk[0].seq, Items: items}})
+			}
+			r.count(metrics.LinkRetransmits, int64(len(sl.inflight)-sl.unsent))
+			sl.unsent = 0
+		} else {
+			for _, f := range sl.inflight {
+				out = append(out, resend{key, msg.LinkData{Epoch: sl.epoch, Seq: f.seq, Payload: f.m}})
+			}
+			r.count(metrics.LinkRetransmits, int64(len(sl.inflight)))
 		}
-		r.count(metrics.LinkRetransmits, int64(len(sl.inflight)))
 		sl.backoff *= 2
 		if sl.backoff > r.opts.RetransmitMax {
 			sl.backoff = r.opts.RetransmitMax

@@ -1,13 +1,17 @@
 package transport
 
 import (
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"backtrace/internal/clock"
 	"backtrace/internal/ids"
 	"backtrace/internal/metrics"
 	"backtrace/internal/msg"
+	"backtrace/internal/wire"
 )
 
 // chaosReliable builds a Reliable layer over a memnet with the given fault
@@ -277,5 +281,289 @@ func TestReliableCloseIsIdempotent(t *testing.T) {
 	r.Send(1, 2, ping(1))
 	if c.count() != 0 {
 		t.Error("send after close was delivered")
+	}
+}
+
+// batchedReliable builds a batching Reliable over a memnet, with an inner
+// observer counting physical envelopes by type.
+func batchedReliable(t *testing.T, opts Options, batch int, n int) (*Reliable, *Net, map[ids.SiteID]*collector, *metrics.Counters, *envelopeTally) {
+	t.Helper()
+	tally := &envelopeTally{}
+	opts.Observer = tally.observe
+	counters := &metrics.Counters{}
+	inner := NewNet(opts)
+	r := NewReliable(inner, ReliableOptions{
+		Seed:              7,
+		RetransmitInitial: 5 * time.Millisecond,
+		FlushInterval:     time.Millisecond,
+		BatchMax:          batch,
+		Counters:          counters,
+	})
+	t.Cleanup(r.Close)
+	cols := make(map[ids.SiteID]*collector, n)
+	for i := 1; i <= n; i++ {
+		id := ids.SiteID(i)
+		cols[id] = &collector{self: id}
+		r.Register(id, cols[id])
+	}
+	return r, inner, cols, counters, tally
+}
+
+// envelopeTally counts the physical envelopes entering the inner network.
+type envelopeTally struct {
+	mu              sync.Mutex
+	total           int
+	batches         int
+	standaloneAcks  int
+	piggybackedAcks int
+}
+
+func (e *envelopeTally) observe(env msg.Envelope, dropped bool) {
+	if dropped {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.total++
+	switch m := env.M.(type) {
+	case msg.LinkBatch:
+		e.batches++
+		if m.AckEpoch != 0 {
+			e.piggybackedAcks++
+		}
+	case msg.LinkAck:
+		e.standaloneAcks++
+	}
+}
+
+func (e *envelopeTally) snapshot() envelopeTally {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return envelopeTally{total: e.total, batches: e.batches,
+		standaloneAcks: e.standaloneAcks, piggybackedAcks: e.piggybackedAcks}
+}
+
+// TestReliableBatchingExactlyOnceUnderChaos re-runs the session layer's
+// acceptance assertion with link-level batching on: 30% loss plus
+// duplication plus reordering, and every message still reaches its handler
+// exactly once, in per-link send order.
+func TestReliableBatchingExactlyOnceUnderChaos(t *testing.T) {
+	r, inner, cols, counters, tally := batchedReliable(t, Options{
+		DropProb:    0.3,
+		DupProb:     0.3,
+		ReorderProb: 0.3,
+		Seed:        42,
+		Jitter:      200 * time.Microsecond,
+	}, 8, 3)
+
+	const perLink = 400
+	for i := uint64(1); i <= perLink; i++ {
+		r.Send(1, 2, ping(i))
+		r.Send(1, 3, ping(i))
+	}
+	settleReliable(t, r, inner)
+
+	for _, to := range []ids.SiteID{2, 3} {
+		got := cols[to].snapshot()
+		if len(got) != perLink {
+			t.Fatalf("site %v: delivered %d messages, want exactly %d", to, len(got), perLink)
+		}
+		for i, env := range got {
+			if pingSeq(env.M) != uint64(i+1) {
+				t.Fatalf("site %v: out of order at %d: seq %d", to, i, pingSeq(env.M))
+			}
+		}
+	}
+	if counters.Get(metrics.LinkRetransmits) == 0 {
+		t.Error("no retransmissions recorded under 30% loss")
+	}
+	if tal := tally.snapshot(); tal.batches == 0 {
+		t.Error("no LinkBatch frames on the wire with batching enabled")
+	}
+	if counters.Get(metrics.WireFlushes) == 0 {
+		t.Error("no batch flushes counted")
+	}
+}
+
+// TestReliableBatchingCoalescesFrames: on a clean link, a burst of sends
+// coalesces into far fewer physical envelopes than messages, without losing
+// or reordering anything.
+func TestReliableBatchingCoalescesFrames(t *testing.T) {
+	r, inner, cols, counters, tally := batchedReliable(t, Options{}, 16, 2)
+
+	const total = 320
+	for i := uint64(1); i <= total; i++ {
+		r.Send(1, 2, ping(i))
+	}
+	settleReliable(t, r, inner)
+
+	got := cols[2].snapshot()
+	if len(got) != total {
+		t.Fatalf("delivered %d, want %d", len(got), total)
+	}
+	for i, env := range got {
+		if pingSeq(env.M) != uint64(i+1) {
+			t.Fatalf("out of order at %d: seq %d", i, pingSeq(env.M))
+		}
+	}
+	tal := tally.snapshot()
+	// A tight send loop against a 16-deep batcher must coalesce well below
+	// one envelope per message; allow generous slack for flush-tick races.
+	if tal.total >= total {
+		t.Errorf("batching sent %d envelopes for %d messages (no coalescing)", tal.total, total)
+	}
+	if tal.batches == 0 {
+		t.Error("no LinkBatch frames observed")
+	}
+	if hw := counters.Get(metrics.WireBatchSize); hw < 2 {
+		t.Errorf("batch size high-water %d, want >= 2", hw)
+	}
+}
+
+// TestReliableBatchingPiggybacksAcks: an ack owed for received traffic
+// rides the next reverse-direction data batch instead of going out as a
+// standalone LinkAck frame. The batcher runs on a virtual clock so the test
+// controls exactly when flushes happen.
+func TestReliableBatchingPiggybacksAcks(t *testing.T) {
+	tally := &envelopeTally{}
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	inner := NewNet(Options{Observer: tally.observe})
+	r := NewReliable(inner, ReliableOptions{
+		Seed:              7,
+		RetransmitInitial: time.Minute, // never fires: only explicit flushes transmit
+		FlushInterval:     time.Millisecond,
+		BatchMax:          8,
+		Clock:             vc,
+		Counters:          &metrics.Counters{},
+	})
+	defer r.Close()
+	c1, c2 := &collector{self: 1}, &collector{self: 2}
+	r.Register(1, c1)
+	r.Register(2, c2)
+
+	// tick fires one flush interval and lets the resulting deliveries land.
+	tick := func() {
+		t.Helper()
+		time.Sleep(5 * time.Millisecond) // let flushLoop re-arm its timer
+		vc.Advance(2 * time.Millisecond)
+		time.Sleep(5 * time.Millisecond)
+		if err := inner.Quiesce(5 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Wave 1: data 1->2 sits in the batcher until the flush tick; site 2
+	// then owes an ack for it.
+	for i := uint64(1); i <= 3; i++ {
+		r.Send(1, 2, ping(i))
+	}
+	tick()
+	if got := c2.count(); got != 3 {
+		t.Fatalf("site 2 delivered %d, want 3", got)
+	}
+
+	// Wave 2: data 2->1 flushes while the ack is owed, so the ack must ride
+	// the batch.
+	for i := uint64(1); i <= 3; i++ {
+		r.Send(2, 1, ping(i))
+	}
+	tick()
+	if got := c1.count(); got != 3 {
+		t.Fatalf("site 1 delivered %d, want 3", got)
+	}
+	tal := tally.snapshot()
+	if tal.piggybackedAcks == 0 {
+		t.Errorf("no piggybacked acks (batches %d, standalone acks %d)", tal.batches, tal.standaloneAcks)
+	}
+	if tal.standaloneAcks != 0 {
+		t.Errorf("%d standalone acks before any ack-only flush was due", tal.standaloneAcks)
+	}
+
+	// A final tick with no reverse data: site 1's owed ack for wave 2 now
+	// travels alone.
+	tick()
+	if tal := tally.snapshot(); tal.standaloneAcks == 0 {
+		t.Error("ack with nothing to piggyback on never flushed standalone")
+	}
+}
+
+// TestReliableCrossCodecEquivalence (wire migration property): the same
+// traffic pushed through the session layer over a lossy, duplicating,
+// reordering memnet arrives bit-identical whether the network round-trips
+// every frame through the binary codec, the legacy gob codec, or no codec
+// at all. Loss forces retransmissions, so frames are encoded and decoded
+// repeatedly along the way.
+func TestReliableCrossCodecEquivalence(t *testing.T) {
+	const total = 120
+	mix := func(i uint64) msg.Message {
+		switch i % 4 {
+		case 0:
+			return msg.Update{
+				Removals:  []ids.ObjID{ids.ObjID(i), ids.ObjID(i * 3)},
+				Distances: []msg.DistanceUpdate{{Obj: ids.ObjID(i), Distance: int(i % 17)}},
+				Holds:     []ids.ObjID{ids.ObjID(i + 1)},
+			}
+		case 1:
+			return msg.BackCall{
+				Trace:     ids.TraceID{Initiator: 1, Seq: i},
+				Caller:    ids.FrameID{Site: 1, Seq: i},
+				Initiator: 1,
+				Kind:      msg.StepRemote,
+				Inref:     ids.ObjID(i),
+				Outref:    ids.MakeRef(2, ids.ObjID(i*7)),
+			}
+		case 2:
+			return msg.BackReply{
+				Trace:        ids.TraceID{Initiator: 1, Seq: i},
+				Caller:       ids.FrameID{Site: 1, Seq: i},
+				Result:       msg.VerdictLive,
+				Participants: []ids.SiteID{1, 2, ids.SiteID(i%9 + 1)},
+			}
+		default:
+			return msg.RefTransfer{Payload: ids.MakeRef(2, ids.ObjID(i)), Pinner: 1}
+		}
+	}
+
+	codecs := map[string]wire.Codec{"none": nil, "gob": wire.NewGobCodec(), "binary": wire.Binary{}}
+	delivered := make(map[string][]msg.Envelope, len(codecs))
+	for name, codec := range codecs {
+		inner := NewNet(Options{
+			DropProb:    0.25,
+			DupProb:     0.15,
+			ReorderProb: 0.2,
+			Seed:        99,
+			Codec:       codec,
+		})
+		r := NewReliable(inner, ReliableOptions{
+			Seed:              7,
+			RetransmitInitial: 2 * time.Millisecond,
+			BatchMax:          4,
+			Counters:          &metrics.Counters{},
+		})
+		c2 := &collector{self: 2}
+		r.Register(1, &collector{self: 1})
+		r.Register(2, c2)
+		for i := uint64(1); i <= total; i++ {
+			r.Send(1, 2, mix(i))
+		}
+		settleReliable(t, r, inner)
+		delivered[name] = c2.snapshot()
+		r.Close()
+	}
+
+	want := delivered["none"]
+	if len(want) != total {
+		t.Fatalf("codec none delivered %d, want %d", len(want), total)
+	}
+	for _, name := range []string{"gob", "binary"} {
+		got := delivered[name]
+		if len(got) != total {
+			t.Fatalf("codec %s delivered %d, want %d", name, len(got), total)
+		}
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("codec %s message %d differs:\n got %#v\nwant %#v", name, i, got[i], want[i])
+			}
+		}
 	}
 }

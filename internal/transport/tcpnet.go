@@ -1,8 +1,10 @@
 package transport
 
 import (
-	"encoding/gob"
+	"bufio"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -10,6 +12,7 @@ import (
 	"backtrace/internal/ids"
 	"backtrace/internal/metrics"
 	"backtrace/internal/msg"
+	"backtrace/internal/wire"
 )
 
 // Redial/queue tuning for TCPNode's per-peer senders.
@@ -18,18 +21,29 @@ const (
 	tcpRedialMax     = 500 * time.Millisecond
 	tcpDialTimeout   = time.Second
 	tcpQueueCap      = 4096
+	// tcpMaxFrame bounds a received frame's declared length. No protocol
+	// message comes anywhere near it; a larger header means a corrupt or
+	// hostile stream, and the connection is dropped rather than the memory
+	// allocated.
+	tcpMaxFrame = 1 << 24
 )
 
 // TCPNode is a Network implementation for one site running as its own OS
-// process, exchanging gob-encoded envelopes over TCP. Every node knows the
+// process, exchanging codec-framed envelopes over TCP. Every node knows the
 // listen address of every site (static membership, as in the paper's
 // setting of a fixed object store spread over sites).
 //
+// On the wire each envelope is one length-prefixed frame: a 4-byte
+// big-endian length followed by that many bytes of wire.Codec output. The
+// receive path decodes with wire.DecodeAny, dispatching on the frame's
+// leading version byte, so peers running different codecs (one mid-
+// migration on gob, another on binary) interoperate without negotiation.
+//
 // Each peer gets a dedicated sender goroutine draining a bounded pending
 // queue, so Send never blocks on the network. The sender dials lazily,
-// evicts the connection on encode failure and redials with exponential
+// evicts the connection on write failure and redials with exponential
 // backoff, keeping the failed message at the front of the queue; dial and
-// encode failures are counted under metrics.TransportSendFail. Messages
+// write failures are counted under metrics.TransportSendFail. Messages
 // already written into a connection that later dies are ordinary message
 // loss, which the protocol tolerates by timeout (or which the Reliable
 // session layer repairs by retransmission). Each incoming connection is
@@ -38,6 +52,7 @@ const (
 type TCPNode struct {
 	self  ids.SiteID
 	addrs map[ids.SiteID]string
+	codec wire.Codec
 
 	mu       sync.Mutex
 	handler  Handler
@@ -54,14 +69,34 @@ type TCPNode struct {
 
 var _ Network = (*TCPNode)(nil)
 
+// TCPOptions configures a TCPNode beyond its address book.
+type TCPOptions struct {
+	// Observer, if non-nil, is called for every send attempt.
+	Observer Observer
+	// Codec frames outgoing envelopes. Nil selects wire.Binary. The
+	// receive path always accepts every known codec via wire.DecodeAny.
+	Codec wire.Codec
+	// Counters, if non-nil, receives metrics.TransportSendFail and
+	// wire.bytes.
+	Counters *metrics.Counters
+}
+
 // NewTCPNode creates a node for site self that will listen on addrs[self]
-// and send to the other addresses. Call Register to install the handler,
-// then Listen to start accepting.
+// and send to the other addresses with the default (binary) codec. Call
+// Register to install the handler, then Listen to start accepting.
 func NewTCPNode(self ids.SiteID, addrs map[ids.SiteID]string, obs Observer) (*TCPNode, error) {
+	return NewTCPNodeOpts(self, addrs, TCPOptions{Observer: obs})
+}
+
+// NewTCPNodeOpts creates a node for site self with explicit transport
+// options.
+func NewTCPNodeOpts(self ids.SiteID, addrs map[ids.SiteID]string, opts TCPOptions) (*TCPNode, error) {
 	if _, ok := addrs[self]; !ok {
 		return nil, fmt.Errorf("tcpnode: no listen address for self %v", self)
 	}
-	msg.RegisterGob()
+	if opts.Codec == nil {
+		opts.Codec = wire.Binary{}
+	}
 	copied := make(map[ids.SiteID]string, len(addrs))
 	for k, v := range addrs {
 		copied[k] = v
@@ -69,9 +104,11 @@ func NewTCPNode(self ids.SiteID, addrs map[ids.SiteID]string, obs Observer) (*TC
 	return &TCPNode{
 		self:     self,
 		addrs:    copied,
+		codec:    opts.Codec,
 		senders:  make(map[ids.SiteID]*tcpSender),
 		accepted: make(map[net.Conn]struct{}),
-		obs:      obs,
+		obs:      opts.Observer,
+		counters: opts.Counters,
 		done:     make(chan struct{}),
 	}, nil
 }
@@ -140,13 +177,32 @@ func (t *TCPNode) readLoop(conn net.Conn) {
 		delete(t.accepted, conn)
 		t.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
+	br := bufio.NewReader(conn)
+	var header [4]byte
+	var payload []byte // reused across frames; Decode never retains it
 	for {
-		var env msg.Envelope
-		if err := dec.Decode(&env); err != nil {
+		if _, err := io.ReadFull(br, header[:]); err != nil {
 			// EOF, a closed connection, or stream damage all end the
 			// read loop; any messages lost with it are ordinary message
 			// loss, which the protocol tolerates by timeout.
+			return
+		}
+		n := binary.BigEndian.Uint32(header[:])
+		if n == 0 || n > tcpMaxFrame {
+			return // corrupt length header: drop the connection
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return
+		}
+		env, err := wire.DecodeAny(payload)
+		if err != nil {
+			// A frame that parses as a length but not as a message means
+			// the stream is damaged; resynchronizing is hopeless, so drop
+			// the connection and let the sender redial.
 			return
 		}
 		t.mu.Lock()
@@ -218,6 +274,15 @@ func (t *TCPNode) countSendFail() {
 	t.mu.Unlock()
 	if c != nil {
 		c.Inc(metrics.TransportSendFail)
+	}
+}
+
+func (t *TCPNode) countBytes(n int) {
+	t.mu.Lock()
+	c := t.counters
+	t.mu.Unlock()
+	if c != nil {
+		c.Add(metrics.WireBytes, int64(n))
 	}
 }
 
@@ -313,7 +378,6 @@ func (s *tcpSender) close() {
 
 func (s *tcpSender) run() {
 	defer s.node.wg.Done()
-	var enc *gob.Encoder
 	backoff := tcpRedialInitial
 	for {
 		s.mu.Lock()
@@ -335,11 +399,11 @@ func (s *tcpSender) run() {
 			return
 		}
 		env := s.queue[0]
-		connected := s.conn != nil
+		conn := s.conn
 		s.mu.Unlock()
 
-		if !connected {
-			conn, err := s.dial()
+		if conn == nil {
+			c, err := s.dial()
 			if err != nil {
 				s.node.countSendFail()
 				s.sleep(backoff)
@@ -352,29 +416,50 @@ func (s *tcpSender) run() {
 			s.mu.Lock()
 			if s.closed {
 				s.mu.Unlock()
-				conn.Close()
+				c.Close()
 				continue
 			}
-			s.conn = conn
+			s.conn = c
 			s.mu.Unlock()
-			enc = gob.NewEncoder(conn)
+			conn = c
 			backoff = tcpRedialInitial
 		}
 
-		if err := enc.Encode(env); err != nil {
+		// One frame per envelope: a 4-byte length header reserved up
+		// front, the codec output behind it, written with a single
+		// conn.Write so the frame is never interleaved.
+		buf := wire.GetBuffer()
+		buf = append(buf, 0, 0, 0, 0)
+		frame, err := s.node.codec.Encode(&env, buf)
+		if err != nil {
+			// Encoding is deterministic, so retrying the same message can
+			// never succeed: count the failure and drop it (ordinary
+			// message loss to the protocol).
+			s.node.countSendFail()
+			s.mu.Lock()
+			if len(s.queue) > 0 {
+				s.queue = s.queue[1:]
+			}
+			s.mu.Unlock()
+			s.node.observe(env, true)
+			continue
+		}
+		binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+		_, werr := conn.Write(frame)
+		wire.PutBuffer(frame)
+		if werr != nil {
 			// Evict the broken connection and redial; env stays at the
 			// front of the queue and is retried on the fresh connection.
 			s.node.countSendFail()
 			s.mu.Lock()
-			conn := s.conn
-			s.conn = nil
-			s.mu.Unlock()
-			if conn != nil {
-				conn.Close()
+			if s.conn == conn {
+				s.conn = nil
 			}
-			enc = nil
+			s.mu.Unlock()
+			conn.Close()
 			continue
 		}
+		s.node.countBytes(len(frame))
 		// This goroutine is the only consumer, so the front is still env.
 		s.mu.Lock()
 		if len(s.queue) > 0 {

@@ -9,7 +9,8 @@
 //     mechanism used to replay the exact interleavings of the paper's
 //     Figures 5 and 6.
 //
-//   - TCPNode (tcpnet.go): a real TCP transport using encoding/gob, for
+//   - TCPNode (tcpnet.go): a real TCP transport exchanging length-prefixed
+//     wire.Codec frames (binary by default; gob accepted for migration), for
 //     running sites as separate OS processes (cmd/dgcnode), with per-peer
 //     pending queues and reconnect-with-backoff.
 //
@@ -23,6 +24,9 @@
 // reorder buffering, and incarnation epochs that reset link sessions
 // across site crashes. It upgrades a lossy, duplicating, or reordering
 // substrate to the exactly-once in-order delivery the protocol assumes.
+// With ReliableOptions.BatchMax set it also batches: messages to the same
+// peer coalesce into one LinkBatch frame per flush tick, with the acks the
+// receiver owes piggybacked on reverse-direction batches.
 package transport
 
 import (

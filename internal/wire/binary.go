@@ -1,0 +1,392 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"backtrace/internal/ids"
+	"backtrace/internal/msg"
+)
+
+// Binary frame layout (version 1):
+//
+//	frame   := version(1B = 0x01) | from(uvarint) | to(uvarint) | message
+//	message := tag(1B) | payload
+//
+// Site ids, object ids, sequence numbers, and collection lengths are
+// unsigned LEB128 varints (encoding/binary Uvarint); distances are zigzag
+// varints because the infinity sentinel and deltas may be large but typical
+// values are tiny. References are (site, obj) uvarint pairs; trace and
+// frame ids are (site, seq) pairs. Wrapper messages (Batch, LinkData,
+// LinkBatch) nest the inner message encoding recursively.
+//
+// The layout has no per-frame type dictionary or field names — the tag byte
+// alone selects the payload shape — which is what buys the size and speed
+// advantage over gob. Evolving a message therefore REQUIRES a new tag or a
+// version bump; see docs/WIRE.md.
+
+// Message tags. Appending a type is fine; renumbering is a version bump.
+const (
+	tagRefTransfer = 1
+	tagInsert      = 2
+	tagInsertAck   = 3
+	tagReleasePin  = 4
+	tagUpdate      = 5
+	tagBackCall    = 6
+	tagBackReply   = 7
+	tagReport      = 8
+	tagBatch       = 9
+	tagLinkData    = 10
+	tagLinkAck     = 11
+	tagLinkReset   = 12
+	tagLinkBatch   = 13
+)
+
+// maxNest bounds wrapper recursion when decoding. Legitimate traffic nests
+// at most three levels (LinkBatch > LinkData payload > Batch > protocol
+// message); the bound exists so a corrupt or adversarial frame cannot
+// recurse unboundedly.
+const maxNest = 8
+
+// Name implements Codec.
+func (Binary) Name() string { return "binary" }
+
+// Encode implements Codec: it appends the version-1 binary frame for env to
+// buf and returns the extended slice. It never fails for messages built
+// from the msg package's closed type set.
+func (Binary) Encode(env *msg.Envelope, buf []byte) ([]byte, error) {
+	buf = append(buf, VersionBinary)
+	buf = binary.AppendUvarint(buf, uint64(env.From))
+	buf = binary.AppendUvarint(buf, uint64(env.To))
+	return appendMessage(buf, env.M)
+}
+
+// Decode implements Codec.
+func (Binary) Decode(data []byte) (msg.Envelope, error) {
+	r := reader{b: data}
+	if v := r.byte(); v != VersionBinary {
+		if r.err != nil {
+			return msg.Envelope{}, r.err
+		}
+		return msg.Envelope{}, fmt.Errorf("wire: binary codec: frame version 0x%02x, want 0x%02x", v, VersionBinary)
+	}
+	var env msg.Envelope
+	env.From = ids.SiteID(r.uvarint())
+	env.To = ids.SiteID(r.uvarint())
+	env.M = r.message(0)
+	if r.err != nil {
+		return msg.Envelope{}, r.err
+	}
+	if r.off != len(r.b) {
+		return msg.Envelope{}, fmt.Errorf("wire: binary codec: %d trailing bytes after frame", len(r.b)-r.off)
+	}
+	return env, nil
+}
+
+// --- encoding -----------------------------------------------------------
+
+func appendRef(buf []byte, r ids.Ref) []byte {
+	buf = binary.AppendUvarint(buf, uint64(r.Site))
+	return binary.AppendUvarint(buf, uint64(r.Obj))
+}
+
+func appendTrace(buf []byte, t ids.TraceID) []byte {
+	buf = binary.AppendUvarint(buf, uint64(t.Initiator))
+	return binary.AppendUvarint(buf, t.Seq)
+}
+
+func appendFrame(buf []byte, f ids.FrameID) []byte {
+	buf = binary.AppendUvarint(buf, uint64(f.Site))
+	return binary.AppendUvarint(buf, f.Seq)
+}
+
+func appendObjIDs(buf []byte, objs []ids.ObjID) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(objs)))
+	for _, obj := range objs {
+		buf = binary.AppendUvarint(buf, uint64(obj))
+	}
+	return buf
+}
+
+func appendMessage(buf []byte, m msg.Message) ([]byte, error) {
+	var err error
+	switch mm := m.(type) {
+	case msg.RefTransfer:
+		buf = append(buf, tagRefTransfer)
+		buf = appendRef(buf, mm.Payload)
+		buf = binary.AppendUvarint(buf, uint64(mm.Pinner))
+	case msg.Insert:
+		buf = append(buf, tagInsert)
+		buf = appendRef(buf, mm.Target)
+		buf = binary.AppendUvarint(buf, uint64(mm.Holder))
+		buf = binary.AppendUvarint(buf, uint64(mm.Pinner))
+	case msg.InsertAck:
+		buf = append(buf, tagInsertAck)
+		buf = appendRef(buf, mm.Target)
+	case msg.ReleasePin:
+		buf = append(buf, tagReleasePin)
+		buf = appendRef(buf, mm.Target)
+	case msg.Update:
+		buf = append(buf, tagUpdate)
+		buf = appendObjIDs(buf, mm.Removals)
+		buf = binary.AppendUvarint(buf, uint64(len(mm.Distances)))
+		for _, du := range mm.Distances {
+			buf = binary.AppendUvarint(buf, uint64(du.Obj))
+			buf = binary.AppendVarint(buf, int64(du.Distance))
+		}
+		buf = appendObjIDs(buf, mm.Holds)
+	case msg.BackCall:
+		buf = append(buf, tagBackCall)
+		buf = appendTrace(buf, mm.Trace)
+		buf = appendFrame(buf, mm.Caller)
+		buf = binary.AppendUvarint(buf, uint64(mm.Initiator))
+		buf = append(buf, byte(mm.Kind))
+		buf = binary.AppendUvarint(buf, uint64(mm.Inref))
+		buf = appendRef(buf, mm.Outref)
+	case msg.BackReply:
+		buf = append(buf, tagBackReply)
+		buf = appendTrace(buf, mm.Trace)
+		buf = appendFrame(buf, mm.Caller)
+		buf = append(buf, byte(mm.Result))
+		buf = binary.AppendUvarint(buf, uint64(len(mm.Participants)))
+		for _, p := range mm.Participants {
+			buf = binary.AppendUvarint(buf, uint64(p))
+		}
+	case msg.Report:
+		buf = append(buf, tagReport)
+		buf = appendTrace(buf, mm.Trace)
+		buf = append(buf, byte(mm.Outcome))
+	case msg.Batch:
+		buf = append(buf, tagBatch)
+		buf = binary.AppendUvarint(buf, uint64(len(mm.Items)))
+		for _, item := range mm.Items {
+			if buf, err = appendMessage(buf, item); err != nil {
+				return nil, err
+			}
+		}
+	case msg.LinkData:
+		buf = append(buf, tagLinkData)
+		buf = binary.AppendUvarint(buf, mm.Epoch)
+		buf = binary.AppendUvarint(buf, mm.Seq)
+		if buf, err = appendMessage(buf, mm.Payload); err != nil {
+			return nil, err
+		}
+	case msg.LinkAck:
+		buf = append(buf, tagLinkAck)
+		buf = binary.AppendUvarint(buf, mm.Epoch)
+		buf = binary.AppendUvarint(buf, mm.Cum)
+		buf = binary.AppendUvarint(buf, mm.Inc)
+	case msg.LinkReset:
+		buf = append(buf, tagLinkReset)
+		buf = binary.AppendUvarint(buf, mm.Epoch)
+	case msg.LinkBatch:
+		buf = append(buf, tagLinkBatch)
+		buf = binary.AppendUvarint(buf, mm.Epoch)
+		buf = binary.AppendUvarint(buf, mm.Base)
+		buf = binary.AppendUvarint(buf, mm.AckEpoch)
+		buf = binary.AppendUvarint(buf, mm.AckCum)
+		buf = binary.AppendUvarint(buf, mm.AckInc)
+		buf = binary.AppendUvarint(buf, uint64(len(mm.Items)))
+		for _, item := range mm.Items {
+			if buf, err = appendMessage(buf, item); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("wire: binary codec: cannot encode %T", m)
+	}
+	return buf, nil
+}
+
+// --- decoding -----------------------------------------------------------
+
+// reader is a cursor over one frame with a sticky error, so decode code
+// reads fields linearly and checks failure once at the end.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: binary codec: "+format, args...)
+	}
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.fail("truncated frame at byte %d", r.off)
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint at byte %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail("bad varint at byte %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// count reads a collection length and rejects values that could not fit in
+// the remaining bytes (each element takes at least one byte), so a corrupt
+// length cannot trigger a huge allocation.
+func (r *reader) count() int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail("collection length %d exceeds remaining %d bytes", n, len(r.b)-r.off)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) ref() ids.Ref {
+	site := ids.SiteID(r.uvarint())
+	obj := ids.ObjID(r.uvarint())
+	return ids.Ref{Site: site, Obj: obj}
+}
+
+func (r *reader) trace() ids.TraceID {
+	site := ids.SiteID(r.uvarint())
+	seq := r.uvarint()
+	return ids.TraceID{Initiator: site, Seq: seq}
+}
+
+func (r *reader) frame() ids.FrameID {
+	site := ids.SiteID(r.uvarint())
+	seq := r.uvarint()
+	return ids.FrameID{Site: site, Seq: seq}
+}
+
+func (r *reader) objIDs() []ids.ObjID {
+	n := r.count()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]ids.ObjID, n)
+	for i := range out {
+		out[i] = ids.ObjID(r.uvarint())
+	}
+	return out
+}
+
+func (r *reader) message(depth int) msg.Message {
+	if r.err != nil {
+		return nil
+	}
+	if depth > maxNest {
+		r.fail("message nesting deeper than %d", maxNest)
+		return nil
+	}
+	switch tag := r.byte(); tag {
+	case tagRefTransfer:
+		return msg.RefTransfer{Payload: r.ref(), Pinner: ids.SiteID(r.uvarint())}
+	case tagInsert:
+		return msg.Insert{Target: r.ref(), Holder: ids.SiteID(r.uvarint()), Pinner: ids.SiteID(r.uvarint())}
+	case tagInsertAck:
+		return msg.InsertAck{Target: r.ref()}
+	case tagReleasePin:
+		return msg.ReleasePin{Target: r.ref()}
+	case tagUpdate:
+		var u msg.Update
+		u.Removals = r.objIDs()
+		if n := r.count(); n > 0 && r.err == nil {
+			u.Distances = make([]msg.DistanceUpdate, n)
+			for i := range u.Distances {
+				u.Distances[i].Obj = ids.ObjID(r.uvarint())
+				u.Distances[i].Distance = int(r.varint())
+			}
+		}
+		u.Holds = r.objIDs()
+		return u
+	case tagBackCall:
+		return msg.BackCall{
+			Trace:     r.trace(),
+			Caller:    r.frame(),
+			Initiator: ids.SiteID(r.uvarint()),
+			Kind:      msg.StepKind(r.byte()),
+			Inref:     ids.ObjID(r.uvarint()),
+			Outref:    r.ref(),
+		}
+	case tagBackReply:
+		rep := msg.BackReply{
+			Trace:  r.trace(),
+			Caller: r.frame(),
+			Result: msg.Verdict(r.byte()),
+		}
+		if n := r.count(); n > 0 && r.err == nil {
+			rep.Participants = make([]ids.SiteID, n)
+			for i := range rep.Participants {
+				rep.Participants[i] = ids.SiteID(r.uvarint())
+			}
+		}
+		return rep
+	case tagReport:
+		return msg.Report{Trace: r.trace(), Outcome: msg.Verdict(r.byte())}
+	case tagBatch:
+		var b msg.Batch
+		if n := r.count(); n > 0 && r.err == nil {
+			b.Items = make([]msg.Message, n)
+			for i := range b.Items {
+				b.Items[i] = r.message(depth + 1)
+			}
+		}
+		return b
+	case tagLinkData:
+		return msg.LinkData{
+			Epoch:   r.uvarint(),
+			Seq:     r.uvarint(),
+			Payload: r.message(depth + 1),
+		}
+	case tagLinkAck:
+		return msg.LinkAck{Epoch: r.uvarint(), Cum: r.uvarint(), Inc: r.uvarint()}
+	case tagLinkReset:
+		return msg.LinkReset{Epoch: r.uvarint()}
+	case tagLinkBatch:
+		lb := msg.LinkBatch{
+			Epoch:    r.uvarint(),
+			Base:     r.uvarint(),
+			AckEpoch: r.uvarint(),
+			AckCum:   r.uvarint(),
+			AckInc:   r.uvarint(),
+		}
+		if n := r.count(); n > 0 && r.err == nil {
+			lb.Items = make([]msg.Message, n)
+			for i := range lb.Items {
+				lb.Items[i] = r.message(depth + 1)
+			}
+		}
+		return lb
+	default:
+		r.fail("unknown message tag %d at byte %d", tag, r.off-1)
+		return nil
+	}
+}

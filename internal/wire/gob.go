@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"backtrace/internal/msg"
+)
+
+// GobCodec is the original encoding/gob transport encoding, framed with the
+// VersionGob byte so it participates in DecodeAny version dispatch. Every
+// frame is a self-contained gob stream (its own type dictionary), which is
+// exactly why it is slow and fat on the hot path — the dictionary is
+// re-sent per message.
+//
+// Deprecated: GobCodec exists for one release as a migration fallback
+// (cluster.Options.Codec / -codec gob). New deployments use Binary.
+type GobCodec struct{}
+
+// NewGobCodec returns the deprecated gob codec, registering the message
+// types with gob on first use.
+func NewGobCodec() GobCodec {
+	msg.RegisterGob()
+	return GobCodec{}
+}
+
+// Name implements Codec.
+func (GobCodec) Name() string { return "gob" }
+
+// Encode implements Codec: a VersionGob byte followed by a self-contained
+// gob stream of the envelope, appended to buf.
+func (GobCodec) Encode(env *msg.Envelope, buf []byte) ([]byte, error) {
+	w := gobBufPool.Get().(*bytes.Buffer)
+	w.Reset()
+	if err := gob.NewEncoder(w).Encode(env); err != nil {
+		gobBufPool.Put(w)
+		return nil, fmt.Errorf("wire: gob codec: %w", err)
+	}
+	buf = append(buf, VersionGob)
+	buf = append(buf, w.Bytes()...)
+	gobBufPool.Put(w)
+	return buf, nil
+}
+
+// Decode implements Codec.
+func (GobCodec) Decode(data []byte) (msg.Envelope, error) {
+	return gobDecode(data)
+}
+
+func gobDecode(data []byte) (msg.Envelope, error) {
+	if len(data) == 0 || data[0] != VersionGob {
+		return msg.Envelope{}, fmt.Errorf("wire: gob codec: missing VersionGob frame byte")
+	}
+	var env msg.Envelope
+	if err := gob.NewDecoder(bytes.NewReader(data[1:])).Decode(&env); err != nil {
+		return msg.Envelope{}, fmt.Errorf("wire: gob codec: %w", err)
+	}
+	if env.M == nil {
+		// gob happily decodes an envelope whose interface field was never
+		// set; a frame carrying no message is invalid on any transport.
+		return msg.Envelope{}, fmt.Errorf("wire: gob codec: frame has no message")
+	}
+	return env, nil
+}
+
+var gobBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func init() {
+	// DecodeAny must be able to parse VersionGob frames even if no GobCodec
+	// was ever constructed in this process (a binary-codec node receiving
+	// from a gob-codec peer mid-migration).
+	msg.RegisterGob()
+}

@@ -1,0 +1,101 @@
+// Package wire defines the codec boundary of the transports: how an
+// in-memory msg.Envelope becomes bytes on a link and back.
+//
+// Two codecs implement the boundary. Binary is the hand-rolled, versioned
+// binary encoding — one tag byte per message type, varint-packed
+// identifiers and distances, no per-frame type dictionaries — and is the
+// default everywhere. GobCodec wraps the original encoding/gob path and is
+// deprecated; it remains for one release as a migration fallback.
+//
+// Every encoded frame begins with a one-byte format version, so a receiver
+// can decode a mixed stream without out-of-band negotiation: DecodeAny
+// dispatches on that byte. Version 0 is a gob frame, version 1 the binary
+// layout of this package. Unknown versions are an error, never a guess —
+// a future format bump is detected, not misparsed.
+package wire
+
+import (
+	"fmt"
+	"sync"
+
+	"backtrace/internal/msg"
+)
+
+// Frame format versions: the first byte of every encoded frame.
+const (
+	// VersionGob marks a frame whose remainder is a self-contained
+	// encoding/gob stream of one msg.Envelope (the deprecated codec).
+	VersionGob = 0x00
+	// VersionBinary marks a frame in this package's binary layout.
+	VersionBinary = 0x01
+)
+
+// Codec converts envelopes to framed bytes and back. Implementations must
+// be safe for concurrent use: one codec value is shared by every link of a
+// transport.
+//
+// Encode appends the encoded frame to buf (which may be nil or recycled via
+// GetBuffer/PutBuffer) and returns the extended slice, so steady-state
+// encoding performs no allocations. Decode must not retain data: envelopes
+// returned from Decode own their memory.
+type Codec interface {
+	// Name identifies the codec for flags, metrics, and logs.
+	Name() string
+	// Encode appends env's frame to buf and returns the result.
+	Encode(env *msg.Envelope, buf []byte) ([]byte, error)
+	// Decode parses one frame produced by this codec's Encode.
+	Decode(data []byte) (msg.Envelope, error)
+}
+
+// Binary is the default codec: the versioned binary layout of this package.
+type Binary struct{}
+
+// ByName returns the codec registered under name: "binary" or "gob" (the
+// empty string selects the default, binary).
+func ByName(name string) (Codec, error) {
+	switch name {
+	case "", "binary":
+		return Binary{}, nil
+	case "gob":
+		return NewGobCodec(), nil
+	default:
+		return nil, fmt.Errorf("wire: unknown codec %q (want binary or gob)", name)
+	}
+}
+
+// DecodeAny decodes a frame produced by any known codec, dispatching on the
+// leading version byte. Transports use it on the receive path so peers
+// running different codecs interoperate during a migration.
+func DecodeAny(data []byte) (msg.Envelope, error) {
+	if len(data) == 0 {
+		return msg.Envelope{}, fmt.Errorf("wire: empty frame")
+	}
+	switch data[0] {
+	case VersionGob:
+		return gobDecode(data)
+	case VersionBinary:
+		return Binary{}.Decode(data)
+	default:
+		return msg.Envelope{}, fmt.Errorf("wire: unknown frame version 0x%02x", data[0])
+	}
+}
+
+// bufPool recycles encode buffers so the steady-state encode path does not
+// allocate. Buffers grow to the largest frame they have carried and are
+// reused at that capacity.
+var bufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
+
+// GetBuffer returns an empty buffer from the pool. Pass it to
+// Codec.Encode and return the result to PutBuffer when the frame has been
+// written out.
+func GetBuffer() []byte {
+	return (*bufPool.Get().(*[]byte))[:0]
+}
+
+// PutBuffer recycles a buffer obtained from GetBuffer (possibly grown by
+// Encode). The caller must not use b afterwards.
+func PutBuffer(b []byte) {
+	bufPool.Put(&b)
+}

@@ -1,0 +1,312 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"backtrace/internal/ids"
+	"backtrace/internal/msg"
+)
+
+// exemplars returns one representative value per message type, with every
+// field populated away from its zero value so an encoding that drops or
+// reorders a field cannot round-trip.
+func exemplars() []msg.Message {
+	return []msg.Message{
+		msg.RefTransfer{Payload: ids.MakeRef(3, 77), Pinner: 2},
+		msg.Insert{Target: ids.MakeRef(4, 1005), Holder: 3, Pinner: 2},
+		msg.InsertAck{Target: ids.MakeRef(4, 1005)},
+		msg.ReleasePin{Target: ids.MakeRef(1, 9)},
+		msg.Update{
+			Removals: []ids.ObjID{5, 9, 1 << 40},
+			Distances: []msg.DistanceUpdate{
+				{Obj: 5, Distance: 0},
+				{Obj: 1 << 33, Distance: 1 << 30},
+				{Obj: 7, Distance: -3},
+			},
+			Holds: []ids.ObjID{1, 2, 3},
+		},
+		msg.BackCall{
+			Trace:     ids.TraceID{Initiator: 6, Seq: 1 << 21},
+			Caller:    ids.FrameID{Site: 2, Seq: 19},
+			Initiator: 6,
+			Kind:      msg.StepLocal,
+			Inref:     ids.ObjID(88),
+			Outref:    ids.MakeRef(5, 42),
+		},
+		msg.BackReply{
+			Trace:        ids.TraceID{Initiator: 6, Seq: 7},
+			Caller:       ids.FrameID{Site: 2, Seq: 19},
+			Result:       msg.VerdictLive,
+			Participants: []ids.SiteID{1, 5, 9},
+		},
+		msg.Report{Trace: ids.TraceID{Initiator: 1, Seq: 2}, Outcome: msg.VerdictGarbage},
+		msg.Batch{Items: []msg.Message{
+			msg.InsertAck{Target: ids.MakeRef(2, 8)},
+			msg.Report{Trace: ids.TraceID{Initiator: 3, Seq: 4}, Outcome: msg.VerdictLive},
+		}},
+		msg.LinkData{Epoch: 3, Seq: 1 << 17, Payload: msg.ReleasePin{Target: ids.MakeRef(1, 2)}},
+		msg.LinkAck{Epoch: 3, Cum: 900, Inc: 2},
+		msg.LinkReset{Epoch: 12},
+		msg.LinkBatch{
+			Epoch: 2, Base: 41,
+			AckEpoch: 5, AckCum: 1044, AckInc: 1,
+			Items: []msg.Message{
+				msg.Update{Holds: []ids.ObjID{1}},
+				msg.BackCall{Trace: ids.TraceID{Initiator: 1, Seq: 1}, Kind: msg.StepRemote, Inref: 5},
+			},
+		},
+	}
+}
+
+func codecs(t *testing.T) []Codec {
+	t.Helper()
+	return []Codec{Binary{}, NewGobCodec()}
+}
+
+func TestRoundTripEveryType(t *testing.T) {
+	for _, c := range codecs(t) {
+		for _, m := range exemplars() {
+			env := msg.Envelope{From: 3, To: 9, M: m}
+			frame, err := c.Encode(&env, nil)
+			if err != nil {
+				t.Fatalf("%s encode %s: %v", c.Name(), msg.Name(m), err)
+			}
+			got, err := c.Decode(frame)
+			if err != nil {
+				t.Fatalf("%s decode %s: %v", c.Name(), msg.Name(m), err)
+			}
+			if !reflect.DeepEqual(got, env) {
+				t.Errorf("%s round trip %s:\n got %#v\nwant %#v", c.Name(), msg.Name(m), got, env)
+			}
+		}
+	}
+}
+
+// TestDecodeAnyDispatch checks version negotiation: frames from either
+// codec decode through DecodeAny, so mixed-codec peers interoperate.
+func TestDecodeAnyDispatch(t *testing.T) {
+	for _, c := range codecs(t) {
+		env := msg.Envelope{From: 1, To: 2, M: msg.LinkAck{Epoch: 1, Cum: 5, Inc: 1}}
+		frame, err := c.Encode(&env, GetBuffer())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeAny(frame)
+		if err != nil {
+			t.Fatalf("DecodeAny(%s frame): %v", c.Name(), err)
+		}
+		if !reflect.DeepEqual(got, env) {
+			t.Errorf("DecodeAny(%s frame) = %#v, want %#v", c.Name(), got, env)
+		}
+		PutBuffer(frame)
+	}
+}
+
+func TestCrossCodecSameEnvelope(t *testing.T) {
+	for _, m := range exemplars() {
+		env := msg.Envelope{From: 7, To: 8, M: m}
+		var got [2]msg.Envelope
+		for i, c := range codecs(t) {
+			frame, err := c.Encode(&env, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i], err = DecodeAny(frame); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !reflect.DeepEqual(got[0], got[1]) {
+			t.Errorf("%s: binary and gob disagree:\n binary %#v\n gob    %#v", msg.Name(m), got[0], got[1])
+		}
+	}
+}
+
+func TestEncodeAppendsToBuf(t *testing.T) {
+	env := msg.Envelope{From: 1, To: 2, M: msg.LinkReset{Epoch: 4}}
+	prefix := []byte{0xAA, 0xBB}
+	frame, err := (Binary{}).Encode(&env, append([]byte(nil), prefix...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[0] != 0xAA || frame[1] != 0xBB {
+		t.Fatalf("Encode overwrote existing buffer contents: % x", frame[:2])
+	}
+	if _, err := (Binary{}).Decode(frame[2:]); err != nil {
+		t.Fatalf("decode appended frame: %v", err)
+	}
+}
+
+func TestDecodeRejectsCorruptFrames(t *testing.T) {
+	env := msg.Envelope{From: 3, To: 9, M: exemplars()[4]} // Update: has collections
+	frame, err := (Binary{}).Encode(&env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad version":    {0x7F, 1, 2},
+		"truncated":      frame[:len(frame)/2],
+		"trailing bytes": append(append([]byte(nil), frame...), 0x00),
+		"unknown tag":    {VersionBinary, 1, 2, 0xEE},
+		// Collection length far beyond the remaining bytes must error, not
+		// allocate.
+		"bomb length": {VersionBinary, 1, 2, tagUpdate, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F},
+	}
+	for name, data := range cases {
+		if _, err := (Binary{}).Decode(data); err == nil {
+			t.Errorf("%s: Decode accepted corrupt frame % x", name, data)
+		}
+		if _, err := DecodeAny(data); err == nil && len(data) > 0 && data[0] == VersionBinary {
+			t.Errorf("%s: DecodeAny accepted corrupt frame", name)
+		}
+	}
+}
+
+func TestDecodeRejectsDeepNesting(t *testing.T) {
+	inner := msg.Message(msg.LinkReset{Epoch: 1})
+	for i := 0; i < maxNest+2; i++ {
+		inner = msg.Batch{Items: []msg.Message{inner}}
+	}
+	env := msg.Envelope{From: 1, To: 2, M: inner}
+	frame, err := (Binary{}).Encode(&env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Binary{}).Decode(frame); err == nil {
+		t.Fatal("Decode accepted nesting beyond maxNest")
+	}
+}
+
+// randMessage builds a random message of the given tag; depth bounds
+// wrapper nesting. Shared by the fuzz targets and the randomized round-trip
+// test. Slices are left nil when empty so decode output compares equal.
+func randMessage(rng *rand.Rand, tag, depth int) msg.Message {
+	ref := func() ids.Ref { return ids.MakeRef(ids.SiteID(rng.Intn(1<<16)), ids.ObjID(rng.Uint64()>>rng.Intn(64))) }
+	site := func() ids.SiteID { return ids.SiteID(rng.Intn(1 << 16)) }
+	objs := func() []ids.ObjID {
+		n := rng.Intn(4)
+		if n == 0 {
+			return nil
+		}
+		out := make([]ids.ObjID, n)
+		for i := range out {
+			out[i] = ids.ObjID(rng.Uint64() >> rng.Intn(64))
+		}
+		return out
+	}
+	items := func() []msg.Message {
+		if depth >= 3 {
+			return nil
+		}
+		n := rng.Intn(3)
+		if n == 0 {
+			return nil
+		}
+		out := make([]msg.Message, n)
+		for i := range out {
+			out[i] = randMessage(rng, rng.Intn(13)+1, depth+1)
+		}
+		return out
+	}
+	switch tag {
+	case tagRefTransfer:
+		return msg.RefTransfer{Payload: ref(), Pinner: site()}
+	case tagInsert:
+		return msg.Insert{Target: ref(), Holder: site(), Pinner: site()}
+	case tagInsertAck:
+		return msg.InsertAck{Target: ref()}
+	case tagReleasePin:
+		return msg.ReleasePin{Target: ref()}
+	case tagUpdate:
+		u := msg.Update{Removals: objs(), Holds: objs()}
+		if n := rng.Intn(4); n > 0 {
+			u.Distances = make([]msg.DistanceUpdate, n)
+			for i := range u.Distances {
+				u.Distances[i] = msg.DistanceUpdate{
+					Obj:      ids.ObjID(rng.Uint64() >> rng.Intn(64)),
+					Distance: rng.Intn(1<<31) - 1<<30,
+				}
+			}
+		}
+		return u
+	case tagBackCall:
+		return msg.BackCall{
+			Trace:     ids.TraceID{Initiator: site(), Seq: rng.Uint64() >> rng.Intn(64)},
+			Caller:    ids.FrameID{Site: site(), Seq: rng.Uint64() >> rng.Intn(64)},
+			Initiator: site(),
+			Kind:      msg.StepKind(rng.Intn(2) + 1),
+			Inref:     ids.ObjID(rng.Uint64() >> rng.Intn(64)),
+			Outref:    ref(),
+		}
+	case tagBackReply:
+		rep := msg.BackReply{
+			Trace:  ids.TraceID{Initiator: site(), Seq: rng.Uint64() >> rng.Intn(64)},
+			Caller: ids.FrameID{Site: site(), Seq: rng.Uint64() >> rng.Intn(64)},
+			Result: msg.Verdict(rng.Intn(2)),
+		}
+		if n := rng.Intn(4); n > 0 {
+			rep.Participants = make([]ids.SiteID, n)
+			for i := range rep.Participants {
+				rep.Participants[i] = site()
+			}
+		}
+		return rep
+	case tagReport:
+		return msg.Report{
+			Trace:   ids.TraceID{Initiator: site(), Seq: rng.Uint64() >> rng.Intn(64)},
+			Outcome: msg.Verdict(rng.Intn(2)),
+		}
+	case tagBatch:
+		return msg.Batch{Items: items()}
+	case tagLinkData:
+		return msg.LinkData{
+			Epoch:   rng.Uint64() >> rng.Intn(64),
+			Seq:     rng.Uint64() >> rng.Intn(64),
+			Payload: randMessage(rng, rng.Intn(12)+1, depth+1),
+		}
+	case tagLinkAck:
+		return msg.LinkAck{Epoch: rng.Uint64() >> rng.Intn(64), Cum: rng.Uint64() >> rng.Intn(64), Inc: rng.Uint64() >> rng.Intn(64)}
+	case tagLinkReset:
+		return msg.LinkReset{Epoch: rng.Uint64() >> rng.Intn(64)}
+	default:
+		lb := msg.LinkBatch{
+			Epoch:    rng.Uint64() >> rng.Intn(64),
+			Base:     rng.Uint64() >> rng.Intn(64),
+			AckEpoch: rng.Uint64() >> rng.Intn(64),
+			AckCum:   rng.Uint64() >> rng.Intn(64),
+			AckInc:   rng.Uint64() >> rng.Intn(64),
+			Items:    items(),
+		}
+		return lb
+	}
+}
+
+// TestRandomizedRoundTrip is the deterministic (non-fuzz) version of
+// FuzzRoundTrip, so plain `go test` exercises the same property.
+func TestRandomizedRoundTrip(t *testing.T) {
+	for _, c := range codecs(t) {
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 2000; i++ {
+			tag := rng.Intn(13) + 1
+			env := msg.Envelope{
+				From: ids.SiteID(rng.Intn(1 << 16)),
+				To:   ids.SiteID(rng.Intn(1 << 16)),
+				M:    randMessage(rng, tag, 0),
+			}
+			frame, err := c.Encode(&env, GetBuffer())
+			if err != nil {
+				t.Fatalf("%s encode #%d: %v", c.Name(), i, err)
+			}
+			got, err := c.Decode(frame)
+			PutBuffer(frame)
+			if err != nil {
+				t.Fatalf("%s decode #%d (%s): %v", c.Name(), i, msg.Name(env.M), err)
+			}
+			if !reflect.DeepEqual(got, env) {
+				t.Fatalf("%s round trip #%d (%s):\n got %#v\nwant %#v", c.Name(), i, msg.Name(env.M), got, env)
+			}
+		}
+	}
+}
