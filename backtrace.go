@@ -240,12 +240,12 @@ func NewTCPNodeOpts(self SiteID, addrs map[SiteID]string, opts TCPOptions) (*tra
 }
 
 // WireCodec serializes message envelopes to self-describing frames. The
-// binary codec is the default; the gob codec remains one release as a
-// migration fallback.
+// binary codec is the only codec; the legacy gob fallback was removed and
+// its version byte stays permanently reserved (see docs/WIRE.md).
 type WireCodec = wire.Codec
 
 // CodecByName resolves a wire codec by name: "" or "binary" for the binary
-// codec, "gob" (deprecated) for the legacy gob codec.
+// codec. Any other name, including the removed "gob", is an error.
 func CodecByName(name string) (WireCodec, error) { return wire.ByName(name) }
 
 // NewReliable wraps any network with the ack/retransmit session layer:

@@ -17,13 +17,14 @@
 //	dgcbench -exp trace         # C15: incremental local tracing cost
 //	dgcbench -exp shard         # C16: sharded heap + parallel mark latency
 //	dgcbench -exp wire          # C17: binary wire codec + link batching
+//	dgcbench -exp backtrace     # C18: trace-traffic engine vs storm baseline
 //
 // -json FILE additionally writes the tables as JSON to FILE; -check (with
 // -exp trace, shard, wire, or all) exits nonzero if the idle-heap
 // incremental trace is more than 10% slower than the full trace, if any
 // parallel trace configuration diverges from the sequential baseline, if
-// the binary codec regresses more than 10% below gob throughput, or if
-// batching changes any logical message count or collection outcome.
+// the binary codec bloats frames or allocations past its absolute budget,
+// or if batching changes any logical message count or collection outcome.
 package main
 
 import (
@@ -39,11 +40,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, messages, distance, insets, space, threshold, timeline, locality, baselines, overlap, telemetry, hypertext, trace, shard, wire)")
+	exp := flag.String("exp", "all", "experiment to run (all, messages, distance, insets, space, threshold, timeline, locality, baselines, overlap, telemetry, hypertext, trace, shard, wire, backtrace)")
 	scale := flag.Int("scale", 20, "size multiplier for the inset experiment")
 	format := flag.String("format", "text", "output format: text or json")
 	jsonOut := flag.String("json", "", "also write the tables as JSON to this file")
-	check := flag.Bool("check", false, "with -exp trace/shard/wire: fail if incremental idle tracing regresses past full by >10%, a parallel trace diverges from the sequential baseline, the binary codec regresses past 10% of gob, or batching changes logical counts")
+	check := flag.Bool("check", false, "with -exp trace/shard/wire: fail if incremental idle tracing regresses past full by >10%, a parallel trace diverges from the sequential baseline, the binary codec exceeds its frame-size or allocation budget, or batching changes logical counts")
 	// Shared transport surface (same flags as dgcnode/dgcsim). Applied
 	// to every standard experiment cluster; stepped experiments map
 	// -batch to deterministic piggybacking. The wire experiment pins its
@@ -68,8 +69,8 @@ func main() {
 			err = writeJSON(*jsonOut, res.tables)
 		}
 		if err == nil && *check {
-			if res.traceRows == nil && res.shardRows == nil && res.wireCodecRows == nil {
-				err = fmt.Errorf("-check requires a checkable experiment (-exp trace, shard, wire, or all)")
+			if res.traceRows == nil && res.shardRows == nil && res.wireCodecRows == nil && res.backtraceRows == nil {
+				err = fmt.Errorf("-check requires a checkable experiment (-exp trace, shard, wire, backtrace, or all)")
 			}
 			if err == nil && res.traceRows != nil {
 				err = experiments.CheckIncremental(res.traceRows)
@@ -79,6 +80,9 @@ func main() {
 			}
 			if err == nil && res.wireCodecRows != nil {
 				err = experiments.CheckWire(res.wireCodecRows, res.wireBatchRows)
+			}
+			if err == nil && res.backtraceRows != nil {
+				err = experiments.CheckBacktrace(res.backtraceRows)
 			}
 		}
 	}
@@ -128,6 +132,7 @@ type results struct {
 	shardRows     []experiments.ShardRow
 	wireCodecRows []experiments.WireCodecRow
 	wireBatchRows []experiments.WireBatchRow
+	backtraceRows []experiments.BacktraceRow
 }
 
 func run(exp string, scale int) (results, error) {
@@ -138,6 +143,7 @@ func run(exp string, scale int) (results, error) {
 	var shardRows []experiments.ShardRow
 	var wireCodecRows []experiments.WireCodecRow
 	var wireBatchRows []experiments.WireBatchRow
+	var backtraceRows []experiments.BacktraceRow
 
 	if all || exp == "messages" {
 		ran = true
@@ -278,6 +284,16 @@ func run(exp string, scale int) (results, error) {
 		tables = append(tables, experiments.WireBatchTable(batchRows))
 	}
 
+	if all || exp == "backtrace" {
+		ran = true
+		rows, err := experiments.BacktraceTraffic(4, 40, 12, 12)
+		if err != nil {
+			return results{}, err
+		}
+		backtraceRows = rows
+		tables = append(tables, experiments.BacktraceTable(rows))
+	}
+
 	if !ran {
 		return results{}, fmt.Errorf("unknown experiment %q", exp)
 	}
@@ -287,5 +303,6 @@ func run(exp string, scale int) (results, error) {
 		shardRows:     shardRows,
 		wireCodecRows: wireCodecRows,
 		wireBatchRows: wireBatchRows,
+		backtraceRows: backtraceRows,
 	}, nil
 }

@@ -49,6 +49,9 @@ func main() {
 		inbox    = flag.Int("inbox", 0, "mailbox executor inbox capacity (0 = apply messages on the delivery thread)")
 		shards   = flag.Int("shards", 0, "heap/ref-table shards per site (0 = GOMAXPROCS; result-invariant)")
 		workers  = flag.Int("trace-workers", 0, "mark workers per local trace (>1 enables the work-stealing parallel marker; result-invariant)")
+		inflight = flag.Int("max-inflight-traces", 0, "cap concurrently initiated back traces per site; excess suspects queue by distance priority (0 = unlimited)")
+		batchSz  = flag.Int("trace-batch", 0, "group up to this many overlapping-inset suspects into one multi-suspect back trace (<=1 = one trace per suspect)")
+		memoize  = flag.Bool("memoize-live", false, "memoize Live back-trace verdicts per ioref until the next local-trace commit")
 		debug    = flag.String("debug-addr", "", "serve /metrics (Prometheus), /healthz, and /spans on this address (empty = off)")
 		linger   = flag.Duration("linger", 0, "keep the debug endpoint up this long after the demo completes (demo mode)")
 	)
@@ -66,9 +69,9 @@ func main() {
 	var err error
 	switch {
 	case *demo || *selfID == 0:
-		err = runDemo(*nSites, useReliable, tcfg, *inbox, *shards, *workers, *debug, *linger)
+		err = runDemo(*nSites, useReliable, tcfg, *inbox, *shards, *workers, *inflight, *batchSz, *memoize, *debug, *linger)
 	default:
-		err = runNode(ids.SiteID(*selfID), *peers, *drive, *period, *run, useReliable, tcfg, *inbox, *shards, *workers, *debug)
+		err = runNode(ids.SiteID(*selfID), *peers, *drive, *period, *run, useReliable, tcfg, *inbox, *shards, *workers, *inflight, *batchSz, *memoize, *debug)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dgcnode:", err)
@@ -90,7 +93,7 @@ func startDebugServer(addr string, reg *obs.Registry, spans *obs.Collector) (str
 
 // runDemo brings up n sites over loopback TCP (optionally under the
 // reliable session layer) and collects a distributed cycle end to end.
-func runDemo(n int, reliable bool, tcfg cluster.TransportConfig, inbox, shards, traceWorkers int, debugAddr string, linger time.Duration) error {
+func runDemo(n int, reliable bool, tcfg cluster.TransportConfig, inbox, shards, traceWorkers, maxInflight, traceBatch int, memoizeLive bool, debugAddr string, linger time.Duration) error {
 	counters := &metrics.Counters{}
 	spans := backtrace.NewSpanCollector(backtrace.SpanCollectorOptions{})
 	if debugAddr != "" {
@@ -147,6 +150,9 @@ func runDemo(n int, reliable bool, tcfg cluster.TransportConfig, inbox, shards, 
 			InboxSize:          inbox,
 			Shards:             shards,
 			TraceWorkers:       traceWorkers,
+			MaxInflightTraces:  maxInflight,
+			TraceBatch:         traceBatch,
+			MemoizeLive:        memoizeLive,
 			Counters:           counters,
 			Observer:           spans,
 		})
@@ -265,7 +271,7 @@ func tcpLink(sites map[ids.SiteID]*site.Site, from, target backtrace.Ref) error 
 
 // runNode runs one site as its own process.
 func runNode(self ids.SiteID, peerList string, drive bool, period, runFor time.Duration,
-	reliable bool, tcfg cluster.TransportConfig, inbox, shards, traceWorkers int, debugAddr string) error {
+	reliable bool, tcfg cluster.TransportConfig, inbox, shards, traceWorkers, maxInflight, traceBatch int, memoizeLive bool, debugAddr string) error {
 	addrs, err := parsePeers(peerList)
 	if err != nil {
 		return err
@@ -317,6 +323,9 @@ func runNode(self ids.SiteID, peerList string, drive bool, period, runFor time.D
 		InboxSize:          inbox,
 		Shards:             shards,
 		TraceWorkers:       traceWorkers,
+		MaxInflightTraces:  maxInflight,
+		TraceBatch:         traceBatch,
+		MemoizeLive:        memoizeLive,
 		Counters:           counters,
 		Observer:           spans,
 	})

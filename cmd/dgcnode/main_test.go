@@ -47,7 +47,7 @@ func TestRunDemoSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("TCP demo skipped in -short mode")
 	}
-	if err := runDemo(2, false, cluster.TransportConfig{}, 4, 0, 0, "", 0); err != nil { // small inbox: mailbox path over TCP
+	if err := runDemo(2, false, cluster.TransportConfig{}, 4, 0, 0, 0, 0, false, "", 0); err != nil { // small inbox: mailbox path over TCP
 		t.Fatal(err)
 	}
 }
@@ -56,7 +56,7 @@ func TestRunDemoReliableSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("TCP demo skipped in -short mode")
 	}
-	if err := runDemo(2, true, cluster.TransportConfig{}, 0, 0, 0, "", 0); err != nil {
+	if err := runDemo(2, true, cluster.TransportConfig{}, 0, 0, 0, 0, 0, false, "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -67,19 +67,19 @@ func TestRunDemoShardedSmoke(t *testing.T) {
 	}
 	// Sharded heaps + the work-stealing marker must collect the same demo
 	// cycle over real TCP.
-	if err := runDemo(2, false, cluster.TransportConfig{}, 4, 8, 4, "", 0); err != nil {
+	if err := runDemo(2, false, cluster.TransportConfig{}, 4, 8, 4, 0, 0, false, "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestRunDemoBatchedGobSmoke(t *testing.T) {
+func TestRunDemoBatchedSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("TCP demo skipped in -short mode")
 	}
-	// The deprecated gob codec plus link-level batching must still collect
-	// the demo cycle end to end.
-	tcfg := cluster.TransportConfig{Codec: "gob", Batch: 8}
-	if err := runDemo(2, true, tcfg, 0, 0, 0, "", 0); err != nil {
+	// The binary codec plus link-level batching must collect the demo
+	// cycle end to end.
+	tcfg := cluster.TransportConfig{Codec: "binary", Batch: 8}
+	if err := runDemo(2, true, tcfg, 0, 0, 0, 0, 0, false, "", 0); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -49,6 +49,9 @@ func main() {
 		incr     = flag.Bool("incremental", false, "incremental local tracing: dirty-set remark over copy-on-write snapshots")
 		shards   = flag.Int("shards", 0, "heap/ref-table shards per site (0 = GOMAXPROCS; result-invariant)")
 		workers  = flag.Int("trace-workers", 0, "mark workers per local trace (>1 enables the work-stealing parallel marker; result-invariant)")
+		inflight = flag.Int("max-inflight-traces", 0, "cap concurrent back traces per site (0 = unlimited legacy trigger)")
+		batchSz  = flag.Int("trace-batch", 0, "group up to N overlapping suspects into one multi-suspect back trace (0/1 = single-suspect)")
+		memoize  = flag.Bool("memoize-live", false, "memoize Live verdicts per ioref until the next local-trace commit")
 		verbose  = flag.Bool("v", false, "per-round progress")
 		events   = flag.Int("events", 0, "print the last N collector events")
 		dotPath  = flag.String("dot", "", "write a Graphviz DOT snapshot of the final state to this file")
@@ -88,6 +91,9 @@ func main() {
 			TraceWorkers:        *workers,
 			Codec:               simCodec,
 			Batch:               tcfg.Batch > 0,
+			MaxInflightTraces:   *inflight,
+			TraceBatch:          *batchSz,
+			MemoizeLive:         *memoize,
 		}
 		var err error
 		if *replay != "" {
@@ -102,7 +108,8 @@ func main() {
 	}
 
 	if err := run(*kind, *sites, *objects, *docs, *seed, *rounds, *thresh, *backT,
-		*latency, *jitter, *drop, *algo, *parallel, *incr, *shards, *workers, tcfg,
+		*latency, *jitter, *drop, *algo, *parallel, *incr, *shards, *workers,
+		*inflight, *batchSz, *memoize, tcfg,
 		*verbose, *events, *dotPath, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "dgcsim:", err)
 		os.Exit(1)
@@ -111,7 +118,8 @@ func main() {
 
 func run(kind string, sites, objects, docs int, seed int64, rounds, thresh, backT int,
 	latency, jitter time.Duration, drop float64, algoName string, parallel, incremental bool,
-	shards, traceWorkers int, tcfg cluster.TransportConfig, verbose bool, eventTail int, dotPath, traceOut string) error {
+	shards, traceWorkers, maxInflight, traceBatch int, memoizeLive bool,
+	tcfg cluster.TransportConfig, verbose bool, eventTail int, dotPath, traceOut string) error {
 
 	var spec workload.Spec
 	switch kind {
@@ -155,6 +163,9 @@ func run(kind string, sites, objects, docs int, seed int64, rounds, thresh, back
 		Incremental:        incremental,
 		Shards:             shards,
 		TraceWorkers:       traceWorkers,
+		MaxInflightTraces:  maxInflight,
+		TraceBatch:         traceBatch,
+		MemoizeLive:        memoizeLive,
 		Latency:            latency,
 		Jitter:             jitter,
 		// Loss is enabled only after the workload is built: the build
@@ -211,6 +222,11 @@ func run(kind string, sites, objects, docs int, seed int64, rounds, thresh, back
 	snap := c.Counters().Snapshot()
 	fmt.Printf("\nback traces: %d started, %d garbage, %d live\n",
 		snap["backtrace.started"], snap["backtrace.outcome.garbage"], snap["backtrace.outcome.live"])
+	if maxInflight > 0 || traceBatch > 1 || memoizeLive {
+		fmt.Printf("scheduler:   peak inflight %d, peak batch %d, %d joined, %d deferred, %d memo hits\n",
+			snap["backtrace.inflight"], snap["backtrace.batch_size"],
+			snap["backtrace.joined"], snap["backtrace.deferred"], snap["backtrace.memo_hits"])
+	}
 	fmt.Printf("messages:    %d total (BackCall %d, BackReply %d, Report %d, Update %d, dropped %d)\n",
 		snap["msg.total"], snap["msg.BackCall"], snap["msg.BackReply"],
 		snap["msg.Report"], snap["msg.Update"], snap["msg.dropped"])

@@ -100,6 +100,16 @@ type Options struct {
 	Piggyback          bool
 	CallTimeout        time.Duration
 	ReportTimeout      time.Duration
+	// MaxInflightTraces caps concurrent back traces per site
+	// (site.Config.MaxInflightTraces); 0 means unlimited (legacy trigger).
+	MaxInflightTraces int
+	// TraceBatch groups up to this many overlapping suspects into one
+	// multi-suspect back trace (site.Config.TraceBatch); 0 or 1 keeps
+	// single-suspect traces.
+	TraceBatch int
+	// MemoizeLive turns on generation-stamped Live-verdict memoization on
+	// every site (site.Config.MemoizeLive).
+	MemoizeLive bool
 	// Clock is the time source handed to the network, the session layer,
 	// and every site. Nil means the wall clock; the deterministic
 	// simulation injects a virtual clock.
@@ -208,6 +218,9 @@ func New(opts Options) *Cluster {
 			AutoBackTrace:             opts.AutoBackTrace,
 			AdaptiveThreshold:         opts.AdaptiveThreshold,
 			Piggyback:                 opts.Piggyback,
+			MaxInflightTraces:         opts.MaxInflightTraces,
+			TraceBatch:                opts.TraceBatch,
+			MemoizeLive:               opts.MemoizeLive,
 			InboxSize:                 opts.InboxSize,
 			LockedTrace:               opts.LockedTrace,
 			Incremental:               opts.Incremental,

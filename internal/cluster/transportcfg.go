@@ -15,8 +15,8 @@ import (
 // Apply (cluster-based tools) or ResolveCodec (tools that build transports
 // directly).
 type TransportConfig struct {
-	// Codec names the wire codec: "binary" (default) or "gob"
-	// (deprecated migration fallback).
+	// Codec names the wire codec: "binary" (the only framing codec) or
+	// "none" (skip serialization; in-process transports only).
 	Codec string
 	// Batch is the link-level batch size; 0 disables batching.
 	Batch int
@@ -31,7 +31,7 @@ func (tc *TransportConfig) RegisterFlags(fs *flag.FlagSet) {
 	if fs == nil {
 		fs = flag.CommandLine
 	}
-	fs.StringVar(&tc.Codec, "codec", "binary", "wire codec: binary, gob (deprecated), or none (skip serialization; in-process transports only)")
+	fs.StringVar(&tc.Codec, "codec", "binary", "wire codec: binary, or none (skip serialization; in-process transports only)")
 	fs.IntVar(&tc.Batch, "batch", 0, "link-level batch size (0 = no batching; >0 implies the reliable session layer)")
 	fs.DurationVar(&tc.FlushInterval, "flush-interval", 0, "batcher flush cadence (0 = default 1ms; needs -batch)")
 }

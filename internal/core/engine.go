@@ -73,6 +73,14 @@ type Config struct {
 	Inset func(target ids.Ref) []ids.ObjID
 	// Now is the clock (injectable for tests). Defaults to time.Now.
 	Now func() time.Time
+	// MemoizeLive enables generation-stamped Live-verdict memoization:
+	// when a frame completes Live (proven, not assumed by timeout), the
+	// ioref it was active on is recorded against the current local-trace
+	// commit generation, and later back steps through it answer Live
+	// without fanning out — until BumpGeneration (a commit installed new
+	// distances and back information) or a Section 6.4 clean event
+	// invalidates the entry.
+	MemoizeLive bool
 	// Counters receives engine metrics; may be nil.
 	Counters *metrics.Counters
 	// Completed, if non-nil, is invoked at the initiator when one of its
@@ -113,19 +121,68 @@ type frame struct {
 	onInref  ids.ObjID
 	onOutref ids.Ref
 	pending  int
+	// suspect is the batch suspect index this frame works on behalf of
+	// (always 0 in a single-suspect trace).
+	suspect uint32
+	// deps accumulates the suspects whose visit marks this frame's
+	// Garbage verdict relied on (revisit answers, Section 4.4); forwarded
+	// in the reply so the initiator can run the demotion fixpoint.
+	deps map[uint32]struct{}
+	// gen is the commit generation at frame creation; a Live completion
+	// is memoized only if the generation has not moved since, so a
+	// concurrent CommitLocalTrace invalidates the proof automatically.
+	gen uint64
+	// noMemo suppresses memoization for verdicts assumed rather than
+	// proven (timeout expiry, Section 4.6).
+	noMemo bool
 	// participants accumulates the sites reached in this frame's subtree,
 	// always including this site.
 	participants map[ids.SiteID]struct{}
 	deadline     time.Time
 }
 
+// inrefMark / outrefMark record one visit mark together with the batch
+// suspect that owns it, so the report phase can flag selectively.
+type inrefMark struct {
+	obj     ids.ObjID
+	suspect uint32
+}
+
+type outrefMark struct {
+	target  ids.Ref
+	suspect uint32
+}
+
 // traceMarks records, per trace, the iorefs this site has marked visited,
 // so the report phase can flag or unmark them (Section 4.5). expiry
 // implements the lost-report timeout.
 type traceMarks struct {
-	inrefs  []ids.ObjID
-	outrefs []ids.Ref
+	inrefs  []inrefMark
+	outrefs []outrefMark
 	expiry  time.Time
+}
+
+// batchRoot is the initiator-side state of a multi-suspect batched trace:
+// one trace id, several suspected outrefs, one verdict per suspect. Each
+// suspect's outermost call reports back through a root slot; when all have
+// answered, the demotion fixpoint decides which Garbage verdicts are
+// trustworthy and one report phase resolves the whole batch (Section 4.5).
+type batchRoot struct {
+	trace    ids.TraceID
+	suspects []ids.Ref
+	results  []msg.Verdict
+	done     []bool
+	deps     []map[uint32]struct{}
+	pending  int
+	// participants accumulates the union of every suspect subtree's
+	// participant set for the report phase.
+	participants map[ids.SiteID]struct{}
+}
+
+// rootSlot routes a suspect's outermost reply to its batch root.
+type rootSlot struct {
+	trace   ids.TraceID
+	suspect uint32
 }
 
 // traceActivity tracks one trace's live engagement at this site for the
@@ -151,6 +208,19 @@ type Engine struct {
 	// activity tracks the traces currently active at this site, for the
 	// participant-span hooks.
 	activity map[ids.TraceID]*traceActivity
+
+	// batches holds the multi-suspect traces this site initiated that are
+	// still in flight; rootSlots routes each suspect's outermost reply.
+	batches   map[ids.TraceID]*batchRoot
+	rootSlots map[ids.FrameID]rootSlot
+
+	// gen is the local-trace commit generation (bumped by CommitLocalTrace
+	// via BumpGeneration); memoIn/memoOut record the generation at which an
+	// ioref was last proven Live. An entry is valid only while its stamp
+	// equals gen, so a commit invalidates every cached verdict at once.
+	gen     uint64
+	memoIn  map[ids.ObjID]uint64
+	memoOut map[ids.Ref]uint64
 }
 
 // NewEngine creates an engine for a site.
@@ -159,12 +229,16 @@ func NewEngine(cfg Config) *Engine {
 		cfg.Now = time.Now
 	}
 	return &Engine{
-		cfg:      cfg,
-		frames:   make(map[ids.FrameID]*frame),
-		byInref:  make(map[ids.ObjID]map[ids.FrameID]struct{}),
-		byOutref: make(map[ids.Ref]map[ids.FrameID]struct{}),
-		marks:    make(map[ids.TraceID]*traceMarks),
-		activity: make(map[ids.TraceID]*traceActivity),
+		cfg:       cfg,
+		frames:    make(map[ids.FrameID]*frame),
+		byInref:   make(map[ids.ObjID]map[ids.FrameID]struct{}),
+		byOutref:  make(map[ids.Ref]map[ids.FrameID]struct{}),
+		marks:     make(map[ids.TraceID]*traceMarks),
+		activity:  make(map[ids.TraceID]*traceActivity),
+		batches:   make(map[ids.TraceID]*batchRoot),
+		rootSlots: make(map[ids.FrameID]rootSlot),
+		memoIn:    make(map[ids.ObjID]uint64),
+		memoOut:   make(map[ids.Ref]uint64),
 	}
 }
 
@@ -236,19 +310,55 @@ func (e *Engine) count(name string) {
 
 // --- starting traces ------------------------------------------------------
 
-// ShouldStart reports whether a back trace should be triggered from the
-// given outref: it exists, it is suspected, its distance has crossed its
-// personal back threshold, and no trace from this engine is already active
-// on it (Section 4.3).
-func (e *Engine) ShouldStart(target ids.Ref) bool {
+// Eligible reports whether an outref satisfies the distance policy for
+// triggering a back trace: it exists, it is suspected, and its distance has
+// crossed its personal back threshold (Section 4.3). It does not consider
+// traces already in flight; see ShouldStart and TraceVisiting.
+func (e *Engine) Eligible(target ids.Ref) bool {
 	o, ok := e.cfg.Table.Outref(target)
 	if !ok || o.IsClean(e.cfg.Threshold) {
 		return false
 	}
-	if o.Distance <= o.BackThreshold {
+	return o.Distance > o.BackThreshold
+}
+
+// MemoizedLive reports whether the outref was proven Live at the current
+// commit generation; a true result counts a memo hit, since the caller is
+// expected to skip the trace it was about to start.
+func (e *Engine) MemoizedLive(target ids.Ref) bool {
+	if !e.cfg.MemoizeLive {
 		return false
 	}
-	return len(e.byOutref[target]) == 0
+	if g, ok := e.memoOut[target]; ok && g == e.gen {
+		e.count(metrics.BackTraceMemoHits)
+		return true
+	}
+	return false
+}
+
+// TraceVisiting reports whether some in-flight back trace holds a visit
+// mark on the outref. Such a suspect needs no trace of its own: if the
+// visiting trace concludes Garbage its report phase flags every ioref it
+// visited (Section 4.5), and if it concludes Live the suspect's raised
+// back threshold defers the retry — so the scheduler joins the suspect to
+// the active trace instead of launching a duplicate.
+func (e *Engine) TraceVisiting(target ids.Ref) bool {
+	o, ok := e.cfg.Table.Outref(target)
+	return ok && len(o.Visited) > 0
+}
+
+// ShouldStart reports whether a back trace should be triggered from the
+// given outref: it is eligible per the distance policy, no trace from this
+// engine is already active on it (Section 4.3), and it is not memoized
+// Live at the current generation.
+func (e *Engine) ShouldStart(target ids.Ref) bool {
+	if !e.Eligible(target) {
+		return false
+	}
+	if len(e.byOutref[target]) != 0 {
+		return false
+	}
+	return !e.MemoizedLive(target)
 }
 
 // StartTrace initiates a back trace from a suspected outref on this site
@@ -266,7 +376,64 @@ func (e *Engine) StartTrace(target ids.Ref) (ids.TraceID, bool) {
 	// outermost call so even a synchronous completion emits a span pair.
 	e.ensureActivity(t)
 	// The outermost call: caller is the nil frame on this site.
-	e.stepLocal(t, e.cfg.Site, ids.NilFrame, e.cfg.Site, target)
+	e.stepLocal(t, e.cfg.Site, ids.NilFrame, e.cfg.Site, target, 0)
+	e.maybeEndActivity(t)
+	return t, true
+}
+
+// StartBatchTrace initiates one back trace carrying several suspected
+// outrefs whose insets overlap. The trace shares one id (and hence one set
+// of visit marks) across all suspects: the first suspect to reach a shared
+// ioref explores it, later suspects' subtrees stop at the existing mark
+// with a recorded dependency, and a single report phase resolves the whole
+// batch — a Garbage verdict flags every ioref visited on behalf of a
+// garbage-confirmed suspect (Section 4.5), a Live verdict resolves only the
+// suspects actually proven reachable.
+//
+// Suspects that are missing or clean are dropped; with zero viable
+// suspects no trace starts, and with exactly one the call degenerates to
+// StartTrace.
+func (e *Engine) StartBatchTrace(targets []ids.Ref) (ids.TraceID, bool) {
+	viable := make([]ids.Ref, 0, len(targets))
+	for _, target := range targets {
+		if o, ok := e.cfg.Table.Outref(target); ok && !o.IsClean(e.cfg.Threshold) {
+			viable = append(viable, target)
+		}
+	}
+	switch len(viable) {
+	case 0:
+		return ids.NilTrace, false
+	case 1:
+		return e.StartTrace(viable[0])
+	}
+	e.nextTrace++
+	t := ids.TraceID{Initiator: e.cfg.Site, Seq: e.nextTrace}
+	e.count(metrics.BackTracesStarted)
+	if e.cfg.Counters != nil {
+		e.cfg.Counters.Max(metrics.BackTraceBatchSize, int64(len(viable)))
+	}
+	b := &batchRoot{
+		trace:        t,
+		suspects:     viable,
+		results:      make([]msg.Verdict, len(viable)),
+		done:         make([]bool, len(viable)),
+		deps:         make([]map[uint32]struct{}, len(viable)),
+		pending:      len(viable),
+		participants: map[ids.SiteID]struct{}{e.cfg.Site: {}},
+	}
+	e.batches[t] = b
+	// The batch root counts as an open frame so the initiator's activity
+	// (and root span) stays open until the batch resolves.
+	e.ensureActivity(t).frames++
+	for i, target := range viable {
+		// Each suspect's outermost call replies to a root slot instead of
+		// the nil frame; overlap shows up as an immediate revisit answer
+		// with a dependency on the first-visiting suspect.
+		e.nextFrame++
+		slot := ids.FrameID{Site: e.cfg.Site, Seq: e.nextFrame}
+		e.rootSlots[slot] = rootSlot{trace: t, suspect: uint32(i)}
+		e.stepLocal(t, e.cfg.Site, slot, e.cfg.Site, target, uint32(i))
+	}
 	e.maybeEndActivity(t)
 	return t, true
 }
@@ -281,49 +448,69 @@ func (e *Engine) HandleBackCall(from ids.SiteID, c msg.BackCall) {
 	e.ensureActivity(c.Trace).hops++
 	switch c.Kind {
 	case msg.StepLocal:
-		e.stepLocal(c.Trace, c.Initiator, c.Caller, from, c.Outref)
+		e.stepLocal(c.Trace, c.Initiator, c.Caller, from, c.Outref, c.Suspect)
 	case msg.StepRemote:
-		e.stepRemote(c.Trace, c.Initiator, c.Caller, from, c.Inref)
+		e.stepRemote(c.Trace, c.Initiator, c.Caller, from, c.Inref, c.Suspect)
 	}
 	e.maybeEndActivity(c.Trace)
 }
 
 // HandleBackReply processes a BackReply from another site.
 func (e *Engine) HandleBackReply(from ids.SiteID, r msg.BackReply) {
-	e.applyReply(r.Caller, r.Result, r.Participants)
+	e.applyReply(r.Caller, r.Result, r.Participants, r.Deps)
 }
 
 // HandleReport processes the report phase at a participant (Section 4.5):
 // on Garbage, flag the inrefs the trace visited here; on Live, clear the
-// visit marks.
+// visit marks. For a batched trace the report's garbage-suspect set
+// restricts flagging to marks owned by suspects confirmed garbage.
 func (e *Engine) HandleReport(from ids.SiteID, r msg.Report) {
-	e.finishTraceLocally(r.Trace, r.Outcome)
+	e.finishTraceLocally(r.Trace, r.Outcome, r.GarbageSuspects)
 }
 
-func (e *Engine) finishTraceLocally(t ids.TraceID, outcome msg.Verdict) {
+// finishTraceLocally clears the trace's visit marks and, on a Garbage
+// outcome, flags the visited inrefs. garbage is the batch form's set of
+// garbage-confirmed suspects; nil means the single-suspect form, which
+// flags every visited inref.
+func (e *Engine) finishTraceLocally(t ids.TraceID, outcome msg.Verdict, garbage []uint32) {
 	tm, ok := e.marks[t]
 	if !ok {
 		return
 	}
 	delete(e.marks, t)
-	for _, obj := range tm.inrefs {
-		in, ok := e.cfg.Table.Inref(obj)
+	var gset map[uint32]struct{}
+	if garbage != nil {
+		gset = make(map[uint32]struct{}, len(garbage))
+		for _, s := range garbage {
+			gset[s] = struct{}{}
+		}
+	}
+	flags := func(suspect uint32) bool {
+		if outcome != msg.VerdictGarbage {
+			return false
+		}
+		if gset == nil {
+			return true
+		}
+		_, ok := gset[suspect]
+		return ok
+	}
+	for _, m := range tm.inrefs {
+		in, ok := e.cfg.Table.Inref(m.obj)
 		if !ok {
 			continue
 		}
 		in.ClearVisited(t)
-		if outcome == msg.VerdictGarbage {
-			if !in.Garbage {
-				e.cfg.Table.FlagGarbage(obj)
-				e.count(metrics.InrefsFlagged)
-				if e.cfg.OnFlagged != nil {
-					e.cfg.OnFlagged(obj)
-				}
+		if flags(m.suspect) && !in.Garbage {
+			e.cfg.Table.FlagGarbage(m.obj)
+			e.count(metrics.InrefsFlagged)
+			if e.cfg.OnFlagged != nil {
+				e.cfg.OnFlagged(m.obj)
 			}
 		}
 	}
-	for _, target := range tm.outrefs {
-		if o, ok := e.cfg.Table.Outref(target); ok {
+	for _, m := range tm.outrefs {
+		if o, ok := e.cfg.Table.Outref(m.target); ok {
 			o.ClearVisited(t)
 		}
 	}
@@ -331,28 +518,47 @@ func (e *Engine) finishTraceLocally(t ids.TraceID, outcome msg.Verdict) {
 
 // --- the two back steps -----------------------------------------------------
 
+// revisitDeps returns the dependency set for a Garbage revisit answer:
+// the mark's owning suspect, unless the revisiting suspect owns the mark
+// itself (the ordinary loop case, which needs no demotion bookkeeping).
+func revisitDeps(owner, suspect uint32) []uint32 {
+	if owner == suspect {
+		return nil
+	}
+	return []uint32{owner}
+}
+
 // stepLocal is BackStepLocal (Section 4.4): examine the outref for a
 // remote reference on this site and fan out to the inrefs in its inset.
-func (e *Engine) stepLocal(t ids.TraceID, initiator ids.SiteID, caller ids.FrameID, callerSite ids.SiteID, target ids.Ref) {
+func (e *Engine) stepLocal(t ids.TraceID, initiator ids.SiteID, caller ids.FrameID, callerSite ids.SiteID, target ids.Ref, suspect uint32) {
 	o, ok := e.cfg.Table.Outref(target)
 	if !ok {
 		// "its ioref must have been deleted by the garbage collector".
-		e.replyTo(caller, callerSite, t, msg.VerdictGarbage, e.selfParticipants())
+		e.replyTo(caller, callerSite, t, msg.VerdictGarbage, e.selfParticipants(), nil)
 		return
 	}
 	if o.IsClean(e.cfg.Threshold) {
-		e.replyTo(caller, callerSite, t, msg.VerdictLive, e.selfParticipants())
+		e.replyTo(caller, callerSite, t, msg.VerdictLive, e.selfParticipants(), nil)
 		return
 	}
-	if o.MarkVisited(t) {
-		// Already visited by this trace: avoid loops and revisits.
-		e.replyTo(caller, callerSite, t, msg.VerdictGarbage, e.selfParticipants())
+	if e.cfg.MemoizeLive {
+		if g, ok := e.memoOut[target]; ok && g == e.gen {
+			// Proven Live at this generation: answer without fanning out.
+			e.count(metrics.BackTraceMemoHits)
+			e.replyTo(caller, callerSite, t, msg.VerdictLive, e.selfParticipants(), nil)
+			return
+		}
+	}
+	if owner, already := o.MarkVisited(t, suspect); already {
+		// Already visited by this trace: avoid loops and revisits. In a
+		// batched trace the answer leans on the owning suspect's verdict.
+		e.replyTo(caller, callerSite, t, msg.VerdictGarbage, e.selfParticipants(), revisitDeps(owner, suspect))
 		return
 	}
-	e.recordOutrefMark(t, target)
+	e.recordOutrefMark(t, target, suspect)
 	o.BackThreshold += e.cfg.ThresholdBump // Section 4.3
 
-	f := e.newFrame(t, initiator, caller, callerSite)
+	f := e.newFrame(t, initiator, caller, callerSite, suspect)
 	f.kind = msg.StepLocal
 	f.onOutref = target
 	e.indexFrame(f)
@@ -374,31 +580,38 @@ func (e *Engine) stepLocal(t ids.TraceID, initiator ids.SiteID, caller ids.Frame
 		if _, alive := e.frames[fid]; !alive {
 			return
 		}
-		e.stepRemote(t, initiator, fid, e.cfg.Site, inrefObj)
+		e.stepRemote(t, initiator, fid, e.cfg.Site, inrefObj, suspect)
 	}
 }
 
 // stepRemote is BackStepRemote (Section 4.4): examine the inref for a
 // local object and fan out to the corresponding outrefs on its source
 // sites.
-func (e *Engine) stepRemote(t ids.TraceID, initiator ids.SiteID, caller ids.FrameID, callerSite ids.SiteID, inrefObj ids.ObjID) {
+func (e *Engine) stepRemote(t ids.TraceID, initiator ids.SiteID, caller ids.FrameID, callerSite ids.SiteID, inrefObj ids.ObjID, suspect uint32) {
 	in, ok := e.cfg.Table.Inref(inrefObj)
 	if !ok {
-		e.replyTo(caller, callerSite, t, msg.VerdictGarbage, e.selfParticipants())
+		e.replyTo(caller, callerSite, t, msg.VerdictGarbage, e.selfParticipants(), nil)
 		return
 	}
 	if in.IsClean(e.cfg.Threshold) {
-		e.replyTo(caller, callerSite, t, msg.VerdictLive, e.selfParticipants())
+		e.replyTo(caller, callerSite, t, msg.VerdictLive, e.selfParticipants(), nil)
 		return
 	}
-	if in.MarkVisited(t) {
-		e.replyTo(caller, callerSite, t, msg.VerdictGarbage, e.selfParticipants())
+	if e.cfg.MemoizeLive {
+		if g, ok := e.memoIn[inrefObj]; ok && g == e.gen {
+			e.count(metrics.BackTraceMemoHits)
+			e.replyTo(caller, callerSite, t, msg.VerdictLive, e.selfParticipants(), nil)
+			return
+		}
+	}
+	if owner, already := in.MarkVisited(t, suspect); already {
+		e.replyTo(caller, callerSite, t, msg.VerdictGarbage, e.selfParticipants(), revisitDeps(owner, suspect))
 		return
 	}
-	e.recordInrefMark(t, inrefObj)
+	e.recordInrefMark(t, inrefObj, suspect)
 	in.BackThreshold += e.cfg.ThresholdBump
 
-	f := e.newFrame(t, initiator, caller, callerSite)
+	f := e.newFrame(t, initiator, caller, callerSite, suspect)
 	f.kind = msg.StepRemote
 	f.onInref = inrefObj
 	e.indexFrame(f)
@@ -421,13 +634,14 @@ func (e *Engine) stepRemote(t ids.TraceID, initiator ids.SiteID, caller ids.Fram
 			Initiator: initiator,
 			Kind:      msg.StepLocal,
 			Outref:    target,
+			Suspect:   suspect,
 		})
 	}
 }
 
 // --- frame bookkeeping -------------------------------------------------------
 
-func (e *Engine) newFrame(t ids.TraceID, initiator ids.SiteID, caller ids.FrameID, callerSite ids.SiteID) *frame {
+func (e *Engine) newFrame(t ids.TraceID, initiator ids.SiteID, caller ids.FrameID, callerSite ids.SiteID, suspect uint32) *frame {
 	e.nextFrame++
 	f := &frame{
 		id:           ids.FrameID{Site: e.cfg.Site, Seq: e.nextFrame},
@@ -435,6 +649,8 @@ func (e *Engine) newFrame(t ids.TraceID, initiator ids.SiteID, caller ids.FrameI
 		initiator:    initiator,
 		caller:       caller,
 		callerSite:   callerSite,
+		suspect:      suspect,
+		gen:          e.gen,
 		participants: map[ids.SiteID]struct{}{e.cfg.Site: {}},
 	}
 	if e.cfg.CallTimeout > 0 {
@@ -483,10 +699,15 @@ func (e *Engine) unindexFrame(f *frame) {
 	}
 }
 
-// applyReply folds one inner call's result into its frame. Live
-// short-circuits: the frame completes immediately and later replies to it
-// are ignored (their frame is gone).
-func (e *Engine) applyReply(fid ids.FrameID, result msg.Verdict, participants []ids.SiteID) {
+// applyReply folds one inner call's result into its frame (or batch root
+// slot). Live short-circuits: the frame completes immediately and later
+// replies to it are ignored (their frame is gone). Garbage replies merge
+// the subtree's suspect dependencies into the frame for forwarding.
+func (e *Engine) applyReply(fid ids.FrameID, result msg.Verdict, participants []ids.SiteID, deps []uint32) {
+	if slot, ok := e.rootSlots[fid]; ok {
+		e.applyBatchReply(fid, slot, result, participants, deps)
+		return
+	}
 	f, ok := e.frames[fid]
 	if !ok {
 		return // frame already completed (short-circuit, clean rule, timeout)
@@ -498,6 +719,14 @@ func (e *Engine) applyReply(fid ids.FrameID, result msg.Verdict, participants []
 		e.completeFrame(f, msg.VerdictLive)
 		return
 	}
+	for _, d := range deps {
+		if d != f.suspect {
+			if f.deps == nil {
+				f.deps = make(map[uint32]struct{})
+			}
+			f.deps[d] = struct{}{}
+		}
+	}
 	f.pending--
 	if f.pending <= 0 {
 		// Every inner call returned Garbage (Live short-circuits above).
@@ -506,7 +735,9 @@ func (e *Engine) applyReply(fid ids.FrameID, result msg.Verdict, participants []
 }
 
 // completeFrame finishes a frame with the given verdict, replying to the
-// caller or — for the outermost frame — running the report phase.
+// caller or — for the outermost frame — running the report phase. A
+// proven-Live completion whose generation is still current memoizes the
+// frame's ioref.
 func (e *Engine) completeFrame(f *frame, verdict msg.Verdict) {
 	delete(e.frames, f.id)
 	e.unindexFrame(f)
@@ -514,22 +745,39 @@ func (e *Engine) completeFrame(f *frame, verdict msg.Verdict) {
 		a.frames--
 	}
 	defer e.maybeEndActivity(f.trace)
+	if verdict == msg.VerdictLive && e.cfg.MemoizeLive && !f.noMemo && f.gen == e.gen {
+		switch f.kind {
+		case msg.StepLocal:
+			e.memoOut[f.onOutref] = e.gen
+		case msg.StepRemote:
+			e.memoIn[f.onInref] = e.gen
+		}
+	}
 	parts := make([]ids.SiteID, 0, len(f.participants))
 	for p := range f.participants {
 		parts = append(parts, p)
 	}
 	sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
 
+	var deps []uint32
+	if verdict == msg.VerdictGarbage && len(f.deps) > 0 {
+		deps = make([]uint32, 0, len(f.deps))
+		for d := range f.deps {
+			deps = append(deps, d)
+		}
+		sort.Slice(deps, func(i, j int) bool { return deps[i] < deps[j] })
+	}
+
 	if f.caller.IsZero() && f.callerSite == e.cfg.Site {
 		e.finishAtInitiator(f.trace, verdict, parts)
 		return
 	}
-	e.replyTo(f.caller, f.callerSite, f.trace, verdict, parts)
+	e.replyTo(f.caller, f.callerSite, f.trace, verdict, parts, deps)
 }
 
 // replyTo delivers a call's result to the caller frame, locally or by
 // message.
-func (e *Engine) replyTo(caller ids.FrameID, callerSite ids.SiteID, t ids.TraceID, verdict msg.Verdict, participants []ids.SiteID) {
+func (e *Engine) replyTo(caller ids.FrameID, callerSite ids.SiteID, t ids.TraceID, verdict msg.Verdict, participants []ids.SiteID, deps []uint32) {
 	if callerSite == e.cfg.Site {
 		if caller.IsZero() {
 			// Outermost synchronous failure (e.g. StartTrace raced with
@@ -537,7 +785,7 @@ func (e *Engine) replyTo(caller ids.FrameID, callerSite ids.SiteID, t ids.TraceI
 			e.finishAtInitiator(t, verdict, participants)
 			return
 		}
-		e.applyReply(caller, verdict, participants)
+		e.applyReply(caller, verdict, participants, deps)
 		return
 	}
 	e.cfg.Send(callerSite, msg.BackReply{
@@ -545,7 +793,101 @@ func (e *Engine) replyTo(caller ids.FrameID, callerSite ids.SiteID, t ids.TraceI
 		Caller:       caller,
 		Result:       verdict,
 		Participants: participants,
+		Deps:         deps,
 	})
+}
+
+// applyBatchReply folds one suspect's outermost result into its batch
+// root; the last reply resolves the batch.
+func (e *Engine) applyBatchReply(fid ids.FrameID, slot rootSlot, result msg.Verdict, participants []ids.SiteID, deps []uint32) {
+	delete(e.rootSlots, fid)
+	b, ok := e.batches[slot.trace]
+	if !ok || b.done[slot.suspect] {
+		return
+	}
+	for _, p := range participants {
+		b.participants[p] = struct{}{}
+	}
+	i := slot.suspect
+	b.results[i] = result
+	b.done[i] = true
+	if result == msg.VerdictGarbage {
+		for _, d := range deps {
+			if d == i {
+				continue
+			}
+			if b.deps[i] == nil {
+				b.deps[i] = make(map[uint32]struct{})
+			}
+			b.deps[i][d] = struct{}{}
+		}
+	}
+	b.pending--
+	if b.pending == 0 {
+		e.resolveBatch(b)
+	}
+}
+
+// resolveBatch decides the final per-suspect verdicts of a batched trace
+// and runs its report phase. A suspect's Garbage verdict is trustworthy
+// only if every suspect it (transitively) depended on for a revisit answer
+// is also Garbage — the fixpoint demotes the rest to Live, which is always
+// safe (the suspect stays suspected and retries later, Section 4.3).
+func (e *Engine) resolveBatch(b *batchRoot) {
+	delete(e.batches, b.trace)
+	garbage := make([]bool, len(b.suspects))
+	for i := range garbage {
+		garbage[i] = b.results[i] == msg.VerdictGarbage
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range garbage {
+			if !garbage[i] {
+				continue
+			}
+			for d := range b.deps[i] {
+				if int(d) >= len(garbage) || !garbage[d] {
+					garbage[i] = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	var gs []uint32
+	for i, g := range garbage {
+		if g {
+			gs = append(gs, uint32(i))
+		}
+	}
+	outcome := msg.VerdictLive
+	if len(gs) > 0 {
+		outcome = msg.VerdictGarbage
+	}
+	if outcome == msg.VerdictGarbage {
+		e.count(metrics.BackTracesGarbage)
+	} else {
+		e.count(metrics.BackTracesLive)
+	}
+	parts := make([]ids.SiteID, 0, len(b.participants))
+	for p := range b.participants {
+		parts = append(parts, p)
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+	for _, p := range parts {
+		if p == e.cfg.Site {
+			continue
+		}
+		e.cfg.Send(p, msg.Report{Trace: b.trace, Outcome: outcome, GarbageSuspects: gs})
+	}
+	e.finishTraceLocally(b.trace, outcome, gs)
+	if a, ok := e.activity[b.trace]; ok {
+		a.frames-- // release the batch root's hold on the activity
+	}
+	defer e.maybeEndActivity(b.trace)
+	if e.cfg.Completed != nil {
+		e.cfg.Completed(b.trace, outcome, parts)
+	}
 }
 
 // finishAtInitiator runs the report phase (Section 4.5): deliver the
@@ -563,7 +905,7 @@ func (e *Engine) finishAtInitiator(t ids.TraceID, outcome msg.Verdict, participa
 		}
 		e.cfg.Send(p, msg.Report{Trace: t, Outcome: outcome})
 	}
-	e.finishTraceLocally(t, outcome)
+	e.finishTraceLocally(t, outcome, nil)
 	if e.cfg.Completed != nil {
 		e.cfg.Completed(t, outcome, participants)
 	}
@@ -587,27 +929,51 @@ func (e *Engine) marksFor(t ids.TraceID) *traceMarks {
 	return tm
 }
 
-func (e *Engine) recordInrefMark(t ids.TraceID, obj ids.ObjID) {
+func (e *Engine) recordInrefMark(t ids.TraceID, obj ids.ObjID, suspect uint32) {
 	tm := e.marksFor(t)
-	tm.inrefs = append(tm.inrefs, obj)
+	tm.inrefs = append(tm.inrefs, inrefMark{obj: obj, suspect: suspect})
 }
 
-func (e *Engine) recordOutrefMark(t ids.TraceID, target ids.Ref) {
+func (e *Engine) recordOutrefMark(t ids.TraceID, target ids.Ref, suspect uint32) {
 	tm := e.marksFor(t)
-	tm.outrefs = append(tm.outrefs, target)
+	tm.outrefs = append(tm.outrefs, outrefMark{target: target, suspect: suspect})
 }
+
+// --- memoization generations (tentpole layer 2) -----------------------------
+
+// BumpGeneration advances the local-trace commit generation, invalidating
+// every memoized Live verdict at once: the commit installed new distances
+// and back information, so cached proofs may rest on edges that no longer
+// exist. The site calls this from CommitLocalTrace.
+func (e *Engine) BumpGeneration() {
+	e.gen++
+	if len(e.memoIn) > 0 {
+		e.memoIn = make(map[ids.ObjID]uint64)
+	}
+	if len(e.memoOut) > 0 {
+		e.memoOut = make(map[ids.Ref]uint64)
+	}
+}
+
+// Generation returns the current local-trace commit generation.
+func (e *Engine) Generation() uint64 { return e.gen }
 
 // --- the clean rule (Section 6.4) ----------------------------------------------
 
 // NotifyCleanedInref implements the clean rule for an inref: every trace
-// with a call active on it returns Live.
+// with a call active on it returns Live. The ioref's cached Live verdict
+// (if any) is dropped too — its cleanliness now answers directly, and the
+// Section 6.4 clean events are the memo's point invalidations between
+// generation bumps.
 func (e *Engine) NotifyCleanedInref(obj ids.ObjID) {
 	e.forceLive(e.byInref[obj])
+	delete(e.memoIn, obj)
 }
 
 // NotifyCleanedOutref implements the clean rule for an outref.
 func (e *Engine) NotifyCleanedOutref(target ids.Ref) {
 	e.forceLive(e.byOutref[target])
+	delete(e.memoOut, target)
 }
 
 func (e *Engine) forceLive(set map[ids.FrameID]struct{}) {
@@ -651,6 +1017,8 @@ func (e *Engine) CheckTimeouts() {
 				if e.cfg.OnTimeout != nil {
 					e.cfg.OnTimeout(f.trace)
 				}
+				// Assumed Live, not proven (Section 4.6): never memoized.
+				f.noMemo = true
 				e.completeFrame(f, msg.VerdictLive)
 			}
 		}
@@ -667,7 +1035,7 @@ func (e *Engine) CheckTimeouts() {
 			if e.cfg.OnTimeout != nil {
 				e.cfg.OnTimeout(t)
 			}
-			e.finishTraceLocally(t, msg.VerdictLive)
+			e.finishTraceLocally(t, msg.VerdictLive, nil)
 		}
 	}
 }

@@ -72,13 +72,14 @@ func wireMix() []msg.Envelope {
 // WireCodecBench measures every registered codec over the wireMix: iters
 // full passes of encode+decode per codec. Alloc counts come from the
 // runtime's Mallocs counter, so the measurement loop must not be concurrent
-// with other work (dgcbench runs it alone).
+// with other work (dgcbench runs it alone). Binary is the only codec since
+// the gob fallback's removal; historical gob numbers are in BENCH_PR8.json.
 func WireCodecBench(iters int) ([]WireCodecRow, error) {
 	if iters <= 0 {
 		iters = 2000
 	}
 	mix := wireMix()
-	codecs := []wire.Codec{wire.NewGobCodec(), wire.Binary{}}
+	codecs := []wire.Codec{wire.Binary{}}
 	rows := make([]WireCodecRow, 0, len(codecs))
 	for _, c := range codecs {
 		roundTrip := func() (int64, error) {
@@ -99,7 +100,7 @@ func WireCodecBench(iters int) ([]WireCodecRow, error) {
 			}
 			return bytes, nil
 		}
-		// Warm up pools and gob's type-descriptor caches before measuring.
+		// Warm up the buffer pools before measuring.
 		if _, err := roundTrip(); err != nil {
 			return nil, err
 		}
@@ -132,8 +133,8 @@ func WireCodecTable(rows []WireCodecRow) *Table {
 	t := &Table{
 		Title:  "C17a: wire codec throughput (encode+decode round trip, protocol mix)",
 		Header: []string{"codec", "msgs/sec", "bytes/msg", "allocs/op"},
-		Caption: "representative protocol message mix; binary is the default framing, " +
-			"gob remains one release as a migration fallback",
+		Caption: "representative protocol message mix; binary is the only framing " +
+			"(the gob fallback was removed, format byte 0x00 stays reserved)",
 	}
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{
@@ -284,39 +285,35 @@ func WireBatchTable(rows []WireBatchRow) *Table {
 	return t
 }
 
-// CheckWire enforces the CI gate for C17:
+// CheckWire enforces the CI gate for C17. With the gob fallback removed the
+// codec gates are absolute rather than relative:
 //
-//   - the binary codec must not regress more than 10% below gob's round-trip
-//     throughput (on dedicated hardware it is several times faster — see
-//     BENCH_PR8.json — but shared CI runners make tight ratios flaky), and
-//     must be no larger and no more alloc-hungry per message;
+//   - the binary codec's frames must stay compact (the mix's gob frames ran
+//     past 100 bytes/msg; binary sits near 30) and its round trip must stay
+//     allocation-light;
 //   - batching must leave the logical back-trace cost at exactly 2E+P−1 and
 //     strictly reduce physical frames below the logical count, while the
 //     unbatched run's frames match its logical count one-to-one.
 func CheckWire(codecRows []WireCodecRow, batchRows []WireBatchRow) error {
-	var gob, binary *WireCodecRow
+	var binary *WireCodecRow
 	for i := range codecRows {
-		switch codecRows[i].Codec {
-		case "gob":
-			gob = &codecRows[i]
-		case "binary":
+		if codecRows[i].Codec == "binary" {
 			binary = &codecRows[i]
 		}
 	}
-	if gob == nil || binary == nil {
-		return fmt.Errorf("check: wire codec rows missing gob or binary")
+	if binary == nil {
+		return fmt.Errorf("check: wire codec rows missing binary")
 	}
-	if binary.MsgsPerSec < 0.9*gob.MsgsPerSec {
-		return fmt.Errorf("check: binary codec regressed past 10%% of gob throughput (%.0f vs %.0f msgs/sec)",
-			binary.MsgsPerSec, gob.MsgsPerSec)
+	if binary.MsgsPerSec <= 0 {
+		return fmt.Errorf("check: binary codec measured no throughput")
 	}
-	if binary.BytesPerMsg > gob.BytesPerMsg {
-		return fmt.Errorf("check: binary frames larger than gob (%.1f vs %.1f bytes/msg)",
-			binary.BytesPerMsg, gob.BytesPerMsg)
+	if binary.BytesPerMsg > 64 {
+		return fmt.Errorf("check: binary frames bloated to %.1f bytes/msg (want <= 64 on the protocol mix)",
+			binary.BytesPerMsg)
 	}
-	if binary.AllocsPerOp > gob.AllocsPerOp {
-		return fmt.Errorf("check: binary codec allocates more than gob (%.2f vs %.2f allocs/op)",
-			binary.AllocsPerOp, gob.AllocsPerOp)
+	if binary.AllocsPerOp > 16 {
+		return fmt.Errorf("check: binary codec round trip allocates %.2f/op (want <= 16)",
+			binary.AllocsPerOp)
 	}
 	if len(batchRows) == 0 {
 		return fmt.Errorf("check: no wire batch rows")

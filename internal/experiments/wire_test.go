@@ -4,8 +4,8 @@ import "testing"
 
 // TestWireExperimentGate runs the C17 experiment at reduced iterations and
 // pushes the rows through the same gate CI uses (dgcbench -exp wire -check):
-// binary no slower/larger/more alloc-hungry than gob, back traces exactly
-// 2E+P-1 with and without batching, and batching coalescing frames without
+// binary frames compact and allocation-light, back traces exactly 2E+P-1
+// with and without batching, and batching coalescing frames without
 // changing collection outcomes.
 func TestWireExperimentGate(t *testing.T) {
 	codecRows, err := WireCodecBench(200)
@@ -33,7 +33,6 @@ func TestWireExperimentGate(t *testing.T) {
 // experiment cannot silently pass CI.
 func TestCheckWireRejects(t *testing.T) {
 	goodCodec := []WireCodecRow{
-		{Codec: "gob", MsgsPerSec: 1000, BytesPerMsg: 300, AllocsPerOp: 200},
 		{Codec: "binary", MsgsPerSec: 5000, BytesPerMsg: 20, AllocsPerOp: 3},
 	}
 	goodBatch := []WireBatchRow{
@@ -44,10 +43,20 @@ func TestCheckWireRejects(t *testing.T) {
 		t.Fatalf("good rows rejected: %v", err)
 	}
 
-	slow := append([]WireCodecRow(nil), goodCodec...)
-	slow[1].MsgsPerSec = 500 // worse than 0.9x gob
-	if err := CheckWire(slow, goodBatch); err == nil {
-		t.Error("slow binary codec passed the gate")
+	if err := CheckWire(nil, goodBatch); err == nil {
+		t.Error("missing binary row passed the gate")
+	}
+
+	bloated := append([]WireCodecRow(nil), goodCodec...)
+	bloated[0].BytesPerMsg = 300
+	if err := CheckWire(bloated, goodBatch); err == nil {
+		t.Error("bloated binary frames passed the gate")
+	}
+
+	allocHeavy := append([]WireCodecRow(nil), goodCodec...)
+	allocHeavy[0].AllocsPerOp = 40
+	if err := CheckWire(allocHeavy, goodBatch); err == nil {
+		t.Error("alloc-heavy binary codec passed the gate")
 	}
 
 	inexact := []WireBatchRow{goodBatch[0], goodBatch[1]}

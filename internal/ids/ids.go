@@ -4,7 +4,7 @@
 //
 // The types are deliberately small value types with total orderings so they
 // can be used as map keys, sorted deterministically in tests and benchmarks,
-// and encoded compactly by encoding/gob for the TCP transport.
+// and encoded compactly by the binary wire codec for the TCP transport.
 package ids
 
 import (

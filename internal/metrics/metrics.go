@@ -194,6 +194,22 @@ const (
 	BackTracesGarbage   = "backtrace.outcome.garbage"
 	BackTracesLive      = "backtrace.outcome.live"
 	BackTraceCalls      = "backtrace.calls"
+	// BackTraceInflight is the high-water mark of concurrently in-flight
+	// traces initiated by a site (a gauge recorded with Max; bounded by
+	// Config.MaxInflightTraces when the admission controller is on).
+	BackTraceInflight = "backtrace.inflight"
+	// BackTraceMemoHits counts back steps (and trigger scans) answered Live
+	// from the generation-stamped memo without fanning out.
+	BackTraceMemoHits = "backtrace.memo_hits"
+	// BackTraceBatchSize is the high-water mark of suspects carried by one
+	// batched trace (recorded with Max).
+	BackTraceBatchSize = "backtrace.batch_size"
+	// BackTraceJoined counts suspects that joined an active trace already
+	// visiting their cone instead of launching a duplicate.
+	BackTraceJoined = "backtrace.joined"
+	// BackTraceDeferred counts suspects parked in the admission queue
+	// because the in-flight cap was reached.
+	BackTraceDeferred = "backtrace.deferred"
 	LocalTraces         = "localtrace.runs"
 	ObjectsTraced       = "localtrace.objects"
 	ObjectsRetraced     = "localtrace.objects.retraced"

@@ -17,12 +17,10 @@
 //     every participant (Section 4.5).
 //
 // Messages carry only identifiers and plain data, so every type has a
-// compact hand-rolled binary encoding (package wire) and also gob-encodes
-// for the deprecated gob codec path.
+// compact hand-rolled binary encoding (package wire).
 package msg
 
 import (
-	"encoding/gob"
 	"fmt"
 
 	"backtrace/internal/ids"
@@ -164,6 +162,12 @@ type Update struct {
 // for the outermost call, in which case the reply completes the whole trace
 // at the initiator. Initiator lets participants know where the report phase
 // will originate.
+//
+// Suspect identifies which suspected outref of a multi-suspect batched
+// trace this call belongs to (an index into the initiator's suspect set).
+// Visit marks record the owning suspect, so the report phase can flag
+// exactly the iorefs visited on behalf of suspects confirmed garbage.
+// Single-suspect traces always carry suspect 0.
 type BackCall struct {
 	Trace     ids.TraceID
 	Caller    ids.FrameID
@@ -171,25 +175,40 @@ type BackCall struct {
 	Kind      StepKind
 	Inref     ids.ObjID
 	Outref    ids.Ref
+	Suspect   uint32
 }
 
 // BackReply answers a BackCall. Participants accumulates the set of sites
 // reached in the subtree of the call, so the initiator learns the full
 // participant set for the report phase (Section 4.5: "each participant
 // appends its id to the response of a call").
+//
+// Deps accumulates, for a Garbage result in a batched trace, the suspects
+// whose visit marks this subtree's verdict relied on: a revisit of an
+// ioref marked by another suspect answers Garbage (Section 4.4), which is
+// only trustworthy if that suspect's own subtree also concludes Garbage.
+// The initiator demotes any suspect transitively depending on a Live one.
+// Empty for Live results and for single-suspect traces.
 type BackReply struct {
 	Trace        ids.TraceID
 	Caller       ids.FrameID
 	Result       Verdict
 	Participants []ids.SiteID
+	Deps         []uint32
 }
 
 // Report delivers the outcome of a completed back trace to a participant
 // (Section 4.5). On Garbage the participant flags the inrefs visited by the
 // trace; on Live it clears the trace's visited marks.
+//
+// For a multi-suspect batched trace, GarbageSuspects lists the suspects
+// confirmed garbage: the participant flags only the inrefs whose visit
+// marks those suspects own, and clears everything else. A nil list with a
+// Garbage outcome is the single-suspect form and flags every visited inref.
 type Report struct {
-	Trace   ids.TraceID
-	Outcome Verdict
+	Trace           ids.TraceID
+	Outcome         Verdict
+	GarbageSuspects []uint32
 }
 
 // Batch carries several messages between one pair of sites in a single
@@ -311,30 +330,6 @@ func Leaves(m Message, fn func(Message)) {
 	default:
 		fn(m)
 	}
-}
-
-// RegisterGob registers every message type with encoding/gob so Envelope
-// values can cross a gob-based transport. It is safe to call more than
-// once.
-//
-// Deprecated: the transports now default to the hand-rolled binary codec
-// (package wire), which needs no registration. This remains only for
-// wire.GobCodec, the one-release compatibility adapter, and will be removed
-// together with it.
-func RegisterGob() {
-	gob.Register(RefTransfer{})
-	gob.Register(Insert{})
-	gob.Register(InsertAck{})
-	gob.Register(ReleasePin{})
-	gob.Register(Update{})
-	gob.Register(BackCall{})
-	gob.Register(BackReply{})
-	gob.Register(Report{})
-	gob.Register(Batch{})
-	gob.Register(LinkData{})
-	gob.Register(LinkAck{})
-	gob.Register(LinkBatch{})
-	gob.Register(LinkReset{})
 }
 
 // Name returns a short name for a message's type, used by metrics counters

@@ -1,8 +1,6 @@
 package msg
 
 import (
-	"bytes"
-	"encoding/gob"
 	"testing"
 
 	"backtrace/internal/ids"
@@ -42,43 +40,28 @@ func TestNameUnknownType(t *testing.T) {
 	}
 }
 
-func TestBatchGobRoundTrip(t *testing.T) {
-	RegisterGob()
-	env := Envelope{
-		From: 1,
-		To:   2,
-		M: Batch{Items: []Message{
-			Update{Holds: []ids.ObjID{1, 2}},
-			BackCall{Trace: ids.TraceID{Initiator: 1, Seq: 9}, Kind: StepLocal, Outref: ids.MakeRef(2, 3)},
-			Report{Outcome: VerdictLive},
-		}},
+func TestLeavesDescendsWrappers(t *testing.T) {
+	m := LinkBatch{
+		Epoch: 1, Base: 5,
+		Items: []Message{
+			Batch{Items: []Message{
+				Update{Holds: []ids.ObjID{1, 2}},
+				BackCall{Trace: ids.TraceID{Initiator: 1, Seq: 9}, Kind: StepLocal, Outref: ids.MakeRef(2, 3)},
+			}},
+			LinkData{Epoch: 1, Seq: 6, Payload: Report{Outcome: VerdictLive}},
+		},
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
-		t.Fatal(err)
+	var names []string
+	Leaves(m, func(leaf Message) { names = append(names, Name(leaf)) })
+	want := []string{"Update", "BackCall", "Report"}
+	if len(names) != len(want) {
+		t.Fatalf("Leaves visited %v, want %v", names, want)
 	}
-	var got Envelope
-	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
-		t.Fatal(err)
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Leaves visited %v, want %v", names, want)
+		}
 	}
-	b, ok := got.M.(Batch)
-	if !ok || len(b.Items) != 3 {
-		t.Fatalf("decoded %T with %v", got.M, got.M)
-	}
-	if u, ok := b.Items[0].(Update); !ok || len(u.Holds) != 2 {
-		t.Fatalf("item 0 decoded wrong: %+v", b.Items[0])
-	}
-	if c, ok := b.Items[1].(BackCall); !ok || c.Trace.Seq != 9 || c.Outref != ids.MakeRef(2, 3) {
-		t.Fatalf("item 1 decoded wrong: %+v", b.Items[1])
-	}
-	if r, ok := b.Items[2].(Report); !ok || r.Outcome != VerdictLive {
-		t.Fatalf("item 2 decoded wrong: %+v", b.Items[2])
-	}
-}
-
-func TestRegisterGobIdempotent(t *testing.T) {
-	RegisterGob()
-	RegisterGob() // must not panic
 }
 
 func TestNameCoversEveryMessageType(t *testing.T) {
@@ -95,45 +78,5 @@ func TestNameCoversEveryMessageType(t *testing.T) {
 			t.Errorf("Name(%T) = %q (empty, pointerish, or duplicate)", m, name)
 		}
 		seen[name] = true
-	}
-}
-
-func TestLinkFramesGobRoundTrip(t *testing.T) {
-	RegisterGob()
-	frames := []Envelope{
-		{From: 1, To: 2, M: LinkData{Epoch: 3, Seq: 41, Payload: Insert{Target: ids.MakeRef(2, 5), Holder: 1, Pinner: 4}}},
-		{From: 2, To: 1, M: LinkAck{Epoch: 3, Cum: 41}},
-		{From: 2, To: 1, M: LinkReset{Epoch: 4}},
-		{From: 1, To: 2, M: LinkData{Epoch: 1, Seq: 1, Payload: Batch{Items: []Message{Report{Outcome: VerdictLive}}}}},
-	}
-	for _, env := range frames {
-		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(env); err != nil {
-			t.Fatalf("encode %s: %v", Name(env.M), err)
-		}
-		var got Envelope
-		if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
-			t.Fatalf("decode %s: %v", Name(env.M), err)
-		}
-		if Name(got.M) != Name(env.M) {
-			t.Fatalf("round trip changed type: %s -> %s", Name(env.M), Name(got.M))
-		}
-	}
-	// Spot-check nested payloads survive.
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(frames[0]); err != nil {
-		t.Fatal(err)
-	}
-	var got Envelope
-	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
-		t.Fatal(err)
-	}
-	ld := got.M.(LinkData)
-	if ld.Epoch != 3 || ld.Seq != 41 {
-		t.Fatalf("LinkData header corrupted: %+v", ld)
-	}
-	ins, ok := ld.Payload.(Insert)
-	if !ok || ins.Target != ids.MakeRef(2, 5) || ins.Holder != 1 || ins.Pinner != 4 {
-		t.Fatalf("LinkData payload corrupted: %+v", ld.Payload)
 	}
 }

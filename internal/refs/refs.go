@@ -64,9 +64,11 @@ type Inref struct {
 	// visits the ioref, so live suspects stop generating traces
 	// (Section 4.3).
 	BackThreshold int
-	// Visited holds the identifiers of back traces that have visited this
-	// inref and not yet completed (Section 4.4, Section 4.7).
-	Visited map[ids.TraceID]struct{}
+	// Visited holds the back traces that have visited this inref and not
+	// yet completed (Section 4.4, Section 4.7), mapped to the batch
+	// suspect index on whose behalf the visit happened (always 0 for
+	// single-suspect traces).
+	Visited map[ids.TraceID]uint32
 }
 
 // Distance returns the inref's distance: the smallest distance over its
@@ -100,18 +102,19 @@ func (in *Inref) SourceSites() []ids.SiteID {
 	return out
 }
 
-// MarkVisited records a back trace's visit; it reports whether the trace
-// had already visited (in which case the caller returns Garbage
-// immediately, Section 4.4).
-func (in *Inref) MarkVisited(t ids.TraceID) (already bool) {
-	if _, ok := in.Visited[t]; ok {
-		return true
+// MarkVisited records a back trace's visit on behalf of a batch suspect;
+// it reports whether the trace had already visited (in which case the
+// caller returns Garbage immediately, Section 4.4) along with the suspect
+// that owns the existing mark.
+func (in *Inref) MarkVisited(t ids.TraceID, suspect uint32) (owner uint32, already bool) {
+	if owner, ok := in.Visited[t]; ok {
+		return owner, true
 	}
 	if in.Visited == nil {
-		in.Visited = make(map[ids.TraceID]struct{})
+		in.Visited = make(map[ids.TraceID]uint32)
 	}
-	in.Visited[t] = struct{}{}
-	return false
+	in.Visited[t] = suspect
+	return suspect, false
 }
 
 // ClearVisited removes a completed trace's visit mark.
@@ -137,8 +140,9 @@ type Outref struct {
 	// (Section 4.3); see Inref.BackThreshold.
 	BackThreshold int
 	// Visited holds the back traces currently marking this outref
-	// (Section 4.4).
-	Visited map[ids.TraceID]struct{}
+	// (Section 4.4), mapped to the owning batch suspect index; see
+	// Inref.Visited.
+	Visited map[ids.TraceID]uint32
 }
 
 // IsClean reports whether the outref is clean at the given suspicion
@@ -154,17 +158,17 @@ func (o *Outref) IsClean(threshold int) bool {
 	return o.Barrier || o.Pins > 0 || o.Distance <= threshold+1
 }
 
-// MarkVisited records a back trace's visit; it reports whether the trace
-// had already visited.
-func (o *Outref) MarkVisited(t ids.TraceID) (already bool) {
-	if _, ok := o.Visited[t]; ok {
-		return true
+// MarkVisited records a back trace's visit on behalf of a batch suspect;
+// see Inref.MarkVisited.
+func (o *Outref) MarkVisited(t ids.TraceID, suspect uint32) (owner uint32, already bool) {
+	if owner, ok := o.Visited[t]; ok {
+		return owner, true
 	}
 	if o.Visited == nil {
-		o.Visited = make(map[ids.TraceID]struct{})
+		o.Visited = make(map[ids.TraceID]uint32)
 	}
-	o.Visited[t] = struct{}{}
-	return false
+	o.Visited[t] = suspect
+	return suspect, false
 }
 
 // ClearVisited removes a completed trace's visit mark.

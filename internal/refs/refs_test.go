@@ -113,18 +113,25 @@ func TestRemoveSourceDropsEmptyInref(t *testing.T) {
 func TestInrefVisitedMarks(t *testing.T) {
 	in := &Inref{Obj: 1}
 	tr := ids.TraceID{Initiator: 2, Seq: 1}
-	if in.MarkVisited(tr) {
+	if _, already := in.MarkVisited(tr, 0); already {
 		t.Fatal("first visit reported as already visited")
 	}
-	if !in.MarkVisited(tr) {
+	owner, already := in.MarkVisited(tr, 3)
+	if !already {
 		t.Fatal("second visit not reported as already visited")
 	}
+	if owner != 0 {
+		t.Fatalf("revisit owner = %d, want the first visitor's suspect 0", owner)
+	}
 	tr2 := ids.TraceID{Initiator: 3, Seq: 1}
-	if in.MarkVisited(tr2) {
+	if _, already := in.MarkVisited(tr2, 5); already {
 		t.Fatal("distinct trace reported as already visited")
 	}
+	if owner, already := in.MarkVisited(tr2, 0); !already || owner != 5 {
+		t.Fatalf("revisit of second trace: owner=%d already=%v, want 5 true", owner, already)
+	}
 	in.ClearVisited(tr)
-	if in.MarkVisited(tr) {
+	if _, already := in.MarkVisited(tr, 0); already {
 		t.Fatal("visit after clear reported as already visited")
 	}
 }

@@ -53,7 +53,7 @@ type Config struct {
 	// schedules and oracles.
 	Shards       int `json:"shards,omitempty"`
 	TraceWorkers int `json:"trace_workers,omitempty"`
-	// Codec names a wire codec ("binary" or "gob") that every message
+	// Codec names a wire codec ("binary") that every message
 	// round-trips through at the network boundary, so the model checker
 	// exercises the serialization path under its schedules and oracles.
 	// The round trip is a pure function of the message, preserving
@@ -66,6 +66,17 @@ type Config struct {
 	Batch bool `json:"batch,omitempty"`
 	// Faults is the fault-schedule DSL (see faults.go); generation only.
 	Faults string `json:"faults,omitempty"`
+	// MaxInflightTraces caps concurrent back traces per site; 0 means
+	// unlimited (the legacy trigger path). The scheduler's deferral and
+	// admission decisions are deterministic, so schedules replay exactly.
+	MaxInflightTraces int `json:"max_inflight_traces,omitempty"`
+	// TraceBatch groups up to this many overlapping suspects into one
+	// multi-suspect back trace; 0 or 1 keeps single-suspect traces.
+	TraceBatch int `json:"trace_batch,omitempty"`
+	// MemoizeLive turns on generation-stamped Live-verdict memoization, so
+	// the model checker exercises the memo short-circuit and its
+	// commit-generation invalidation against the safety oracle.
+	MemoizeLive bool `json:"memoize_live,omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -216,6 +227,9 @@ func newWorld(cfg Config) *world {
 		TraceWorkers:              cfg.TraceWorkers,
 		Codec:                     cfg.codec(),
 		Piggyback:                 cfg.Batch,
+		MaxInflightTraces:         cfg.MaxInflightTraces,
+		TraceBatch:                cfg.TraceBatch,
+		MemoizeLive:               cfg.MemoizeLive,
 		Observer:                  w.spans,
 	})
 
@@ -398,6 +412,9 @@ func (w *world) restoreConfig(s ids.SiteID) site.Config {
 		Incremental:               w.cfg.Incremental,
 		Shards:                    w.cfg.Shards,
 		TraceWorkers:              w.cfg.TraceWorkers,
+		MaxInflightTraces:         w.cfg.MaxInflightTraces,
+		TraceBatch:                w.cfg.TraceBatch,
+		MemoizeLive:               w.cfg.MemoizeLive,
 		Counters:                  w.cluster.Counters(),
 		Observer:                  w.cluster.Observer(),
 	}

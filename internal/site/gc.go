@@ -261,8 +261,12 @@ func (s *Site) CommitLocalTrace() TraceReport {
 	// 4. Install the new back information (the Section 6.2 atomic swap),
 	// reset the transfer-barrier marks that the new information
 	// supersedes, and replay barriers that arrived during the trace on
-	// the new copy.
+	// the new copy. The commit also advances the engine's memoization
+	// generation: cached Live verdicts were proven against the old
+	// distances and back information, so they expire here (tentpole
+	// layer 2's invalidation point).
 	s.back = res.Back
+	s.engine.BumpGeneration()
 	s.table.ResetBarriers()
 	for _, obj := range s.pendingBarrierInrefs {
 		if in, ok := s.table.Inref(obj); ok && !in.Garbage {
@@ -368,10 +372,12 @@ func (s *Site) CommitLocalTrace() TraceReport {
 	}
 
 	// 6. Trigger back traces from outrefs whose distance has crossed
-	// their back threshold (Section 4.3).
+	// their back threshold (Section 4.3), then admit any parked suspects
+	// whose slots freed up during the commit.
 	if s.cfg.AutoBackTrace {
 		rep.BackTracesStarted = s.triggerBackTracesLocked()
 	}
+	s.drainAdmissionsLocked()
 
 	// Close the local-trace span (begin through commit).
 	if !t0.IsZero() {
@@ -438,17 +444,207 @@ func (s *Site) TriggerBackTraces() int {
 	return s.triggerBackTracesLocked()
 }
 
+// schedulerOn reports whether the trace-traffic scheduler (admission cap,
+// batching, join detection, round-robin scan) is configured; off, the
+// trigger keeps the legacy one-trace-per-suspect single-pass behaviour.
+func (s *Site) schedulerOn() bool {
+	return s.cfg.MaxInflightTraces > 0 || s.cfg.TraceBatch > 1
+}
+
 func (s *Site) triggerBackTracesLocked() int {
-	started := 0
-	for _, o := range s.table.Outrefs() {
-		if s.engine.ShouldStart(o.Target) {
-			if t, ok := s.engine.StartTrace(o.Target); ok {
-				s.emit(event.Event{Kind: event.TraceStarted, Trace: t, Ref: o.Target})
-				started++
+	if !s.schedulerOn() {
+		started := 0
+		for _, o := range s.table.Outrefs() {
+			if s.engine.ShouldStart(o.Target) {
+				if t, ok := s.startTraceAdmitted(o.Target); ok {
+					s.emit(event.Event{Kind: event.TraceStarted, Trace: t, Ref: o.Target})
+					started++
+				}
 			}
+		}
+		return started
+	}
+	return s.scheduleBackTracesLocked()
+}
+
+// scheduleBackTracesLocked is the trace-traffic scheduler's trigger scan:
+// it walks the outref table round-robin from where the previous scan
+// stopped, joins suspects already covered by an in-flight trace's visit
+// marks, groups the rest into multi-suspect batches by inset overlap, and
+// starts batches while the admission cap allows — parking the overflow in
+// the distance-priority queue instead of flooding the network.
+func (s *Site) scheduleBackTracesLocked() int {
+	outs := s.table.Outrefs()
+	// Resume round-robin: rotate the sorted scan so it starts just after
+	// the suspect the previous scan stopped at.
+	if s.scanCursorSet && len(outs) > 0 {
+		i := sort.Search(len(outs), func(i int) bool { return s.scanCursor.Less(outs[i].Target) })
+		rot := make([]*refs.Outref, 0, len(outs))
+		rot = append(rot, outs[i:]...)
+		rot = append(rot, outs[:i]...)
+		outs = rot
+	}
+	var cands []ids.Ref
+	for _, o := range outs {
+		if !s.engine.Eligible(o.Target) || s.engine.MemoizedLive(o.Target) {
+			continue
+		}
+		if _, queued := s.pendingSet[o.Target]; queued {
+			continue
+		}
+		if s.engine.TraceVisiting(o.Target) {
+			// An in-flight trace already holds a visit mark on this
+			// suspect: its report phase will resolve it (flag on Garbage,
+			// raised back threshold on Live), so the suspect joins that
+			// trace instead of launching a duplicate.
+			s.cfg.Counters.Inc(metrics.BackTraceJoined)
+			continue
+		}
+		cands = append(cands, o.Target)
+	}
+	started := 0
+	groups := s.groupSuspectsLocked(cands)
+	// Largest group first: a multi-suspect batch resolves its whole cone in
+	// one trace, so under a tight admission cap it buys the most coverage
+	// per slot. SliceStable keeps the round-robin order within a size class.
+	sort.SliceStable(groups, func(i, j int) bool { return len(groups[i]) > len(groups[j]) })
+	for _, group := range groups {
+		if s.cfg.MaxInflightTraces > 0 && s.inflight >= s.cfg.MaxInflightTraces {
+			for _, target := range group {
+				s.enqueuePendingLocked(target)
+			}
+			continue
+		}
+		if t, ok := s.startBatchAdmitted(group); ok {
+			s.emit(event.Event{Kind: event.TraceStarted, Trace: t, Ref: group[0]})
+			s.scanCursor = group[len(group)-1]
+			s.scanCursorSet = true
+			started++
 		}
 	}
 	return started
+}
+
+// groupSuspectsLocked groups candidate suspects whose insets overlap (per
+// the installed back information) into batches of at most Config.TraceBatch.
+// Two suspects land in one group when they share an inref in their insets —
+// their back-trace cones meet at that inref, so one trace's visit marks
+// cover both (Section 4.5).
+func (s *Site) groupSuspectsLocked(cands []ids.Ref) [][]ids.Ref {
+	max := s.cfg.TraceBatch
+	if max <= 1 {
+		out := make([][]ids.Ref, len(cands))
+		for i, c := range cands {
+			out[i] = []ids.Ref{c}
+		}
+		return out
+	}
+	var groups [][]ids.Ref
+	owner := make(map[ids.ObjID]int) // inset inref → group index
+	for _, c := range cands {
+		inset := s.back.Inset(c)
+		g := -1
+		for _, obj := range inset {
+			if gi, ok := owner[obj]; ok && len(groups[gi]) < max {
+				g = gi
+				break
+			}
+		}
+		if g < 0 {
+			groups = append(groups, nil)
+			g = len(groups) - 1
+		}
+		groups[g] = append(groups[g], c)
+		for _, obj := range inset {
+			if _, ok := owner[obj]; !ok {
+				owner[obj] = g
+			}
+		}
+	}
+	return groups
+}
+
+// enqueuePendingLocked parks one suspect in the admission queue.
+func (s *Site) enqueuePendingLocked(target ids.Ref) {
+	if _, ok := s.pendingSet[target]; ok {
+		return
+	}
+	dist := 0
+	if o, ok := s.table.Outref(target); ok {
+		dist = o.Distance
+	}
+	s.pendingSeq++
+	s.pendingSet[target] = struct{}{}
+	s.pendingTraces = append(s.pendingTraces, pendingTrace{target: target, dist: dist, seq: s.pendingSeq})
+	s.cfg.Counters.Inc(metrics.BackTraceDeferred)
+}
+
+// drainAdmissionsLocked starts parked suspects while admission slots are
+// free. It runs at the safe points of every entry path that can complete a
+// trace (message delivery, commit, timeout scan) — never inside an engine
+// callback.
+func (s *Site) drainAdmissionsLocked() {
+	if !s.admitPending || !s.schedulerOn() {
+		return
+	}
+	s.admitPending = false
+	if len(s.pendingTraces) == 0 {
+		return
+	}
+	// Farthest distance first (the strongest suspects, Section 3), oldest
+	// first on ties.
+	sort.Slice(s.pendingTraces, func(i, j int) bool {
+		if s.pendingTraces[i].dist != s.pendingTraces[j].dist {
+			return s.pendingTraces[i].dist > s.pendingTraces[j].dist
+		}
+		return s.pendingTraces[i].seq < s.pendingTraces[j].seq
+	})
+	for len(s.pendingTraces) > 0 {
+		if s.cfg.MaxInflightTraces > 0 && s.inflight >= s.cfg.MaxInflightTraces {
+			return
+		}
+		p := s.pendingTraces[0]
+		s.pendingTraces = s.pendingTraces[1:]
+		delete(s.pendingSet, p.target)
+		// Revalidate: the suspect may have been cleaned, trimmed, proven
+		// Live, or covered by another trace while parked.
+		if !s.engine.ShouldStart(p.target) {
+			continue
+		}
+		if s.engine.TraceVisiting(p.target) {
+			s.cfg.Counters.Inc(metrics.BackTraceJoined)
+			continue
+		}
+		if t, ok := s.startTraceAdmitted(p.target); ok {
+			s.emit(event.Event{Kind: event.TraceStarted, Trace: t, Ref: p.target})
+		}
+	}
+}
+
+// startTraceAdmitted starts one back trace through the admission
+// accounting: the in-flight count rises before the engine runs (the trace
+// may complete synchronously, decrementing it again via the completion
+// callback) and reverts if no trace started.
+func (s *Site) startTraceAdmitted(target ids.Ref) (ids.TraceID, bool) {
+	s.inflight++
+	s.cfg.Counters.Max(metrics.BackTraceInflight, int64(s.inflight))
+	t, ok := s.engine.StartTrace(target)
+	if !ok {
+		s.inflight--
+	}
+	return t, ok
+}
+
+// startBatchAdmitted is startTraceAdmitted for a multi-suspect group; the
+// whole batch occupies one admission slot (it is one trace).
+func (s *Site) startBatchAdmitted(targets []ids.Ref) (ids.TraceID, bool) {
+	s.inflight++
+	s.cfg.Counters.Max(metrics.BackTraceInflight, int64(s.inflight))
+	t, ok := s.engine.StartBatchTrace(targets)
+	if !ok {
+		s.inflight--
+	}
+	return t, ok
 }
 
 // StartBackTrace starts a back trace from a specific outref, bypassing the
@@ -458,11 +654,43 @@ func (s *Site) StartBackTrace(target ids.Ref) (ids.TraceID, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.flushOutbox()
-	t, ok := s.engine.StartTrace(target)
+	t, ok := s.startTraceAdmitted(target)
 	if ok {
 		s.emit(event.Event{Kind: event.TraceStarted, Trace: t, Ref: target})
 	}
 	return t, ok
+}
+
+// StartBatchBackTrace starts one multi-suspect batched back trace from the
+// given outrefs, bypassing the back-threshold policy (used by tests and
+// experiments). It reports whether a trace started.
+func (s *Site) StartBatchBackTrace(targets []ids.Ref) (ids.TraceID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.flushOutbox()
+	t, ok := s.startBatchAdmitted(targets)
+	if ok {
+		s.emit(event.Event{Kind: event.TraceStarted, Trace: t, Ref: targets[0]})
+	}
+	return t, ok
+}
+
+// InflightTraces returns the number of back traces this site currently has
+// in flight as initiator (for tests and introspection).
+func (s *Site) InflightTraces() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.assertOutboxFlushed()
+	return s.inflight
+}
+
+// PendingAdmissions returns the number of suspects parked in the admission
+// queue (for tests and introspection).
+func (s *Site) PendingAdmissions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.assertOutboxFlushed()
+	return len(s.pendingTraces)
 }
 
 // GarbageFlaggedInrefs returns the local objects whose inrefs a completed

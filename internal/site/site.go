@@ -95,6 +95,25 @@ type Config struct {
 	// suggests: "if too many suspects are found live, the threshold
 	// should be increased").
 	AdaptiveThreshold bool
+	// MaxInflightTraces caps the back traces this site may have in flight
+	// as initiator. Suspects beyond the cap are parked in a
+	// distance-priority admission queue and started as completions free
+	// slots; trigger scans resume round-robin where the previous scan
+	// stopped, so one commit cannot flood the network. Zero means
+	// unlimited (the legacy trigger behaviour).
+	MaxInflightTraces int
+	// TraceBatch, when above one, groups up to that many suspected
+	// outrefs whose insets overlap (per the installed back information)
+	// into one multi-suspect batched trace at trigger time, so a garbage
+	// cycle with many suspected entry points is resolved by one trace
+	// instead of one per suspect. Zero or one keeps one trace per
+	// suspect.
+	TraceBatch int
+	// MemoizeLive enables generation-stamped Live-verdict memoization in
+	// the back-tracing engine: iorefs proven Live answer later back steps
+	// without fanning out until the next trace commit (or a Section 6.4
+	// clean event) invalidates the cached verdict.
+	MemoizeLive bool
 	// Piggyback, when true, coalesces the messages produced within one
 	// protocol step (a message delivery, a trace commit, a timeout scan)
 	// into one Batch envelope per destination — the piggybacking the
@@ -236,6 +255,27 @@ type Site struct {
 
 	liveStreak int // consecutive Live outcomes, for AdaptiveThreshold
 
+	// --- trace-scheduler state (guarded by mu) ---
+
+	// inflight counts back traces this site initiated that have not
+	// completed; the admission controller compares it to
+	// Config.MaxInflightTraces.
+	inflight int
+	// pendingTraces is the admission queue: suspects that were eligible
+	// when the cap was reached, admitted in farthest-distance-first (then
+	// oldest-first) order as slots free up. pendingSet dedupes it.
+	pendingTraces []pendingTrace
+	pendingSet    map[ids.Ref]struct{}
+	pendingSeq    uint64
+	// admitPending is set by the trace-completed callback (which runs
+	// inside an engine call and must not re-enter it) and drained at the
+	// next safe point of the entry path that triggered the completion.
+	admitPending bool
+	// scanCursor is where the last trigger scan stopped; the next scan
+	// resumes after it (round-robin fairness across suspects).
+	scanCursor    ids.Ref
+	scanCursorSet bool
+
 	// inbox is the bounded mailbox (nil when InboxSize == 0).
 	inbox *mailbox
 
@@ -281,6 +321,13 @@ type Site struct {
 	gaugeDirty   *obs.Gauge
 }
 
+// pendingTrace is one parked suspect in the admission queue.
+type pendingTrace struct {
+	target ids.Ref
+	dist   int    // outref distance at enqueue time (farther = more suspect)
+	seq    uint64 // enqueue order, for age tie-breaking
+}
+
 // TraceOutcome records one completed back trace initiated by this site.
 type TraceOutcome struct {
 	Trace        ids.TraceID
@@ -306,6 +353,7 @@ func New(cfg Config) *Site {
 		threshold:      cfg.SuspicionThreshold,
 		pendingInserts: make(map[ids.Ref]msg.Insert),
 		farewell:       make(map[ids.SiteID]int),
+		pendingSet:     make(map[ids.Ref]struct{}),
 		outbox:         make(map[ids.SiteID][]msg.Message),
 		partStart:      make(map[ids.TraceID]time.Time),
 		traceQueueWait: make(map[ids.TraceID]time.Duration),
@@ -339,12 +387,25 @@ func New(cfg Config) *Site {
 	}
 	reg.Gauge(metrics.ParallelWorkers,
 		"number of mark workers local traces run with").Set(int64(workers))
+	// Declare the trace-traffic instruments up front so scrapes see them
+	// at zero even before the first back trace (or with the engine off).
+	reg.Gauge(metrics.BackTraceInflight,
+		"high-water mark of concurrently in-flight back traces initiated by this site")
+	reg.Gauge(metrics.BackTraceBatchSize,
+		"high-water mark of suspects carried by one multi-suspect back trace")
+	reg.Counter(metrics.BackTraceMemoHits,
+		"back steps and trigger scans answered from a memoized Live verdict")
+	reg.Counter(metrics.BackTraceJoined,
+		"suspects absorbed into an active back trace already visiting their cone")
+	reg.Counter(metrics.BackTraceDeferred,
+		"suspects parked in the admission queue because the in-flight cap was reached")
 	s.engine = core.NewEngine(core.Config{
 		Site:          cfg.ID,
 		Threshold:     s.threshold,
 		ThresholdBump: cfg.ThresholdBump,
 		CallTimeout:   cfg.CallTimeout,
 		ReportTimeout: cfg.ReportTimeout,
+		MemoizeLive:   cfg.MemoizeLive,
 		Now:           s.clk.Now,
 		Send:          s.send,
 		Table:         s.table,
@@ -505,6 +566,14 @@ func (s *Site) noteTraceQueueWait(t ids.TraceID) {
 // onTraceCompleted runs (with the lock held) when a trace this site
 // initiated finishes.
 func (s *Site) onTraceCompleted(t ids.TraceID, outcome msg.Verdict, participants []ids.SiteID) {
+	if s.inflight > 0 {
+		s.inflight--
+	}
+	if len(s.pendingTraces) > 0 {
+		// A slot freed up. This callback runs inside an engine call, so
+		// admission is deferred to the entry path's next safe point.
+		s.admitPending = true
+	}
 	s.completions = append(s.completions, TraceOutcome{Trace: t, Outcome: outcome, Participants: participants})
 	s.emit(event.Event{Kind: event.TraceCompleted, Trace: t, Verdict: outcome, N: len(participants)})
 	// Close the root span. The initiator's activity opened with the trace
@@ -573,6 +642,7 @@ func (s *Site) deliverNow(from ids.SiteID, m msg.Message) {
 	defer s.mu.Unlock()
 	defer s.flushOutbox()
 	s.deliverLocked(from, m)
+	s.drainAdmissionsLocked()
 }
 
 // deliverQueued is the mailbox dispatcher's entry point: like deliverNow,
@@ -586,6 +656,7 @@ func (s *Site) deliverQueued(from ids.SiteID, m msg.Message, wait time.Duration)
 	s.curQueueWait = wait
 	s.deliverLocked(from, m)
 	s.curQueueWait = 0
+	s.drainAdmissionsLocked()
 }
 
 func (s *Site) deliverLocked(from ids.SiteID, m msg.Message) {
@@ -636,6 +707,7 @@ func (s *Site) CheckTimeouts() {
 	defer s.mu.Unlock()
 	defer s.flushOutbox()
 	s.engine.CheckTimeouts()
+	s.drainAdmissionsLocked()
 }
 
 // assertOutboxFlushed panics if a write entry point left piggybacked

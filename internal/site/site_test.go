@@ -1,6 +1,7 @@
 package site
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -257,5 +258,34 @@ func TestTCPEndToEndCycleCollection(t *testing.T) {
 	}
 	if !s1.ContainsObject(root.Obj) || !s2.ContainsObject(live.Obj) {
 		t.Fatal("live object collected")
+	}
+}
+
+// TestTraceEngineInstrumentsDeclared pins the /metrics contract the CI
+// smoke scrape greps for: site.New declares the trace-traffic instruments
+// up front, so they render (at zero) before any back trace runs and with
+// the engine knobs off.
+func TestTraceEngineInstrumentsDeclared(t *testing.T) {
+	net := transport.NewNet(transport.Options{Stepped: true})
+	t.Cleanup(net.Close)
+	counters := &metrics.Counters{}
+	s := New(Config{ID: 1, Network: net, SuspicionThreshold: 3, BackThreshold: 7, Counters: counters})
+	t.Cleanup(s.Close)
+
+	var b strings.Builder
+	if err := counters.Registry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"\nbacktrace_inflight 0\n",
+		"\nbacktrace_memo_hits 0\n",
+		"\nbacktrace_batch_size 0\n",
+		"\nbacktrace_joined 0\n",
+		"\nbacktrace_deferred 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", strings.TrimSpace(want))
+		}
 	}
 }

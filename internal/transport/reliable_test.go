@@ -490,9 +490,9 @@ func TestReliableBatchingPiggybacksAcks(t *testing.T) {
 // TestReliableCrossCodecEquivalence (wire migration property): the same
 // traffic pushed through the session layer over a lossy, duplicating,
 // reordering memnet arrives bit-identical whether the network round-trips
-// every frame through the binary codec, the legacy gob codec, or no codec
-// at all. Loss forces retransmissions, so frames are encoded and decoded
-// repeatedly along the way.
+// every frame through the binary codec or no codec at all. Loss forces
+// retransmissions, so frames are encoded and decoded repeatedly along the
+// way.
 func TestReliableCrossCodecEquivalence(t *testing.T) {
 	const total = 120
 	mix := func(i uint64) msg.Message {
@@ -524,7 +524,7 @@ func TestReliableCrossCodecEquivalence(t *testing.T) {
 		}
 	}
 
-	codecs := map[string]wire.Codec{"none": nil, "gob": wire.NewGobCodec(), "binary": wire.Binary{}}
+	codecs := map[string]wire.Codec{"none": nil, "binary": wire.Binary{}}
 	delivered := make(map[string][]msg.Envelope, len(codecs))
 	for name, codec := range codecs {
 		inner := NewNet(Options{
@@ -555,7 +555,7 @@ func TestReliableCrossCodecEquivalence(t *testing.T) {
 	if len(want) != total {
 		t.Fatalf("codec none delivered %d, want %d", len(want), total)
 	}
-	for _, name := range []string{"gob", "binary"} {
+	for _, name := range []string{"binary"} {
 		got := delivered[name]
 		if len(got) != total {
 			t.Fatalf("codec %s delivered %d, want %d", name, len(got), total)

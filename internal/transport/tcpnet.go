@@ -36,8 +36,8 @@ const (
 // On the wire each envelope is one length-prefixed frame: a 4-byte
 // big-endian length followed by that many bytes of wire.Codec output. The
 // receive path decodes with wire.DecodeAny, dispatching on the frame's
-// leading version byte, so peers running different codecs (one mid-
-// migration on gob, another on binary) interoperate without negotiation.
+// leading version byte, so a future codec revision can interoperate with
+// current peers without negotiation.
 //
 // Each peer gets a dedicated sender goroutine draining a bounded pending
 // queue, so Send never blocks on the network. The sender dials lazily,

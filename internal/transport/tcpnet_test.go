@@ -265,7 +265,7 @@ func TestTCPListenerRestartFlushesQueue(t *testing.T) {
 	}, "queued tail to flush after listener restart")
 }
 
-func TestTCPAllMessageTypesSurviveGob(t *testing.T) {
+func TestTCPAllMessageTypesSurviveWire(t *testing.T) {
 	n1, _, _, c2 := startTCPPair(t)
 	r := ids.MakeRef(2, 17)
 	all := []msg.Message{

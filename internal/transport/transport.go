@@ -10,9 +10,9 @@
 //     Figures 5 and 6.
 //
 //   - TCPNode (tcpnet.go): a real TCP transport exchanging length-prefixed
-//     wire.Codec frames (binary by default; gob accepted for migration), for
-//     running sites as separate OS processes (cmd/dgcnode), with per-peer
-//     pending queues and reconnect-with-backoff.
+//     wire.Codec frames (the binary codec), for running sites as separate
+//     OS processes (cmd/dgcnode), with per-peer pending queues and
+//     reconnect-with-backoff.
 //
 // Both preserve FIFO delivery per (source, destination) link, matching the
 // paper's in-order delivery assumption (relation R1 in the Section 6.4

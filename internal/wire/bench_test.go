@@ -19,7 +19,7 @@ func benchMix() []msg.Envelope {
 }
 
 func benchCodecs() map[string]Codec {
-	return map[string]Codec{"gob": NewGobCodec(), "binary": Binary{}}
+	return map[string]Codec{"binary": Binary{}}
 }
 
 // BenchmarkWireEncode: frames marshalled per codec. b.N counts individual

@@ -26,6 +26,12 @@ import (
 // version bump; see docs/WIRE.md.
 
 // Message tags. Appending a type is fine; renumbering is a version bump.
+//
+// Tags 14-16 are the batched-trace extensions of BackCall/BackReply/Report
+// (suspect index, dependency set, garbage-suspect set). The encoder picks
+// the extended tag only when one of the new fields is set, so single-
+// suspect traffic stays byte-identical to the pre-batching format and old
+// goldens remain exact; decoders accept both forms.
 const (
 	tagRefTransfer = 1
 	tagInsert      = 2
@@ -40,6 +46,9 @@ const (
 	tagLinkAck     = 11
 	tagLinkReset   = 12
 	tagLinkBatch   = 13
+	tagBackCallB   = 14 // BackCall + suspect index
+	tagBackReplyB  = 15 // BackReply + dependency suspects
+	tagReportB     = 16 // Report + garbage-suspect set
 )
 
 // maxNest bounds wrapper recursion when decoding. Legitimate traffic nests
@@ -136,15 +145,27 @@ func appendMessage(buf []byte, m msg.Message) ([]byte, error) {
 		}
 		buf = appendObjIDs(buf, mm.Holds)
 	case msg.BackCall:
-		buf = append(buf, tagBackCall)
+		if mm.Suspect != 0 {
+			buf = append(buf, tagBackCallB)
+		} else {
+			buf = append(buf, tagBackCall)
+		}
 		buf = appendTrace(buf, mm.Trace)
 		buf = appendFrame(buf, mm.Caller)
 		buf = binary.AppendUvarint(buf, uint64(mm.Initiator))
 		buf = append(buf, byte(mm.Kind))
 		buf = binary.AppendUvarint(buf, uint64(mm.Inref))
 		buf = appendRef(buf, mm.Outref)
+		if mm.Suspect != 0 {
+			buf = binary.AppendUvarint(buf, uint64(mm.Suspect))
+		}
 	case msg.BackReply:
-		buf = append(buf, tagBackReply)
+		extended := len(mm.Deps) > 0
+		if extended {
+			buf = append(buf, tagBackReplyB)
+		} else {
+			buf = append(buf, tagBackReply)
+		}
 		buf = appendTrace(buf, mm.Trace)
 		buf = appendFrame(buf, mm.Caller)
 		buf = append(buf, byte(mm.Result))
@@ -152,10 +173,27 @@ func appendMessage(buf []byte, m msg.Message) ([]byte, error) {
 		for _, p := range mm.Participants {
 			buf = binary.AppendUvarint(buf, uint64(p))
 		}
+		if extended {
+			buf = binary.AppendUvarint(buf, uint64(len(mm.Deps)))
+			for _, d := range mm.Deps {
+				buf = binary.AppendUvarint(buf, uint64(d))
+			}
+		}
 	case msg.Report:
-		buf = append(buf, tagReport)
+		extended := mm.GarbageSuspects != nil
+		if extended {
+			buf = append(buf, tagReportB)
+		} else {
+			buf = append(buf, tagReport)
+		}
 		buf = appendTrace(buf, mm.Trace)
 		buf = append(buf, byte(mm.Outcome))
+		if extended {
+			buf = binary.AppendUvarint(buf, uint64(len(mm.GarbageSuspects)))
+			for _, g := range mm.GarbageSuspects {
+				buf = binary.AppendUvarint(buf, uint64(g))
+			}
+		}
 	case msg.Batch:
 		buf = append(buf, tagBatch)
 		buf = binary.AppendUvarint(buf, uint64(len(mm.Items)))
@@ -327,8 +365,8 @@ func (r *reader) message(depth int) msg.Message {
 		}
 		u.Holds = r.objIDs()
 		return u
-	case tagBackCall:
-		return msg.BackCall{
+	case tagBackCall, tagBackCallB:
+		c := msg.BackCall{
 			Trace:     r.trace(),
 			Caller:    r.frame(),
 			Initiator: ids.SiteID(r.uvarint()),
@@ -336,7 +374,11 @@ func (r *reader) message(depth int) msg.Message {
 			Inref:     ids.ObjID(r.uvarint()),
 			Outref:    r.ref(),
 		}
-	case tagBackReply:
+		if tag == tagBackCallB {
+			c.Suspect = uint32(r.uvarint())
+		}
+		return c
+	case tagBackReply, tagBackReplyB:
 		rep := msg.BackReply{
 			Trace:  r.trace(),
 			Caller: r.frame(),
@@ -348,9 +390,29 @@ func (r *reader) message(depth int) msg.Message {
 				rep.Participants[i] = ids.SiteID(r.uvarint())
 			}
 		}
+		if tag == tagBackReplyB {
+			if n := r.count(); n > 0 && r.err == nil {
+				rep.Deps = make([]uint32, n)
+				for i := range rep.Deps {
+					rep.Deps[i] = uint32(r.uvarint())
+				}
+			}
+		}
 		return rep
 	case tagReport:
 		return msg.Report{Trace: r.trace(), Outcome: msg.Verdict(r.byte())}
+	case tagReportB:
+		rep := msg.Report{Trace: r.trace(), Outcome: msg.Verdict(r.byte())}
+		n := r.count()
+		if r.err == nil {
+			// Non-nil even when empty: the extended tag means the batch
+			// form, whose semantics differ from the nil flag-all form.
+			rep.GarbageSuspects = make([]uint32, n)
+			for i := range rep.GarbageSuspects {
+				rep.GarbageSuspects[i] = uint32(r.uvarint())
+			}
+		}
+		return rep
 	case tagBatch:
 		var b msg.Batch
 		if n := r.count(); n > 0 && r.err == nil {

@@ -10,15 +10,15 @@ import (
 )
 
 // FuzzRoundTrip checks decode(encode(m)) == m for every message type under
-// both codecs. The fuzzer drives a structured generator: tag selects the
-// message type (wrapped into range), seed the field values, so coverage
-// spans all thirteen types including nested wrappers.
+// the binary codec. The fuzzer drives a structured generator: tag selects
+// the message type (wrapped into range), seed the field values, so coverage
+// spans all thirteen types — including nested wrappers and the batched-trace
+// extended forms of BackCall/BackReply/Report.
 func FuzzRoundTrip(f *testing.F) {
 	for tag := 1; tag <= 13; tag++ {
 		f.Add(int64(tag), uint8(tag))
 	}
 	bin := Binary{}
-	gobc := NewGobCodec()
 	f.Fuzz(func(t *testing.T, seed int64, tag uint8) {
 		rng := rand.New(rand.NewSource(seed))
 		env := msg.Envelope{
@@ -26,23 +26,21 @@ func FuzzRoundTrip(f *testing.F) {
 			To:   1 + ids.SiteID(rng.Intn(1<<16)),
 			M:    randMessage(rng, int(tag)%13+1, 0),
 		}
-		for _, c := range []Codec{bin, gobc} {
-			frame, err := c.Encode(&env, nil)
-			if err != nil {
-				t.Fatalf("%s encode: %v", c.Name(), err)
-			}
-			got, err := c.Decode(frame)
-			if err != nil {
-				t.Fatalf("%s decode own frame (%s): %v", c.Name(), msg.Name(env.M), err)
-			}
-			if !reflect.DeepEqual(got, env) {
-				t.Fatalf("%s round trip (%s):\n got %#v\nwant %#v", c.Name(), msg.Name(env.M), got, env)
-			}
-			// Version dispatch must agree with the direct decode.
-			any, err := DecodeAny(frame)
-			if err != nil || !reflect.DeepEqual(any, env) {
-				t.Fatalf("DecodeAny(%s frame) = (%#v, %v), want (%#v, nil)", c.Name(), any, err, env)
-			}
+		frame, err := bin.Encode(&env, nil)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := bin.Decode(frame)
+		if err != nil {
+			t.Fatalf("decode own frame (%s): %v", msg.Name(env.M), err)
+		}
+		if !reflect.DeepEqual(got, env) {
+			t.Fatalf("round trip (%s):\n got %#v\nwant %#v", msg.Name(env.M), got, env)
+		}
+		// Version dispatch must agree with the direct decode.
+		any, err := DecodeAny(frame)
+		if err != nil || !reflect.DeepEqual(any, env) {
+			t.Fatalf("DecodeAny = (%#v, %v), want (%#v, nil)", any, err, env)
 		}
 	})
 }
@@ -53,9 +51,8 @@ func FuzzRoundTrip(f *testing.F) {
 func FuzzDecodeAny(f *testing.F) {
 	env := msg.Envelope{From: 1, To: 2, M: exemplarUpdate()}
 	bin, _ := (Binary{}).Encode(&env, nil)
-	gobFrame, _ := NewGobCodec().Encode(&env, nil)
 	f.Add(bin)
-	f.Add(gobFrame)
+	f.Add([]byte{VersionGob, 0x01, 0x02}) // reserved gob version: must reject
 	f.Add([]byte{VersionBinary, 1, 2, tagBatch, 0xFF, 0xFF, 0x7F})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		env, err := DecodeAny(data)

@@ -1,16 +1,17 @@
 // Package wire defines the codec boundary of the transports: how an
 // in-memory msg.Envelope becomes bytes on a link and back.
 //
-// Two codecs implement the boundary. Binary is the hand-rolled, versioned
+// One codec implements the boundary: Binary, the hand-rolled, versioned
 // binary encoding — one tag byte per message type, varint-packed
-// identifiers and distances, no per-frame type dictionaries — and is the
-// default everywhere. GobCodec wraps the original encoding/gob path and is
-// deprecated; it remains for one release as a migration fallback.
+// identifiers and distances, no per-frame type dictionaries. The original
+// encoding/gob codec was deprecated in the release that introduced Binary
+// and has since been removed; its format byte (0x00) stays permanently
+// reserved so a gob frame from an old peer is rejected with a clear error
+// rather than misparsed.
 //
 // Every encoded frame begins with a one-byte format version, so a receiver
 // can decode a mixed stream without out-of-band negotiation: DecodeAny
-// dispatches on that byte. Version 0 is a gob frame, version 1 the binary
-// layout of this package. Unknown versions are an error, never a guess —
+// dispatches on that byte. Unknown versions are an error, never a guess —
 // a future format bump is detected, not misparsed.
 package wire
 
@@ -23,8 +24,9 @@ import (
 
 // Frame format versions: the first byte of every encoded frame.
 const (
-	// VersionGob marks a frame whose remainder is a self-contained
-	// encoding/gob stream of one msg.Envelope (the deprecated codec).
+	// VersionGob marked a frame in the removed encoding/gob format. The
+	// byte stays reserved forever: it must never be reassigned, so a
+	// stale gob frame is always rejected rather than misparsed.
 	VersionGob = 0x00
 	// VersionBinary marks a frame in this package's binary layout.
 	VersionBinary = 0x01
@@ -50,16 +52,16 @@ type Codec interface {
 // Binary is the default codec: the versioned binary layout of this package.
 type Binary struct{}
 
-// ByName returns the codec registered under name: "binary" or "gob" (the
-// empty string selects the default, binary).
+// ByName returns the codec registered under name: "binary" (the empty
+// string selects the default, binary).
 func ByName(name string) (Codec, error) {
 	switch name {
 	case "", "binary":
 		return Binary{}, nil
 	case "gob":
-		return NewGobCodec(), nil
+		return nil, fmt.Errorf("wire: the gob codec was removed; use binary")
 	default:
-		return nil, fmt.Errorf("wire: unknown codec %q (want binary or gob)", name)
+		return nil, fmt.Errorf("wire: unknown codec %q (want binary)", name)
 	}
 }
 
@@ -72,7 +74,7 @@ func DecodeAny(data []byte) (msg.Envelope, error) {
 	}
 	switch data[0] {
 	case VersionGob:
-		return gobDecode(data)
+		return msg.Envelope{}, fmt.Errorf("wire: frame version 0x00 (gob) is no longer supported; the sender must upgrade to the binary codec")
 	case VersionBinary:
 		return Binary{}.Decode(data)
 	default:

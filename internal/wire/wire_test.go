@@ -42,6 +42,28 @@ func exemplars() []msg.Message {
 			Participants: []ids.SiteID{1, 5, 9},
 		},
 		msg.Report{Trace: ids.TraceID{Initiator: 1, Seq: 2}, Outcome: msg.VerdictGarbage},
+		// The batched-trace extended forms (tags 14-16).
+		msg.BackCall{
+			Trace:     ids.TraceID{Initiator: 6, Seq: 1 << 21},
+			Caller:    ids.FrameID{Site: 2, Seq: 19},
+			Initiator: 6,
+			Kind:      msg.StepRemote,
+			Inref:     ids.ObjID(88),
+			Outref:    ids.MakeRef(5, 42),
+			Suspect:   3,
+		},
+		msg.BackReply{
+			Trace:        ids.TraceID{Initiator: 6, Seq: 7},
+			Caller:       ids.FrameID{Site: 2, Seq: 19},
+			Result:       msg.VerdictGarbage,
+			Participants: []ids.SiteID{1, 5},
+			Deps:         []uint32{0, 2, 1 << 18},
+		},
+		msg.Report{
+			Trace:           ids.TraceID{Initiator: 1, Seq: 2},
+			Outcome:         msg.VerdictGarbage,
+			GarbageSuspects: []uint32{1, 4},
+		},
 		msg.Batch{Items: []msg.Message{
 			msg.InsertAck{Target: ids.MakeRef(2, 8)},
 			msg.Report{Trace: ids.TraceID{Initiator: 3, Seq: 4}, Outcome: msg.VerdictLive},
@@ -62,7 +84,7 @@ func exemplars() []msg.Message {
 
 func codecs(t *testing.T) []Codec {
 	t.Helper()
-	return []Codec{Binary{}, NewGobCodec()}
+	return []Codec{Binary{}}
 }
 
 func TestRoundTripEveryType(t *testing.T) {
@@ -84,8 +106,9 @@ func TestRoundTripEveryType(t *testing.T) {
 	}
 }
 
-// TestDecodeAnyDispatch checks version negotiation: frames from either
-// codec decode through DecodeAny, so mixed-codec peers interoperate.
+// TestDecodeAnyDispatch checks version dispatch: binary frames decode
+// through DecodeAny, the reserved gob byte (0x00) is rejected with a clear
+// error, and unknown versions fail.
 func TestDecodeAnyDispatch(t *testing.T) {
 	for _, c := range codecs(t) {
 		env := msg.Envelope{From: 1, To: 2, M: msg.LinkAck{Epoch: 1, Cum: 5, Inc: 1}}
@@ -102,24 +125,22 @@ func TestDecodeAnyDispatch(t *testing.T) {
 		}
 		PutBuffer(frame)
 	}
+	if _, err := DecodeAny([]byte{VersionGob, 1, 2, 3}); err == nil {
+		t.Error("DecodeAny accepted a frame with the reserved gob version byte")
+	}
+	if _, err := DecodeAny([]byte{0x42}); err == nil {
+		t.Error("DecodeAny accepted an unknown frame version")
+	}
 }
 
-func TestCrossCodecSameEnvelope(t *testing.T) {
-	for _, m := range exemplars() {
-		env := msg.Envelope{From: 7, To: 8, M: m}
-		var got [2]msg.Envelope
-		for i, c := range codecs(t) {
-			frame, err := c.Encode(&env, nil)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if got[i], err = DecodeAny(frame); err != nil {
-				t.Fatal(err)
-			}
-		}
-		if !reflect.DeepEqual(got[0], got[1]) {
-			t.Errorf("%s: binary and gob disagree:\n binary %#v\n gob    %#v", msg.Name(m), got[0], got[1])
-		}
+// TestByNameRejectsGob pins the removal: requesting the retired codec by
+// name is a configuration error, not a silent fallback.
+func TestByNameRejectsGob(t *testing.T) {
+	if _, err := ByName("gob"); err == nil {
+		t.Fatal("ByName(\"gob\") succeeded after the codec's removal")
+	}
+	if c, err := ByName(""); err != nil || c.Name() != "binary" {
+		t.Fatalf("ByName(\"\") = %v, %v; want the binary default", c, err)
 	}
 }
 
@@ -239,6 +260,7 @@ func randMessage(rng *rand.Rand, tag, depth int) msg.Message {
 			Kind:      msg.StepKind(rng.Intn(2) + 1),
 			Inref:     ids.ObjID(rng.Uint64() >> rng.Intn(64)),
 			Outref:    ref(),
+			Suspect:   uint32(rng.Intn(3)) * uint32(rng.Intn(1<<10)), // often 0 → legacy tag
 		}
 	case tagBackReply:
 		rep := msg.BackReply{
@@ -252,12 +274,27 @@ func randMessage(rng *rand.Rand, tag, depth int) msg.Message {
 				rep.Participants[i] = site()
 			}
 		}
+		// Nil or non-empty: an empty non-nil Deps slice would take the
+		// legacy tag and decode back to nil.
+		if n := rng.Intn(4); n > 0 {
+			rep.Deps = make([]uint32, n)
+			for i := range rep.Deps {
+				rep.Deps[i] = rng.Uint32() >> rng.Intn(32)
+			}
+		}
 		return rep
 	case tagReport:
-		return msg.Report{
+		rep := msg.Report{
 			Trace:   ids.TraceID{Initiator: site(), Seq: rng.Uint64() >> rng.Intn(64)},
 			Outcome: msg.Verdict(rng.Intn(2)),
 		}
+		if n := rng.Intn(4); n > 0 {
+			rep.GarbageSuspects = make([]uint32, n)
+			for i := range rep.GarbageSuspects {
+				rep.GarbageSuspects[i] = rng.Uint32() >> rng.Intn(32)
+			}
+		}
+		return rep
 	case tagBatch:
 		return msg.Batch{Items: items()}
 	case tagLinkData:
